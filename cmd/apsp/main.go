@@ -1,0 +1,127 @@
+// Command apsp solves All-Pairs Shortest Paths on a generated graph with a
+// selectable pipeline and prints the distance matrix together with the
+// simulated CONGEST-CLIQUE round report.
+//
+// Usage:
+//
+//	apsp [-n 16] [-strategy quantum|classical|dolev|gossip] [-w 10]
+//	     [-p 0.4] [-seed 1] [-workload random|grid|road] [-print]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qclique"
+	"qclique/internal/graph"
+	"qclique/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "apsp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("apsp", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 16, "vertex count")
+		strategy = fs.String("strategy", "quantum", "quantum | classical | dolev | gossip")
+		w        = fs.Int64("w", 10, "max |weight| (random workload)")
+		p        = fs.Float64("p", 0.4, "arc probability (random workload)")
+		seed     = fs.Uint64("seed", 1, "randomness seed")
+		workload = fs.String("workload", "random", "random | grid | road")
+		print    = fs.Bool("print", false, "print the distance matrix")
+		scaled   = fs.Bool("scaled", true, "use the scaled protocol constants (paper constants otherwise)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var strat qclique.Strategy
+	switch *strategy {
+	case "quantum":
+		strat = qclique.Quantum
+	case "classical":
+		strat = qclique.ClassicalSearch
+	case "dolev":
+		strat = qclique.DolevListing
+	case "gossip":
+		strat = qclique.Gossip
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	rng := xrand.New(*seed)
+	var inner *graph.Digraph
+	var err error
+	switch *workload {
+	case "random":
+		inner, err = graph.RandomDigraph(*n, graph.DigraphOpts{
+			ArcProb: *p, MinWeight: -*w, MaxWeight: *w, NoNegativeCycles: true,
+		}, rng)
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		inner, err = graph.GridDigraph(side, side, *w, rng)
+	case "road":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		inner, err = graph.RoadNetwork(side, side, side, rng)
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		return err
+	}
+
+	g := qclique.NewDigraph(inner.N())
+	for u := 0; u < inner.N(); u++ {
+		for v := 0; v < inner.N(); v++ {
+			if wv, ok := inner.Weight(u, v); ok {
+				if err := g.SetArc(u, v, wv); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	preset := qclique.PaperConstants
+	if *scaled {
+		preset = qclique.ScaledConstants
+	}
+	res, err := qclique.SolveAPSP(g,
+		qclique.WithStrategy(strat),
+		qclique.WithSeed(*seed),
+		qclique.WithParams(preset),
+	)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("strategy=%v n=%d rounds=%d products=%d findedges-calls=%d\n",
+		res.Strategy, g.N(), res.Rounds, res.Products, res.FindEdgesCalls)
+	if *print {
+		for i := range res.Dist {
+			for j, d := range res.Dist[i] {
+				if j > 0 {
+					fmt.Print(" ")
+				}
+				if d >= qclique.Inf {
+					fmt.Print("inf")
+				} else {
+					fmt.Print(d)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunStrategies(t *testing.T) {
+	for _, strat := range []string{"gossip", "dolev", "classical", "quantum"} {
+		n := "12"
+		if strat == "quantum" || strat == "classical" {
+			n = "8" // keep the reduction pipelines quick
+		}
+		if err := run([]string{"-n", n, "-strategy", strat, "-seed", "3"}); err != nil {
+			t.Errorf("%s: %v", strat, err)
+		}
+	}
+}
+
+func TestRunWorkloads(t *testing.T) {
+	for _, wl := range []string{"random", "grid", "road"} {
+		if err := run([]string{"-n", "9", "-strategy", "gossip", "-workload", wl, "-print"}); err != nil {
+			t.Errorf("%s: %v", wl, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-strategy", "bogus"}); err == nil {
+		t.Error("bad strategy must fail")
+	}
+	if err := run([]string{"-workload", "bogus"}); err == nil {
+		t.Error("bad workload must fail")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "-exp", "e7,e8"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if err := run([]string{"-quick", "-exp", "e12", "-markdown"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-exp", "e99"}); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunStrategies(t *testing.T) {
+	for _, strat := range []string{"dolev", "classical", "quantum"} {
+		if err := run([]string{"-n", "32", "-strategy", strat, "-planted", "2", "-seed", "5", "-list"}); err != nil {
+			t.Errorf("%s: %v", strat, err)
+		}
+	}
+}
+
+func TestRunNoPlanted(t *testing.T) {
+	if err := run([]string{"-n", "24", "-strategy", "dolev", "-planted", "0"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-strategy", "bogus"}); err == nil {
+		t.Error("bad strategy must fail")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

@@ -1,0 +1,302 @@
+package congest
+
+import (
+	"strings"
+	"testing"
+
+	"qclique/internal/xrand"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(0); err == nil {
+		t.Error("0-node network should fail")
+	}
+	nw, err := NewNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 4 {
+		t.Errorf("N = %d", nw.N())
+	}
+}
+
+func TestExchangeDirectRoundsAreMaxLinkLoad(t *testing.T) {
+	nw, err := NewNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Message{
+		{Src: 0, Dst: 1, Data: []Word{1, 2, 3}}, // 3 words on (0,1)
+		{Src: 0, Dst: 2, Data: []Word{1}},
+		{Src: 3, Dst: 1, Data: []Word{1, 2}},
+		{Src: 0, Dst: 1, Data: []Word{9}}, // (0,1) now 4 words
+	}
+	inboxes, err := nw.ExchangeDirect("t", msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Rounds() != 4 {
+		t.Errorf("rounds = %d, want 4 (max link load)", nw.Rounds())
+	}
+	if len(inboxes[1]) != 3 {
+		t.Errorf("node 1 inbox = %d messages, want 3", len(inboxes[1]))
+	}
+	if len(inboxes[0]) != 0 || len(inboxes[3]) != 0 {
+		t.Error("unexpected inbox content")
+	}
+	// Delivery order is stable.
+	if inboxes[1][0].Data[0] != 1 || inboxes[1][2].Data[0] != 9 {
+		t.Error("inbox order not stable")
+	}
+	m := nw.Metrics()
+	if m.Words != 7 || m.MaxLinkLoad != 4 || m.Phases != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestExchangeRejectsBadEndpoints(t *testing.T) {
+	nw, _ := NewNetwork(3)
+	if _, err := nw.ExchangeDirect("t", []Message{{Src: 0, Dst: 3}}); err == nil {
+		t.Error("out-of-range destination should fail")
+	}
+	if _, err := nw.ExchangeDirect("t", []Message{{Src: -1, Dst: 1}}); err == nil {
+		t.Error("negative source should fail")
+	}
+	if _, err := nw.ExchangeDirect("t", []Message{{Src: 1, Dst: 1}}); err == nil {
+		t.Error("self-message should fail")
+	}
+	if _, err := nw.ExchangeBalanced("t", []Message{{Src: 1, Dst: 1}}); err == nil {
+		t.Error("balanced self-message should fail")
+	}
+}
+
+func TestLemma1TwoRounds(t *testing.T) {
+	// Lemma 1: <= n words per source and per destination delivers in two
+	// rounds, with an explicitly verified schedule.
+	const n = 8
+	nw, err := NewNetwork(n, WithScheduleValidation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	var msgs []Message
+	srcLoad := make([]int, n)
+	dstLoad := make([]int, n)
+	for i := 0; i < 200; i++ {
+		s := NodeID(rng.IntN(n))
+		d := NodeID(rng.IntN(n))
+		if s == d || srcLoad[s] >= n || dstLoad[d] >= n {
+			continue
+		}
+		srcLoad[s]++
+		dstLoad[d]++
+		msgs = append(msgs, Message{Src: s, Dst: d, Data: []Word{Word(i)}})
+	}
+	if _, err := nw.ExchangeBalanced("lemma1", msgs); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Rounds() != 2 {
+		t.Errorf("rounds = %d, want 2 (Lemma 1)", nw.Rounds())
+	}
+}
+
+func TestBalancedRoundsScaling(t *testing.T) {
+	// k*n words per source/destination should cost 2k rounds.
+	const n = 4
+	for _, k := range []int64{1, 2, 5} {
+		nw, err := NewNetwork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var msgs []Message
+		// Every node sends k*n words spread over all other nodes: k*n per
+		// source; each destination receives from n-1 sources with k*n/(n-1)
+		// each... simpler: node 0 sends k*n single words to node 1..n-1
+		// round-robin, all nodes do the same shifted.
+		for s := 0; s < n; s++ {
+			for i := int64(0); i < k*int64(n); i++ {
+				d := (s + 1 + int(i)%(n-1)) % n
+				msgs = append(msgs, Message{Src: NodeID(s), Dst: NodeID(d)})
+			}
+		}
+		if _, err := nw.ExchangeBalanced("scale", msgs); err != nil {
+			t.Fatal(err)
+		}
+		if nw.Rounds() != 2*k {
+			t.Errorf("k=%d: rounds = %d, want %d", k, nw.Rounds(), 2*k)
+		}
+	}
+}
+
+func TestExchangeBalancedEmpty(t *testing.T) {
+	nw, _ := NewNetwork(3)
+	inboxes, err := nw.ExchangeBalanced("empty", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Rounds() != 0 {
+		t.Errorf("empty exchange cost %d rounds", nw.Rounds())
+	}
+	for _, ib := range inboxes {
+		if len(ib) != 0 {
+			t.Error("empty exchange delivered messages")
+		}
+	}
+}
+
+func TestChargeModesMatchPayloadModes(t *testing.T) {
+	// ChargeDirect/ChargeBalanced must produce the same rounds as the
+	// payload-carrying equivalents.
+	const n = 6
+	rng := xrand.New(9)
+	var msgs []Message
+	var loads []Load
+	for i := 0; i < 120; i++ {
+		s := NodeID(rng.IntN(n))
+		d := NodeID(rng.IntN(n))
+		if s == d {
+			continue
+		}
+		words := 1 + rng.IntN(5)
+		msgs = append(msgs, Message{Src: s, Dst: d, Data: make([]Word, words)})
+		loads = append(loads, Load{Src: s, Dst: d, Words: int64(words)})
+	}
+	a, _ := NewNetwork(n)
+	b, _ := NewNetwork(n)
+	if _, err := a.ExchangeDirect("x", msgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ChargeDirect("x", loads); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds() != b.Rounds() {
+		t.Errorf("direct: payload %d rounds, charge %d rounds", a.Rounds(), b.Rounds())
+	}
+	c, _ := NewNetwork(n)
+	d, _ := NewNetwork(n)
+	if _, err := c.ExchangeBalanced("x", msgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ChargeBalanced("x", loads); err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds() != d.Rounds() {
+		t.Errorf("balanced: payload %d rounds, charge %d rounds", c.Rounds(), d.Rounds())
+	}
+	am, bm := a.Metrics(), b.Metrics()
+	if am.Words != bm.Words || am.MaxLinkLoad != bm.MaxLinkLoad {
+		t.Error("charge metrics differ from payload metrics")
+	}
+}
+
+func TestChargeValidation(t *testing.T) {
+	nw, _ := NewNetwork(3)
+	if err := nw.ChargeDirect("t", []Load{{Src: 0, Dst: 1, Words: -1}}); err == nil {
+		t.Error("negative load should fail")
+	}
+	if err := nw.ChargeBalanced("t", []Load{{Src: 0, Dst: 0, Words: 1}}); err == nil {
+		t.Error("self-load should fail")
+	}
+}
+
+func TestBroadcastCosts(t *testing.T) {
+	nw, _ := NewNetwork(5)
+	if err := nw.Broadcast("b", 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Rounds() != 7 {
+		t.Errorf("broadcast rounds = %d, want 7", nw.Rounds())
+	}
+	if nw.Metrics().Words != 7*4 {
+		t.Errorf("broadcast words = %d, want 28", nw.Metrics().Words)
+	}
+	nw.ResetMetrics()
+	if err := nw.BroadcastAll("g", 3); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Rounds() != 3 {
+		t.Errorf("gossip rounds = %d, want 3", nw.Rounds())
+	}
+	if err := nw.Broadcast("bad", 9, 1); err == nil {
+		t.Error("out-of-range broadcaster should fail")
+	}
+	if err := nw.Broadcast("bad", 1, -1); err == nil {
+		t.Error("negative broadcast should fail")
+	}
+	if err := nw.BroadcastAll("bad", -1); err == nil {
+		t.Error("negative gossip should fail")
+	}
+}
+
+func TestMetricsAccumulationAndReset(t *testing.T) {
+	nw, _ := NewNetwork(3)
+	if _, err := nw.ExchangeDirect("p1", []Message{{Src: 0, Dst: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	nw.ChargeLocal("think")
+	if _, err := nw.ExchangeDirect("p2", []Message{{Src: 1, Dst: 2, Data: []Word{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	m := nw.Metrics()
+	if m.Rounds != 3 || m.Phases != 3 || len(m.Trace) != 3 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Trace[1].Kind != PhaseLocal || m.Trace[1].Rounds != 0 {
+		t.Errorf("local phase = %+v", m.Trace[1])
+	}
+	// Metrics() must return a copy.
+	m.Trace[0].Label = "mutated"
+	if nw.Metrics().Trace[0].Label == "mutated" {
+		t.Error("Metrics must copy the trace")
+	}
+	nw.ResetMetrics()
+	if nw.Rounds() != 0 || len(nw.Metrics().Trace) != 0 {
+		t.Error("ResetMetrics incomplete")
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	var a, b Metrics
+	a.record(PhaseStat{Kind: PhaseDirect, Rounds: 3, Words: 5, MaxLinkLoad: 2})
+	b.record(PhaseStat{Kind: PhaseBalanced, Rounds: 2, Words: 9, MaxLinkLoad: 4})
+	a.Add(b)
+	if a.Rounds != 5 || a.Words != 14 || a.MaxLinkLoad != 4 || a.Phases != 2 {
+		t.Errorf("merged = %+v", a)
+	}
+}
+
+func TestTraceLimit(t *testing.T) {
+	nw, _ := NewNetwork(3, WithTraceLimit(2))
+	for i := 0; i < 5; i++ {
+		if _, err := nw.ExchangeDirect("p", []Message{{Src: 0, Dst: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := nw.Metrics()
+	if len(m.Trace) != 2 {
+		t.Errorf("trace length = %d, want 2", len(m.Trace))
+	}
+	if m.Rounds != 5 || m.Phases != 5 {
+		t.Errorf("aggregates must still cover all phases: %+v", m)
+	}
+}
+
+func TestPhaseKindString(t *testing.T) {
+	for _, k := range []PhaseKind{PhaseDirect, PhaseBalanced, PhaseBroadcast, PhaseLocal} {
+		if strings.HasPrefix(k.String(), "PhaseKind(") {
+			t.Errorf("missing name for kind %d", k)
+		}
+	}
+	if !strings.HasPrefix(PhaseKind(99).String(), "PhaseKind(") {
+		t.Error("unknown kind should fall back")
+	}
+}
+
+func TestMessageWords(t *testing.T) {
+	if (Message{}).Words() != 1 {
+		t.Error("empty message still occupies one slot")
+	}
+	if (Message{Data: []Word{1, 2, 3}}).Words() != 3 {
+		t.Error("word count wrong")
+	}
+}

@@ -1,0 +1,477 @@
+// Package congest simulates the CONGEST-CLIQUE model: n nodes on a fully
+// connected network exchanging O(log n)-bit messages in synchronous rounds.
+//
+// # Cost model
+//
+// The unit of payload is the Word: one O(log n)-bit message. In one round,
+// every ordered pair of nodes may exchange one word. A communication phase
+// that places load(s,d) words on the directed link (s,d) therefore costs
+// max_{s,d} load(s,d) rounds when sent directly. Balanced delivery via
+// Lemma 1 of the paper (Dolev, Lenzen, Peled 2012) is available through the
+// Router: a message set in which no node sources more than n words and no
+// node sinks more than n words is delivered in two rounds.
+//
+// # Fidelity
+//
+// The simulator supports two interchangeable modes with identical round
+// arithmetic: payload-carrying exchanges (messages are materialized and
+// delivered to per-node inboxes; used by tests and small-n runs) and bulk
+// load charging (only the per-link word counts are accounted; used by
+// large-n scaling benches). Protocols in this repository are written so
+// that every piece of cross-node information flows through an Exchange or
+// is charged through ChargeDirect/ChargeBalanced.
+package congest
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a network node, 0 <= id < N.
+type NodeID int
+
+// Word is one O(log n)-bit message payload unit.
+type Word uint64
+
+// Message is a point-to-point message of one or more words. A k-word
+// message occupies its link for k rounds under direct delivery.
+type Message struct {
+	Src, Dst NodeID
+	Data     []Word
+}
+
+// Words returns the word count of the message (minimum 1: even an empty
+// notification occupies a message slot).
+func (m Message) Words() int64 {
+	if len(m.Data) == 0 {
+		return 1
+	}
+	return int64(len(m.Data))
+}
+
+// Load is an aggregate word count on one directed link, used by the
+// charge-only mode.
+type Load struct {
+	Src, Dst NodeID
+	Words    int64
+}
+
+// PhaseKind labels what produced a phase's cost, for reporting.
+type PhaseKind int
+
+// Phase kinds.
+const (
+	PhaseDirect PhaseKind = iota + 1
+	PhaseBalanced
+	PhaseBroadcast
+	PhaseLocal
+)
+
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseDirect:
+		return "direct"
+	case PhaseBalanced:
+		return "balanced"
+	case PhaseBroadcast:
+		return "broadcast"
+	case PhaseLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// PhaseStat records one accounting event.
+type PhaseStat struct {
+	Kind        PhaseKind
+	Label       string
+	Rounds      int64
+	Words       int64
+	MaxLinkLoad int64
+}
+
+// Metrics accumulates the cost of a protocol run.
+type Metrics struct {
+	Rounds      int64 // total rounds charged
+	Phases      int64 // number of accounting events
+	Words       int64 // total words moved
+	MaxLinkLoad int64 // max words placed on one link within a single phase
+	Trace       []PhaseStat
+}
+
+func (m *Metrics) record(st PhaseStat) {
+	m.Rounds += st.Rounds
+	m.Phases++
+	m.Words += st.Words
+	if st.MaxLinkLoad > m.MaxLinkLoad {
+		m.MaxLinkLoad = st.MaxLinkLoad
+	}
+	m.Trace = append(m.Trace, st)
+}
+
+// Add merges other into m (used to roll up sub-protocol costs).
+func (m *Metrics) Add(other Metrics) {
+	m.Rounds += other.Rounds
+	m.Phases += other.Phases
+	m.Words += other.Words
+	if other.MaxLinkLoad > m.MaxLinkLoad {
+		m.MaxLinkLoad = other.MaxLinkLoad
+	}
+	m.Trace = append(m.Trace, other.Trace...)
+}
+
+// Network is a CONGEST-CLIQUE instance with n nodes.
+type Network struct {
+	n       int
+	metrics Metrics
+
+	// validateSchedules, when true, makes balanced exchanges construct an
+	// explicit two-round relay schedule (König edge coloring) and verify
+	// that no link carries more than one word per round. Expensive; meant
+	// for tests and small runs.
+	validateSchedules bool
+
+	// traceLimit bounds the retained per-phase trace to avoid unbounded
+	// memory in long runs; 0 keeps everything.
+	traceLimit int
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithScheduleValidation turns on explicit schedule construction and
+// verification for balanced exchanges.
+func WithScheduleValidation() Option {
+	return func(nw *Network) { nw.validateSchedules = true }
+}
+
+// WithTraceLimit caps the retained phase trace at limit entries (the
+// aggregate counters still cover everything).
+func WithTraceLimit(limit int) Option {
+	return func(nw *Network) { nw.traceLimit = limit }
+}
+
+// NewNetwork creates a CONGEST-CLIQUE network with n nodes.
+func NewNetwork(n int, opts ...Option) (*Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("congest: network needs at least 1 node, got %d", n)
+	}
+	nw := &Network{n: n}
+	for _, o := range opts {
+		o(nw)
+	}
+	return nw, nil
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return nw.n }
+
+// Metrics returns a copy of the accumulated metrics.
+func (nw *Network) Metrics() Metrics {
+	m := nw.metrics
+	m.Trace = append([]PhaseStat(nil), nw.metrics.Trace...)
+	return m
+}
+
+// Rounds returns the total rounds charged so far.
+func (nw *Network) Rounds() int64 { return nw.metrics.Rounds }
+
+// ResetMetrics clears the accumulated metrics (the topology is unchanged).
+func (nw *Network) ResetMetrics() { nw.metrics = Metrics{} }
+
+func (nw *Network) record(st PhaseStat) {
+	if nw.traceLimit > 0 && len(nw.metrics.Trace) >= nw.traceLimit {
+		// Aggregate without retaining the entry.
+		nw.metrics.Rounds += st.Rounds
+		nw.metrics.Phases++
+		nw.metrics.Words += st.Words
+		if st.MaxLinkLoad > nw.metrics.MaxLinkLoad {
+			nw.metrics.MaxLinkLoad = st.MaxLinkLoad
+		}
+		return
+	}
+	nw.metrics.record(st)
+}
+
+// checkEndpoints validates one message's endpoints.
+func (nw *Network) checkEndpoints(src, dst NodeID) error {
+	if src < 0 || int(src) >= nw.n {
+		return fmt.Errorf("congest: source %d out of range (n=%d)", src, nw.n)
+	}
+	if dst < 0 || int(dst) >= nw.n {
+		return fmt.Errorf("congest: destination %d out of range (n=%d)", dst, nw.n)
+	}
+	if src == dst {
+		return fmt.Errorf("congest: self-message at node %d (local state needs no network)", src)
+	}
+	return nil
+}
+
+// linkLoads aggregates per-link word counts of a message batch.
+func (nw *Network) linkLoads(msgs []Message) (map[[2]NodeID]int64, int64, error) {
+	loads := make(map[[2]NodeID]int64)
+	var total int64
+	for _, m := range msgs {
+		if err := nw.checkEndpoints(m.Src, m.Dst); err != nil {
+			return nil, 0, err
+		}
+		w := m.Words()
+		loads[[2]NodeID{m.Src, m.Dst}] += w
+		total += w
+	}
+	return loads, total, nil
+}
+
+// ExchangeDirect delivers msgs with direct (non-relayed) scheduling: the
+// phase costs the maximum per-link word count. It returns per-destination
+// inboxes. Message order within an inbox is deterministic (stable in input
+// order).
+func (nw *Network) ExchangeDirect(label string, msgs []Message) ([][]Message, error) {
+	loads, total, err := nw.linkLoads(msgs)
+	if err != nil {
+		return nil, fmt.Errorf("exchange %q: %w", label, err)
+	}
+	var maxLink int64
+	for _, w := range loads {
+		if w > maxLink {
+			maxLink = w
+		}
+	}
+	nw.record(PhaseStat{
+		Kind:        PhaseDirect,
+		Label:       label,
+		Rounds:      maxLink,
+		Words:       total,
+		MaxLinkLoad: maxLink,
+	})
+	return nw.deliver(msgs), nil
+}
+
+// ExchangeBalanced delivers msgs using Lemma 1 routing: the message set is
+// split into sub-batches in which every node sources at most n words and
+// sinks at most n words; each sub-batch costs two rounds. The total cost is
+// 2 * ceil(max(maxSourceLoad, maxDestLoad) / n). When schedule validation
+// is enabled, an explicit relay schedule is constructed per sub-batch and
+// verified against the one-word-per-link-per-round constraint.
+func (nw *Network) ExchangeBalanced(label string, msgs []Message) ([][]Message, error) {
+	var srcLoad, dstLoad int64
+	perSrc := make(map[NodeID]int64)
+	perDst := make(map[NodeID]int64)
+	var total int64
+	var maxLink int64
+	linkLoads := make(map[[2]NodeID]int64)
+	for _, m := range msgs {
+		if err := nw.checkEndpoints(m.Src, m.Dst); err != nil {
+			return nil, fmt.Errorf("exchange %q: %w", label, err)
+		}
+		w := m.Words()
+		perSrc[m.Src] += w
+		perDst[m.Dst] += w
+		total += w
+		l := linkLoads[[2]NodeID{m.Src, m.Dst}] + w
+		linkLoads[[2]NodeID{m.Src, m.Dst}] = l
+		if l > maxLink {
+			maxLink = l
+		}
+	}
+	for _, w := range perSrc {
+		if w > srcLoad {
+			srcLoad = w
+		}
+	}
+	for _, w := range perDst {
+		if w > dstLoad {
+			dstLoad = w
+		}
+	}
+	rounds := balancedRounds(srcLoad, dstLoad, int64(nw.n))
+	if nw.validateSchedules && len(msgs) > 0 {
+		if err := validateRelaySchedule(nw.n, msgs); err != nil {
+			return nil, fmt.Errorf("exchange %q: schedule validation: %w", label, err)
+		}
+	}
+	nw.record(PhaseStat{
+		Kind:        PhaseBalanced,
+		Label:       label,
+		Rounds:      rounds,
+		Words:       total,
+		MaxLinkLoad: maxLink,
+	})
+	return nw.deliver(msgs), nil
+}
+
+// balancedRounds is the Lemma 1 round formula: two rounds per sub-batch of
+// at-most-n-per-source and at-most-n-per-destination words.
+func balancedRounds(srcLoad, dstLoad, n int64) int64 {
+	load := srcLoad
+	if dstLoad > load {
+		load = dstLoad
+	}
+	if load == 0 {
+		return 0
+	}
+	batches := (load + n - 1) / n
+	return 2 * batches
+}
+
+// deliver groups messages by destination, preserving input order.
+func (nw *Network) deliver(msgs []Message) [][]Message {
+	inboxes := make([][]Message, nw.n)
+	counts := make([]int, nw.n)
+	for _, m := range msgs {
+		counts[m.Dst]++
+	}
+	for i, c := range counts {
+		if c > 0 {
+			inboxes[i] = make([]Message, 0, c)
+		}
+	}
+	for _, m := range msgs {
+		inboxes[m.Dst] = append(inboxes[m.Dst], m)
+	}
+	return inboxes
+}
+
+// ChargeDirect accounts a bulk phase without materializing payloads.
+func (nw *Network) ChargeDirect(label string, loads []Load) error {
+	var maxLink int64
+	agg := make(map[[2]NodeID]int64)
+	var total int64
+	for _, l := range loads {
+		if err := nw.checkEndpoints(l.Src, l.Dst); err != nil {
+			return fmt.Errorf("charge %q: %w", label, err)
+		}
+		if l.Words < 0 {
+			return fmt.Errorf("charge %q: negative load", label)
+		}
+		w := agg[[2]NodeID{l.Src, l.Dst}] + l.Words
+		agg[[2]NodeID{l.Src, l.Dst}] = w
+		total += l.Words
+		if w > maxLink {
+			maxLink = w
+		}
+	}
+	nw.record(PhaseStat{
+		Kind:        PhaseDirect,
+		Label:       label,
+		Rounds:      maxLink,
+		Words:       total,
+		MaxLinkLoad: maxLink,
+	})
+	return nil
+}
+
+// ChargeBalanced accounts a bulk Lemma-1 phase without materializing
+// payloads.
+func (nw *Network) ChargeBalanced(label string, loads []Load) error {
+	perSrc := make(map[NodeID]int64)
+	perDst := make(map[NodeID]int64)
+	agg := make(map[[2]NodeID]int64)
+	var total, maxLink int64
+	for _, l := range loads {
+		if err := nw.checkEndpoints(l.Src, l.Dst); err != nil {
+			return fmt.Errorf("charge %q: %w", label, err)
+		}
+		if l.Words < 0 {
+			return fmt.Errorf("charge %q: negative load", label)
+		}
+		perSrc[l.Src] += l.Words
+		perDst[l.Dst] += l.Words
+		total += l.Words
+		w := agg[[2]NodeID{l.Src, l.Dst}] + l.Words
+		agg[[2]NodeID{l.Src, l.Dst}] = w
+		if w > maxLink {
+			maxLink = w
+		}
+	}
+	var srcLoad, dstLoad int64
+	for _, w := range perSrc {
+		if w > srcLoad {
+			srcLoad = w
+		}
+	}
+	for _, w := range perDst {
+		if w > dstLoad {
+			dstLoad = w
+		}
+	}
+	nw.record(PhaseStat{
+		Kind:        PhaseBalanced,
+		Label:       label,
+		Rounds:      balancedRounds(srcLoad, dstLoad, int64(nw.n)),
+		Words:       total,
+		MaxLinkLoad: maxLink,
+	})
+	return nil
+}
+
+// ChargeLocal records a zero-round bookkeeping phase (local computation),
+// keeping traces readable.
+func (nw *Network) ChargeLocal(label string) {
+	nw.record(PhaseStat{Kind: PhaseLocal, Label: label})
+}
+
+// Broadcast accounts node src sending the same words-long payload to every
+// other node. Every outgoing link of src carries the full payload in
+// parallel, so the phase costs exactly words rounds.
+func (nw *Network) Broadcast(label string, src NodeID, words int64) error {
+	if src < 0 || int(src) >= nw.n {
+		return fmt.Errorf("broadcast %q: source %d out of range", label, src)
+	}
+	if words < 0 {
+		return fmt.Errorf("broadcast %q: negative word count", label)
+	}
+	nw.record(PhaseStat{
+		Kind:        PhaseBroadcast,
+		Label:       label,
+		Rounds:      words,
+		Words:       words * int64(nw.n-1),
+		MaxLinkLoad: words,
+	})
+	return nil
+}
+
+// ReplayCharge re-records the aggregate cost of a previously measured
+// metrics delta, times over. It supports the quantum oracle accounting: a
+// fixed, input-independent communication schedule is executed (and
+// measured) once, and each further oracle invocation re-runs the identical
+// schedule, so its cost is replayed rather than re-simulated.
+func (nw *Network) ReplayCharge(label string, delta Metrics, times int64) {
+	if times <= 0 {
+		return
+	}
+	nw.record(PhaseStat{
+		Kind:        PhaseDirect,
+		Label:       label,
+		Rounds:      delta.Rounds * times,
+		Words:       delta.Words * times,
+		MaxLinkLoad: delta.MaxLinkLoad,
+	})
+}
+
+// DeltaSince returns the metrics accumulated after a previously captured
+// baseline (aggregate counters only; the trace is not diffed).
+func (nw *Network) DeltaSince(baseline Metrics) Metrics {
+	return Metrics{
+		Rounds:      nw.metrics.Rounds - baseline.Rounds,
+		Phases:      nw.metrics.Phases - baseline.Phases,
+		Words:       nw.metrics.Words - baseline.Words,
+		MaxLinkLoad: nw.metrics.MaxLinkLoad,
+	}
+}
+
+// BroadcastAll accounts every node simultaneously broadcasting words-long
+// payloads (full gossip). All links carry words in parallel: words rounds.
+func (nw *Network) BroadcastAll(label string, words int64) error {
+	if words < 0 {
+		return fmt.Errorf("broadcast %q: negative word count", label)
+	}
+	nw.record(PhaseStat{
+		Kind:        PhaseBroadcast,
+		Label:       label,
+		Rounds:      words,
+		Words:       words * int64(nw.n) * int64(nw.n-1),
+		MaxLinkLoad: words,
+	})
+	return nil
+}

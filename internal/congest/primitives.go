@@ -1,0 +1,78 @@
+package congest
+
+// Textbook CONGEST-CLIQUE communication primitives built on the word-level
+// cost model: gather, personalized all-to-all and matrix transpose. The
+// protocols in this repository use them for the simple phases; the
+// irregular phases go through ExchangeDirect/ExchangeBalanced.
+
+import "fmt"
+
+// Gather delivers one words-long message from every node to a single
+// collector. The collector's incoming links each carry one message, so the
+// phase costs exactly words rounds (its in-degree is n−1, all links run in
+// parallel).
+func (nw *Network) Gather(label string, collector NodeID, words int64) error {
+	if collector < 0 || int(collector) >= nw.n {
+		return fmt.Errorf("gather %q: collector %d out of range", label, collector)
+	}
+	if words < 0 {
+		return fmt.Errorf("gather %q: negative word count", label)
+	}
+	nw.record(PhaseStat{
+		Kind:        PhaseDirect,
+		Label:       label,
+		Rounds:      words,
+		Words:       words * int64(nw.n-1),
+		MaxLinkLoad: words,
+	})
+	return nil
+}
+
+// AllToAll accounts a full personalized exchange: every node sends a
+// distinct words-long message to every other node. Each ordered link
+// carries words, so the phase costs words rounds.
+func (nw *Network) AllToAll(label string, words int64) error {
+	if words < 0 {
+		return fmt.Errorf("all-to-all %q: negative word count", label)
+	}
+	nw.record(PhaseStat{
+		Kind:        PhaseDirect,
+		Label:       label,
+		Rounds:      words,
+		Words:       words * int64(nw.n) * int64(nw.n-1),
+		MaxLinkLoad: words,
+	})
+	return nil
+}
+
+// Transpose delivers a distributed matrix transpose with payloads: node i
+// holds row i of an n×n word matrix and must end up holding column i.
+// Entry (i,j) moves from node i to node j — a perfect all-to-all, one word
+// per ordered link, one round. Returns the received columns.
+func (nw *Network) Transpose(label string, rows [][]Word) ([][]Word, error) {
+	if len(rows) != nw.n {
+		return nil, fmt.Errorf("transpose %q: %d rows for %d nodes", label, len(rows), nw.n)
+	}
+	for i, r := range rows {
+		if len(r) != nw.n {
+			return nil, fmt.Errorf("transpose %q: row %d has %d entries, want %d", label, i, len(r), nw.n)
+		}
+	}
+	cols := make([][]Word, nw.n)
+	for j := range cols {
+		cols[j] = make([]Word, nw.n)
+	}
+	for i := 0; i < nw.n; i++ {
+		for j := 0; j < nw.n; j++ {
+			cols[j][i] = rows[i][j]
+		}
+	}
+	nw.record(PhaseStat{
+		Kind:        PhaseDirect,
+		Label:       label,
+		Rounds:      1,
+		Words:       int64(nw.n) * int64(nw.n-1),
+		MaxLinkLoad: 1,
+	})
+	return cols, nil
+}

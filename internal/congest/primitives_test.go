@@ -1,0 +1,87 @@
+package congest
+
+import "testing"
+
+func TestGatherCost(t *testing.T) {
+	nw, err := NewNetwork(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Gather("g", 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Rounds() != 3 {
+		t.Errorf("gather rounds = %d, want 3", nw.Rounds())
+	}
+	if nw.Metrics().Words != 3*4 {
+		t.Errorf("gather words = %d, want 12", nw.Metrics().Words)
+	}
+	if err := nw.Gather("bad", 7, 1); err == nil {
+		t.Error("bad collector must fail")
+	}
+	if err := nw.Gather("bad", 0, -1); err == nil {
+		t.Error("negative words must fail")
+	}
+}
+
+func TestAllToAllCost(t *testing.T) {
+	nw, err := NewNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AllToAll("x", 2); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Rounds() != 2 {
+		t.Errorf("all-to-all rounds = %d, want 2", nw.Rounds())
+	}
+	if nw.Metrics().Words != 2*4*3 {
+		t.Errorf("all-to-all words = %d", nw.Metrics().Words)
+	}
+	if err := nw.AllToAll("bad", -1); err == nil {
+		t.Error("negative words must fail")
+	}
+}
+
+func TestTransposeDeliversColumns(t *testing.T) {
+	const n = 4
+	nw, err := NewNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]Word, n)
+	for i := range rows {
+		rows[i] = make([]Word, n)
+		for j := range rows[i] {
+			rows[i][j] = Word(10*i + j)
+		}
+	}
+	cols, err := nw.Transpose("t", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if cols[j][i] != Word(10*i+j) {
+				t.Fatalf("cols[%d][%d] = %d, want %d", j, i, cols[j][i], 10*i+j)
+			}
+		}
+	}
+	if nw.Rounds() != 1 {
+		t.Errorf("transpose rounds = %d, want 1", nw.Rounds())
+	}
+}
+
+func TestTransposeValidation(t *testing.T) {
+	nw, err := NewNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Transpose("t", make([][]Word, 2)); err == nil {
+		t.Error("row-count mismatch must fail")
+	}
+	bad := [][]Word{{1, 2, 3}, {1, 2}, {1, 2, 3}}
+	if _, err := nw.Transpose("t", bad); err == nil {
+		t.Error("ragged rows must fail")
+	}
+}

@@ -1,0 +1,299 @@
+package congest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qclique/internal/xrand"
+)
+
+// checkProperColoring verifies that no two edges sharing an endpoint (on
+// the same side) received the same color, and that all colors are within
+// the palette.
+func checkProperColoring(t *testing.T, left, right, colors []int, palette int) {
+	t.Helper()
+	seenL := make(map[[2]int]bool)
+	seenR := make(map[[2]int]bool)
+	for e := range left {
+		c := colors[e]
+		if c < 0 || c >= palette {
+			t.Fatalf("edge %d color %d outside palette %d", e, c, palette)
+		}
+		kl := [2]int{left[e], c}
+		kr := [2]int{right[e], c}
+		if seenL[kl] {
+			t.Fatalf("left vertex %d has two edges colored %d", left[e], c)
+		}
+		if seenR[kr] {
+			t.Fatalf("right vertex %d has two edges colored %d", right[e], c)
+		}
+		seenL[kl] = true
+		seenR[kr] = true
+	}
+}
+
+func maxDegree(left, right []int) int {
+	degL := make(map[int]int)
+	degR := make(map[int]int)
+	m := 0
+	for e := range left {
+		degL[left[e]]++
+		degR[right[e]]++
+		if degL[left[e]] > m {
+			m = degL[left[e]]
+		}
+		if degR[right[e]] > m {
+			m = degR[right[e]]
+		}
+	}
+	return m
+}
+
+func TestKonigSmallFixedCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		left, right []int
+	}{
+		{"single edge", []int{0}, []int{0}},
+		{"parallel multi-edges", []int{0, 0, 0}, []int{5, 5, 5}},
+		{"star from one source", []int{0, 0, 0, 0}, []int{1, 2, 3, 4}},
+		{"star into one sink", []int{1, 2, 3, 4}, []int{0, 0, 0, 0}},
+		{"complete 3x3", []int{0, 0, 0, 1, 1, 1, 2, 2, 2}, []int{0, 1, 2, 0, 1, 2, 0, 1, 2}},
+		{"path forcing inversion", []int{0, 1, 1, 2}, []int{0, 0, 1, 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := maxDegree(c.left, c.right)
+			colors, err := KonigEdgeColoring(c.left, c.right, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkProperColoring(t, c.left, c.right, colors, d)
+		})
+	}
+}
+
+func TestKonigEmptyAndErrors(t *testing.T) {
+	if colors, err := KonigEdgeColoring(nil, nil, 3); err != nil || colors != nil {
+		t.Error("empty graph should trivially color")
+	}
+	if _, err := KonigEdgeColoring([]int{1}, []int{1, 2}, 1); err == nil {
+		t.Error("mismatched edge lists should fail")
+	}
+	if _, err := KonigEdgeColoring([]int{1}, []int{2}, 0); err == nil {
+		t.Error("empty palette should fail")
+	}
+	// Palette below max degree must fail rather than mis-color.
+	if _, err := KonigEdgeColoring([]int{0, 0}, []int{1, 2}, 1); err == nil {
+		t.Error("palette below degree should fail")
+	}
+}
+
+func TestKonigPropertyRandomMultigraphs(t *testing.T) {
+	// König's theorem: max degree Δ colors always suffice on bipartite
+	// multigraphs. Exercise the inversion path heavily.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nL := 1 + rng.IntN(10)
+		nR := 1 + rng.IntN(10)
+		m := rng.IntN(60)
+		left := make([]int, m)
+		right := make([]int, m)
+		for i := 0; i < m; i++ {
+			left[i] = rng.IntN(nL)
+			right[i] = rng.IntN(nR)
+		}
+		d := maxDegree(left, right)
+		if d == 0 {
+			return true
+		}
+		colors, err := KonigEdgeColoring(left, right, d)
+		if err != nil {
+			return false
+		}
+		seenL := make(map[[2]int]bool)
+		seenR := make(map[[2]int]bool)
+		for e := range left {
+			c := colors[e]
+			if c < 0 || c >= d {
+				return false
+			}
+			kl := [2]int{left[e], c}
+			kr := [2]int{right[e], c}
+			if seenL[kl] || seenR[kr] {
+				return false
+			}
+			seenL[kl] = true
+			seenR[kr] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildRelayScheduleRespectsLinkConstraint(t *testing.T) {
+	const n = 7
+	rng := xrand.New(12)
+	var msgs []Message
+	for i := 0; i < 400; i++ {
+		s := NodeID(rng.IntN(n))
+		d := NodeID(rng.IntN(n))
+		if s == d {
+			continue
+		}
+		msgs = append(msgs, Message{Src: s, Dst: d, Data: make([]Word, 1+rng.IntN(3))})
+	}
+	batches, err := BuildRelaySchedule(n, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRelaySchedule(n, batches); err != nil {
+		t.Fatal(err)
+	}
+	// Word conservation: schedule must carry every word exactly once.
+	var scheduled int64
+	for _, b := range batches {
+		scheduled += int64(len(b.Assignments))
+	}
+	var want int64
+	for _, m := range msgs {
+		want += m.Words()
+	}
+	if scheduled != want {
+		t.Errorf("schedule carries %d words, messages hold %d", scheduled, want)
+	}
+}
+
+func TestBuildRelaySchedulePropertyMatchesLemma1(t *testing.T) {
+	// For message sets within the Lemma-1 bound, the schedule must be a
+	// single two-round batch.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 3 + rng.IntN(8)
+		srcLoad := make([]int, n)
+		dstLoad := make([]int, n)
+		var msgs []Message
+		for i := 0; i < 5*n; i++ {
+			s := rng.IntN(n)
+			d := rng.IntN(n)
+			if s == d || srcLoad[s] >= n || dstLoad[d] >= n {
+				continue
+			}
+			srcLoad[s]++
+			dstLoad[d]++
+			msgs = append(msgs, Message{Src: NodeID(s), Dst: NodeID(d)})
+		}
+		batches, err := BuildRelaySchedule(n, msgs)
+		if err != nil {
+			return false
+		}
+		if len(msgs) > 0 && len(batches) != 1 {
+			return false
+		}
+		return VerifyRelaySchedule(n, batches) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyRelayScheduleCatchesViolations(t *testing.T) {
+	bad := []RelayBatch{{Assignments: []RelayAssignment{
+		{Src: 0, Dst: 1, Relay: 2},
+		{Src: 0, Dst: 3, Relay: 2}, // same (0->2) hop-1 link twice
+	}}}
+	if err := VerifyRelaySchedule(4, bad); err == nil {
+		t.Error("hop-1 overload must be caught")
+	}
+	bad2 := []RelayBatch{{Assignments: []RelayAssignment{
+		{Src: 0, Dst: 1, Relay: 2},
+		{Src: 3, Dst: 1, Relay: 2}, // same (2->1) hop-2 link twice
+	}}}
+	if err := VerifyRelaySchedule(4, bad2); err == nil {
+		t.Error("hop-2 overload must be caught")
+	}
+	badRelay := []RelayBatch{{Assignments: []RelayAssignment{{Src: 0, Dst: 1, Relay: 9}}}}
+	if err := VerifyRelaySchedule(4, badRelay); err == nil {
+		t.Error("out-of-range relay must be caught")
+	}
+	// Local hops (relay == src or relay == dst) use no link.
+	ok := []RelayBatch{{Assignments: []RelayAssignment{
+		{Src: 0, Dst: 1, Relay: 0},
+		{Src: 0, Dst: 2, Relay: 2},
+	}}}
+	if err := VerifyRelaySchedule(4, ok); err != nil {
+		t.Errorf("local hops should be free: %v", err)
+	}
+}
+
+func TestSplitBatchesDegreeBound(t *testing.T) {
+	rng := xrand.New(3)
+	const n = 5
+	var units []wordUnit
+	for i := 0; i < 300; i++ {
+		s := NodeID(rng.IntN(n))
+		d := NodeID(rng.IntN(n))
+		if s == d {
+			continue
+		}
+		units = append(units, wordUnit{src: s, dst: d})
+	}
+	batches := splitBatches(units, n)
+	total := 0
+	for _, b := range batches {
+		srcCount := make(map[NodeID]int)
+		dstCount := make(map[NodeID]int)
+		for _, u := range b {
+			srcCount[u.src]++
+			dstCount[u.dst]++
+		}
+		for _, c := range srcCount {
+			if c > n {
+				t.Fatal("batch exceeds source bound")
+			}
+		}
+		for _, c := range dstCount {
+			if c > n {
+				t.Fatal("batch exceeds destination bound")
+			}
+		}
+		total += len(b)
+	}
+	if total != len(units) {
+		t.Error("batching lost or duplicated words")
+	}
+}
+
+func TestExchangeBalancedWithValidationEndToEnd(t *testing.T) {
+	const n = 6
+	nw, err := NewNetwork(n, WithScheduleValidation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(77)
+	var msgs []Message
+	for i := 0; i < 500; i++ {
+		s := NodeID(rng.IntN(n))
+		d := NodeID(rng.IntN(n))
+		if s == d {
+			continue
+		}
+		msgs = append(msgs, Message{Src: s, Dst: d, Data: []Word{Word(i), Word(i)}})
+	}
+	inboxes, err := nw.ExchangeBalanced("big", msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for _, ib := range inboxes {
+		got += len(ib)
+	}
+	if got != len(msgs) {
+		t.Errorf("delivered %d of %d messages", got, len(msgs))
+	}
+	if nw.Rounds() <= 0 {
+		t.Error("nonempty balanced exchange must cost rounds")
+	}
+}

@@ -1,0 +1,184 @@
+// Package core assembles the paper's headline result (Theorem 1): exact
+// All-Pairs Shortest Paths over directed graphs with integer weights in
+// {−W..W} in the CONGEST-CLIQUE model, computed as ⌈log₂ n⌉ distance
+// products (Proposition 3), each via O(log M) FindEdges calls
+// (Proposition 2), each via O(log n) FindEdgesWithPromise instances
+// (Proposition 1), each solved by Algorithm ComputePairs with distributed
+// quantum search (Theorem 2). Alternative strategies swap the
+// FindEdges solver (classical scan, Dolev listing) or bypass the chain
+// entirely (full gossip), giving the baselines the experiments compare.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"qclique/internal/congest"
+	"qclique/internal/distprod"
+	"qclique/internal/graph"
+	"qclique/internal/matrix"
+	"qclique/internal/triangles"
+	"qclique/internal/xrand"
+)
+
+// Strategy selects the APSP pipeline.
+type Strategy int
+
+const (
+	// StrategyQuantum is the paper's Õ(n^{1/4}·log W) pipeline (Theorem 1).
+	StrategyQuantum Strategy = iota + 1
+	// StrategyClassicalSearch is the same pipeline with the classical
+	// O(√n) Step 3 scan: Õ(√n·log W) rounds.
+	StrategyClassicalSearch
+	// StrategyDolev drives the reductions with Dolev–Lenzen–Peled triangle
+	// listing: Õ(n^{1/3}·log W) rounds, the Censor-Hillel et al.
+	// complexity (the classical state of the art the paper cites).
+	StrategyDolev
+	// StrategyGossip is the naive baseline: every node broadcasts its row
+	// (O(n) rounds) and solves locally.
+	StrategyGossip
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyQuantum:
+		return "quantum"
+	case StrategyClassicalSearch:
+		return "classical-search"
+	case StrategyDolev:
+		return "dolev"
+	case StrategyGossip:
+		return "gossip"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ErrNegativeCycle mirrors graph.ErrNegativeCycle at the solver level.
+var ErrNegativeCycle = graph.ErrNegativeCycle
+
+// Config configures an APSP solve.
+type Config struct {
+	// Strategy selects the pipeline; the zero value is StrategyQuantum.
+	Strategy Strategy
+	// Params forwards protocol constants (nil = paper constants).
+	Params *triangles.Params
+	// Seed drives all protocol randomness.
+	Seed uint64
+}
+
+func (c Config) strategy() Strategy {
+	if c.Strategy == 0 {
+		return StrategyQuantum
+	}
+	return c.Strategy
+}
+
+// Result is the outcome of an APSP solve.
+type Result struct {
+	// Dist holds d(i,j) for all pairs; graph.Inf marks unreachable pairs.
+	Dist *matrix.Matrix
+	// Rounds is the total CONGEST-CLIQUE rounds charged across the whole
+	// pipeline.
+	Rounds int64
+	// Metrics is the aggregate network accounting.
+	Metrics congest.Metrics
+	// Products is the number of distance products (Proposition 3:
+	// ⌈log₂ n⌉).
+	Products int
+	// FindEdgesCalls is the total number of FindEdges invocations across
+	// all products (Proposition 2: O(log M) each).
+	FindEdgesCalls int
+	// Strategy records which pipeline ran.
+	Strategy Strategy
+	// W is the input weight bound observed.
+	W int64
+}
+
+// Solve computes exact APSP distances for g. Graphs containing a negative
+// cycle yield ErrNegativeCycle (distances are undefined), detected from a
+// negative diagonal after the squaring chain, exactly as the matrix
+// formulation prescribes.
+func Solve(g *graph.Digraph, cfg Config) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("core: nil graph")
+	}
+	n := g.N()
+	res := &Result{Strategy: cfg.strategy(), W: g.MaxAbsWeight()}
+	if n == 0 {
+		res.Dist = matrix.New(0)
+		return res, nil
+	}
+	ag := matrix.FromDigraph(g)
+
+	switch cfg.strategy() {
+	case StrategyGossip:
+		net, err := congest.NewNetwork(n)
+		if err != nil {
+			return nil, err
+		}
+		// One full gossip of the adjacency rows, then local Floyd–Warshall
+		// at every node; no further communication.
+		if err := net.BroadcastAll("gossip/rows", int64(n)); err != nil {
+			return nil, err
+		}
+		dist, sq, err := matrix.APSPBySquaring(ag, matrix.DistanceProduct)
+		if err != nil {
+			return nil, err
+		}
+		res.Dist = dist
+		res.Products = sq.Products
+		res.Rounds = net.Rounds()
+		res.Metrics = net.Metrics()
+
+	case StrategyQuantum, StrategyClassicalSearch, StrategyDolev:
+		var solver distprod.Solver
+		switch cfg.strategy() {
+		case StrategyClassicalSearch:
+			solver = distprod.SolverClassicalScan
+		case StrategyDolev:
+			solver = distprod.SolverDolev
+		default:
+			solver = distprod.SolverQuantum
+		}
+		// The reduction runs on tripartite instances with 3n vertices;
+		// each network node simulates three of them (constant-factor
+		// overhead), realized as a 3n-node clique.
+		net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096))
+		if err != nil {
+			return nil, err
+		}
+		rng := xrand.New(cfg.Seed)
+		calls := 0
+		prod := func(a, b *matrix.Matrix) (*matrix.Matrix, error) {
+			c, stats, err := distprod.Product(a, b, distprod.Options{
+				Solver: solver,
+				Params: cfg.Params,
+				Seed:   rng.SplitN("product", res.Products+calls).Seed(),
+				Net:    net,
+			})
+			if err != nil {
+				return nil, err
+			}
+			calls += stats.BinarySearchSteps
+			return c, nil
+		}
+		dist, sq, err := matrix.APSPBySquaring(ag, prod)
+		if err != nil {
+			return nil, err
+		}
+		res.Dist = dist
+		res.Products = sq.Products
+		res.FindEdgesCalls = calls
+		res.Rounds = net.Rounds()
+		res.Metrics = net.Metrics()
+
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+	}
+
+	if res.Dist.HasNegativeDiagonal() {
+		return res, ErrNegativeCycle
+	}
+	return res, nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"qclique/internal/graph"
+	"qclique/internal/triangles"
+	"qclique/internal/xrand"
+)
+
+func randomAPSPInput(t *testing.T, n int, seed uint64) *graph.Digraph {
+	t.Helper()
+	rng := xrand.New(seed)
+	g, err := graph.RandomDigraph(n, graph.DigraphOpts{
+		ArcProb: 0.4, MinWeight: -6, MaxWeight: 14, NoNegativeCycles: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func checkDistances(t *testing.T, g *graph.Digraph, res *Result, label string) {
+	t.Helper()
+	want, err := graph.FloydWarshall(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if res.Dist.At(i, j) != want[i*n+j] {
+				t.Fatalf("%s: d(%d,%d) = %d, want %d", label, i, j, res.Dist.At(i, j), want[i*n+j])
+			}
+		}
+	}
+}
+
+func TestSolveAllStrategiesExact(t *testing.T) {
+	g := randomAPSPInput(t, 16, 1)
+	for _, s := range []Strategy{StrategyGossip, StrategyDolev, StrategyClassicalSearch, StrategyQuantum} {
+		res, err := Solve(g, Config{Strategy: s, Seed: 7})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		checkDistances(t, g, res, s.String())
+		if res.Strategy != s {
+			t.Errorf("strategy echo = %v", res.Strategy)
+		}
+		if res.Rounds <= 0 {
+			t.Errorf("%v: no rounds charged", s)
+		}
+	}
+}
+
+func TestSolveMultipleSeedsAndSizes(t *testing.T) {
+	for _, n := range []int{8, 12, 20} {
+		for seed := uint64(0); seed < 2; seed++ {
+			g := randomAPSPInput(t, n, 100*uint64(n)+seed)
+			res, err := Solve(g, Config{Strategy: StrategyQuantum, Seed: seed})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			checkDistances(t, g, res, "quantum")
+		}
+	}
+}
+
+func TestSolvePropositionCounts(t *testing.T) {
+	// Proposition 3: ⌈log₂ n⌉ products; Proposition 2: each product makes
+	// O(log M) FindEdges calls.
+	g := randomAPSPInput(t, 16, 3)
+	res, err := Solve(g, Config{Strategy: StrategyDolev, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Products != 4 { // ceil(log2(16))
+		t.Errorf("products = %d, want 4", res.Products)
+	}
+	if res.FindEdgesCalls < res.Products {
+		t.Errorf("FindEdges calls = %d, below product count", res.FindEdgesCalls)
+	}
+	// logM per product with M ≤ 2·n·W: generous upper bound on calls.
+	maxPerProduct := 2 + 64 // log2 of int64 range cap
+	if res.FindEdgesCalls > res.Products*maxPerProduct {
+		t.Errorf("FindEdges calls = %d, implausibly many", res.FindEdgesCalls)
+	}
+}
+
+func TestSolveNegativeCycle(t *testing.T) {
+	g := graph.NewDigraph(5)
+	for _, a := range [][3]int64{{0, 1, 2}, {1, 2, -7}, {2, 0, 1}, {3, 4, 1}} {
+		if err := g.SetArc(int(a[0]), int(a[1]), a[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []Strategy{StrategyGossip, StrategyDolev} {
+		res, err := Solve(g, Config{Strategy: s, Seed: 2})
+		if !errors.Is(err, ErrNegativeCycle) {
+			t.Errorf("%v: err = %v, want ErrNegativeCycle", s, err)
+		}
+		if res == nil || !res.Dist.HasNegativeDiagonal() {
+			t.Errorf("%v: result must carry the negative diagonal", s)
+		}
+	}
+}
+
+func TestSolveTrivialInputs(t *testing.T) {
+	if _, err := Solve(nil, Config{}); err == nil {
+		t.Error("nil graph must fail")
+	}
+	res, err := Solve(graph.NewDigraph(0), Config{Strategy: StrategyGossip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist.N() != 0 {
+		t.Error("empty graph must give empty result")
+	}
+	res, err = Solve(graph.NewDigraph(1), Config{Strategy: StrategyGossip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist.At(0, 0) != 0 {
+		t.Error("singleton diagonal must be 0")
+	}
+}
+
+func TestSolveDisconnected(t *testing.T) {
+	g := graph.NewDigraph(6)
+	if err := g.SetArc(0, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetArc(4, 5, -2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, Config{Strategy: StrategyDolev, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDistances(t, g, res, "disconnected")
+	if res.Dist.At(0, 5) != graph.Inf {
+		t.Error("cross-component distance must be Inf")
+	}
+	if res.Dist.At(4, 5) != -2 {
+		t.Error("negative arc distance wrong")
+	}
+}
+
+func TestSolveWeightBoundEcho(t *testing.T) {
+	g := graph.NewDigraph(4)
+	if err := g.SetArc(0, 1, -9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, Config{Strategy: StrategyGossip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != 9 {
+		t.Errorf("W = %d, want 9", res.W)
+	}
+}
+
+func TestSolveScaledParams(t *testing.T) {
+	g := randomAPSPInput(t, 16, 9)
+	p := triangles.BenchParams()
+	res, err := Solve(g, Config{Strategy: StrategyQuantum, Params: &p, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDistances(t, g, res, "scaled")
+}
+
+func TestSolveUnknownStrategy(t *testing.T) {
+	if _, err := Solve(graph.NewDigraph(2), Config{Strategy: Strategy(99)}); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		StrategyQuantum:         "quantum",
+		StrategyClassicalSearch: "classical-search",
+		StrategyDolev:           "dolev",
+		StrategyGossip:          "gossip",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestGossipRoundsAreLinear(t *testing.T) {
+	for _, n := range []int{8, 32, 64} {
+		g := randomAPSPInput(t, n, uint64(n))
+		res, err := Solve(g, Config{Strategy: StrategyGossip})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds != int64(n) {
+			t.Errorf("n=%d: gossip rounds = %d, want n", n, res.Rounds)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+// Path reconstruction (footnote 1 of the paper): the pipelines compute
+// shortest-path *lengths*; the standard successor-matrix technique
+// recovers the paths themselves from the distance matrix plus local
+// adjacency rows, at a polylogarithmic extra cost in the distributed
+// setting (each node i picks, per destination j, any neighbor k with
+// w(i,k) + d(k,j) = d(i,j); the gossip strategy already leaves d at every
+// node, and the reduction-based strategies ship each row back to its owner
+// as part of the output convention).
+
+import (
+	"errors"
+	"fmt"
+
+	"qclique/internal/graph"
+	"qclique/internal/matrix"
+)
+
+// ErrNoPath is returned by ReconstructPath for unreachable pairs.
+var ErrNoPath = errors.New("core: no path")
+
+// ReconstructPath returns one shortest path from src to dst as a vertex
+// sequence (inclusive of both endpoints), using the solved distance matrix
+// dist and the input graph g. It requires dist to be the exact APSP
+// solution of g (as produced by Solve); inconsistent inputs yield an
+// error rather than a wrong path.
+func ReconstructPath(g *graph.Digraph, dist *matrix.Matrix, src, dst int) ([]int, error) {
+	n := g.N()
+	if dist.N() != n {
+		return nil, fmt.Errorf("core: distance matrix is %d×%d for an n=%d graph", dist.N(), dist.N(), n)
+	}
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("core: endpoints (%d,%d) out of range", src, dst)
+	}
+	if dist.At(src, dst) >= graph.Inf {
+		return nil, ErrNoPath
+	}
+	// An arc (u,k) is "tight" for destination dst when
+	// w(u,k) + d(k,dst) = d(u,dst); every shortest path consists solely of
+	// tight arcs and dst is reachable from src inside the tight subgraph.
+	// A BFS over tight arcs yields the hop-minimal shortest path, which
+	// terminates even in the presence of zero-weight cycles.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int{src}
+	for len(queue) > 0 && parent[dst] == -1 {
+		cur := queue[0]
+		queue = queue[1:]
+		for k := 0; k < n; k++ {
+			if parent[k] != -1 || k == cur {
+				continue
+			}
+			w, ok := g.Weight(cur, k)
+			if !ok {
+				continue
+			}
+			if graph.SaturatingAdd(w, dist.At(k, dst)) == dist.At(cur, dst) {
+				parent[k] = cur
+				queue = append(queue, k)
+			}
+		}
+	}
+	if parent[dst] == -1 {
+		return nil, fmt.Errorf("core: destination unreachable through tight arcs; distance matrix inconsistent with graph")
+	}
+	var rev []int
+	for cur := dst; cur != src; cur = parent[cur] {
+		rev = append(rev, cur)
+	}
+	rev = append(rev, src)
+	path := make([]int, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path, nil
+}
+
+// PathWeight sums the arc weights along a path in g; it errors on a broken
+// path.
+func PathWeight(g *graph.Digraph, path []int) (int64, error) {
+	if len(path) == 0 {
+		return 0, errors.New("core: empty path")
+	}
+	var total int64
+	for i := 0; i+1 < len(path); i++ {
+		w, ok := g.Weight(path[i], path[i+1])
+		if !ok {
+			return 0, fmt.Errorf("core: missing arc %d->%d", path[i], path[i+1])
+		}
+		total = graph.SaturatingAdd(total, w)
+	}
+	return total, nil
+}
+
+// SolveSSSP computes single-source shortest distances from src by running
+// the full APSP pipeline and projecting one row — per the paper, the
+// Õ(n^{1/4}) APSP algorithm is also the best known exact SSSP algorithm in
+// the CONGEST-CLIQUE model.
+func SolveSSSP(g *graph.Digraph, src int, cfg Config) ([]int64, *Result, error) {
+	if g == nil {
+		return nil, nil, errors.New("core: nil graph")
+	}
+	if src < 0 || src >= g.N() {
+		return nil, nil, fmt.Errorf("core: source %d out of range", src)
+	}
+	res, err := Solve(g, cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	return res.Dist.Row(src), res, nil
+}

@@ -1,0 +1,288 @@
+// Package distprod implements Proposition 2: computing the distance
+// product of two matrices by binary search over a threshold matrix D,
+// using a FindEdges solver on the Vassilevska Williams–Williams tripartite
+// construction as the comparison oracle. It also provides the naive
+// full-gossip distance product used by the O(n)-round baseline.
+//
+// The tripartite graph on I ∪ J ∪ K (|I|=|J|=|K|=n) has f(i,k) = A[i,k],
+// f(j,k) = B[k,j] and f(i,j) = −D[i,j]; the pair {i,j} lies in a negative
+// triangle exactly when min_k{A[i,k]+B[k,j]} < D[i,j]. The n-node network
+// simulates the 3n-vertex instance with each node playing three vertices
+// (a constant-factor overhead); the simulation realizes this as a 3n-node
+// clique, which preserves the round-complexity shape.
+package distprod
+
+import (
+	"errors"
+	"fmt"
+
+	"qclique/internal/congest"
+	"qclique/internal/graph"
+	"qclique/internal/matrix"
+	"qclique/internal/triangles"
+	"qclique/internal/xrand"
+)
+
+// Solver selects the FindEdges implementation driving the binary search.
+type Solver int
+
+const (
+	// SolverQuantum uses the paper's Õ(n^{1/4}) quantum FindEdges
+	// (Proposition 1 reduction over ComputePairs with Grover search).
+	SolverQuantum Solver = iota + 1
+	// SolverClassicalScan uses ComputePairs with the classical O(√n)
+	// Step 3 scan.
+	SolverClassicalScan
+	// SolverDolev uses the Dolev–Lenzen–Peled Õ(n^{1/3}) triangle
+	// listing (no promise reduction needed).
+	SolverDolev
+)
+
+func (s Solver) String() string {
+	switch s {
+	case SolverQuantum:
+		return "quantum"
+	case SolverClassicalScan:
+		return "classical-scan"
+	case SolverDolev:
+		return "dolev-listing"
+	default:
+		return fmt.Sprintf("Solver(%d)", int(s))
+	}
+}
+
+// Options configures the product computation.
+type Options struct {
+	Solver Solver
+	// Params forwards protocol constants to the triangles layer (nil =
+	// paper constants).
+	Params *triangles.Params
+	Seed   uint64
+	// Net accumulates costs across calls when non-nil; it must have 3n
+	// nodes for an n×n product. When nil a fresh network is created per
+	// call.
+	Net *congest.Network
+}
+
+// Stats reports the cost drivers of one product.
+type Stats struct {
+	// BinarySearchSteps is the number of FindEdges invocations,
+	// ⌈log₂(4M+2)⌉ + 1 including the infinity probe.
+	BinarySearchSteps int
+	// Rounds is the total network rounds charged.
+	Rounds int64
+	// MaxAbs is the M the binary search ranged over.
+	MaxAbs int64
+}
+
+// tripartite builds the reduction graph for threshold matrix D. Entries of
+// A or B that are +Inf are omitted (no leg); -Inf entries are rejected by
+// Product before reaching here.
+func tripartite(a, b, d *matrix.Matrix) (*graph.Undirected, map[graph.Pair]bool, error) {
+	n := a.N()
+	g := graph.NewUndirected(3 * n)
+	s := make(map[graph.Pair]bool, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if v := a.At(i, k); graph.IsFinite(v) {
+				if err := g.SetEdge(i, 2*n+k, v); err != nil {
+					return nil, nil, err
+				}
+			}
+			if v := b.At(k, i); graph.IsFinite(v) {
+				// f(j,k) = B[k,j] with j = i here.
+				if err := g.SetEdge(n+i, 2*n+k, v); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if err := g.SetEdge(i, n+j, -d.At(i, j)); err != nil {
+				return nil, nil, err
+			}
+			s[graph.MakePair(i, n+j)] = true
+		}
+	}
+	return g, s, nil
+}
+
+// solveFindEdges dispatches one FindEdges call to the configured solver.
+func solveFindEdges(inst triangles.Instance, opts Options, seed uint64) (map[graph.Pair]bool, error) {
+	switch opts.Solver {
+	case SolverDolev:
+		rep, err := triangles.DolevFindEdges(inst, opts.Net)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Edges, nil
+	case SolverClassicalScan, SolverQuantum:
+		mode := triangles.SearchQuantum
+		if opts.Solver == SolverClassicalScan {
+			mode = triangles.SearchClassicalScan
+		}
+		rep, err := triangles.FindEdges(inst, triangles.Options{
+			Params: opts.Params,
+			Mode:   mode,
+			Seed:   seed,
+			Net:    opts.Net,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return rep.Edges, nil
+	default:
+		return nil, fmt.Errorf("distprod: unknown solver %v", opts.Solver)
+	}
+}
+
+// Product computes A ⋆ B through the Proposition 2 binary search. Inputs
+// must be free of −Inf entries (+Inf is allowed and means "no path").
+func Product(a, b *matrix.Matrix, opts Options) (*matrix.Matrix, *Stats, error) {
+	if a.N() != b.N() {
+		return nil, nil, fmt.Errorf("distprod: dimension mismatch %d vs %d", a.N(), b.N())
+	}
+	n := a.N()
+	if n == 0 {
+		return matrix.New(0), &Stats{}, nil
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if a.At(i, j) <= graph.NegInf || b.At(i, j) <= graph.NegInf {
+				return nil, nil, errors.New("distprod: -Inf entries unsupported")
+			}
+		}
+	}
+	net := opts.Net
+	var err error
+	if net == nil {
+		net, err = congest.NewNetwork(3 * n)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Net = net
+	}
+	baseline := net.Metrics()
+	rng := xrand.New(opts.Seed)
+
+	m := a.MaxAbsFinite() + b.MaxAbsFinite() // bound on |C[i,j]| for finite entries
+	stats := &Stats{MaxAbs: m}
+
+	// Infinity probe: with D ≡ m+1, any pair NOT in a negative triangle
+	// has C[i,j] ≥ m+1, i.e. C[i,j] = +Inf.
+	d := matrix.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d.Set(i, j, m+1)
+		}
+	}
+	g, s, err := tripartite(a, b, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	edges, err := solveFindEdges(triangles.Instance{G: g, S: s}, opts, rng.SplitN("step", 0).Seed())
+	if err != nil {
+		return nil, nil, fmt.Errorf("distprod: infinity probe: %w", err)
+	}
+	stats.BinarySearchSteps++
+
+	finite := make([]bool, n*n)
+	lo := make([]int64, n*n) // invariant: C[i,j] ∈ [lo, hi] for finite entries
+	hi := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if edges[graph.MakePair(i, n+j)] {
+				finite[i*n+j] = true
+				lo[i*n+j] = -m
+				hi[i*n+j] = m
+			}
+		}
+	}
+
+	// Per-entry binary search, all entries advanced by one shared
+	// FindEdges call per step.
+	for step := 1; ; step++ {
+		converged := true
+		for idx := range lo {
+			if finite[idx] && lo[idx] < hi[idx] {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				idx := i*n + j
+				if !finite[idx] || lo[idx] >= hi[idx] {
+					// Query a threshold that cannot trigger: D = -m keeps
+					// resolved and infinite entries out of the output.
+					d.Set(i, j, -m-1)
+					continue
+				}
+				mid := floorMid(lo[idx], hi[idx])
+				d.Set(i, j, mid+1)
+			}
+		}
+		g, s, err := tripartite(a, b, d)
+		if err != nil {
+			return nil, nil, err
+		}
+		edges, err := solveFindEdges(triangles.Instance{G: g, S: s}, opts, rng.SplitN("step", step).Seed())
+		if err != nil {
+			return nil, nil, fmt.Errorf("distprod: step %d: %w", step, err)
+		}
+		stats.BinarySearchSteps++
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				idx := i*n + j
+				if !finite[idx] || lo[idx] >= hi[idx] {
+					continue
+				}
+				mid := floorMid(lo[idx], hi[idx])
+				if edges[graph.MakePair(i, n+j)] {
+					// C[i,j] < mid+1 ⟹ C ≤ mid.
+					hi[idx] = mid
+				} else {
+					lo[idx] = mid + 1
+				}
+			}
+		}
+	}
+
+	c := matrix.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			idx := i*n + j
+			if finite[idx] {
+				c.Set(i, j, lo[idx])
+			}
+		}
+	}
+	stats.Rounds = net.DeltaSince(baseline).Rounds
+	return c, stats, nil
+}
+
+func floorMid(lo, hi int64) int64 {
+	mid := (lo + hi) / 2
+	if (lo+hi) < 0 && (lo+hi)%2 != 0 {
+		mid-- // floor division for negative sums
+	}
+	return mid
+}
+
+// GossipProduct is the naive O(n)-round distance product: every node
+// broadcasts its row of B (n words, full gossip), then computes its row of
+// A ⋆ B locally. It operates on an n-node network.
+func GossipProduct(net *congest.Network) matrix.Product {
+	return func(a, b *matrix.Matrix) (*matrix.Matrix, error) {
+		if net != nil {
+			if err := net.BroadcastAll("gossip-product", int64(b.N())); err != nil {
+				return nil, err
+			}
+		}
+		return matrix.DistanceProduct(a, b)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(ids))
+	}
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("ids[%d] = %q, want %q", i, ids[i], id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("e99", Config{Quick: true}); err == nil {
+		t.Error("unknown id must fail")
+	}
+}
+
+// TestQuickExperimentsPass runs the cheap experiments in quick mode and
+// demands claim-consistency; the heavyweight sweeps (e1, e2, e4) are
+// exercised by TestHeavyExperimentsPass below under -short skipping.
+func TestQuickExperimentsPass(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 42}
+	for _, id := range []string{"e3", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"} {
+		res, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !res.OK {
+			t.Errorf("%s not consistent with paper claim: %s\n%s", id, res.Summary, res.Output)
+		}
+		if res.ID != id || res.Title == "" || res.PaperClaim == "" || res.Output == "" {
+			t.Errorf("%s: incomplete result metadata", id)
+		}
+	}
+}
+
+func TestHeavyExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweeps skipped in -short mode")
+	}
+	cfg := Config{Quick: true, Seed: 42}
+	for _, id := range []string{"e1", "e2", "e4"} {
+		res, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !res.OK {
+			t.Errorf("%s not consistent with paper claim: %s\n%s", id, res.Summary, res.Output)
+		}
+	}
+}
+
+func TestRunAllQuickSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll covered piecewise in -short mode")
+	}
+	results, err := RunAll(Config{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("got %d results, want %d", len(results), len(IDs()))
+	}
+	for _, r := range results {
+		if !strings.HasPrefix(r.ID, "e") {
+			t.Errorf("bad id %q", r.ID)
+		}
+	}
+}

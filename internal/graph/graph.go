@@ -1,0 +1,319 @@
+// Package graph provides the weighted-graph substrate for the APSP
+// reproduction: directed graphs (the APSP input), undirected weighted graphs
+// (the negative-triangle input), generators for the workloads used in the
+// experiments, and brute-force reference algorithms (Floyd–Warshall,
+// Bellman–Ford, exhaustive negative-triangle enumeration) that the
+// distributed protocols are validated against.
+//
+// Weights are int64. The sentinel NoEdge marks an absent edge; Inf is the
+// saturating "+infinity" used by distance computations. Both are far from
+// the int64 range limits so that sums of a few of them cannot overflow.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// Inf is the saturating positive infinity for distances. It is kept at
+	// a quarter of the int64 range so that adding two finite-or-infinite
+	// values never overflows.
+	Inf int64 = math.MaxInt64 / 4
+
+	// NegInf is the saturating negative infinity.
+	NegInf int64 = -Inf
+
+	// NoEdge marks an absent edge in adjacency structures.
+	NoEdge int64 = Inf
+)
+
+// IsFinite reports whether w represents a finite weight (neither ±Inf nor
+// NoEdge).
+func IsFinite(w int64) bool { return w > NegInf && w < Inf }
+
+// SaturatingAdd adds two extended weights, clamping at ±Inf. Inf + NegInf is
+// defined as Inf (the "no path" interpretation wins), matching the min-plus
+// matrix convention used throughout the repository.
+func SaturatingAdd(a, b int64) int64 {
+	if a >= Inf || b >= Inf {
+		return Inf
+	}
+	if a <= NegInf || b <= NegInf {
+		return NegInf
+	}
+	s := a + b
+	if s >= Inf {
+		return Inf
+	}
+	if s <= NegInf {
+		return NegInf
+	}
+	return s
+}
+
+// Digraph is a dense weighted directed graph on vertices 0..n-1. The zero
+// diagonal is implicit for path computations but the structure itself stores
+// exactly what was added; absent arcs hold NoEdge.
+type Digraph struct {
+	n int
+	w []int64 // row-major n×n
+}
+
+// NewDigraph returns an empty directed graph on n vertices. It panics if
+// n < 0 (programming error, not runtime input).
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	w := make([]int64, n*n)
+	for i := range w {
+		w[i] = NoEdge
+	}
+	return &Digraph{n: n, w: w}
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return g.n }
+
+// SetArc sets the weight of the arc u->v. Self-loops are rejected with an
+// error because the APSP formulation (Section 3 of the paper) excludes them.
+func (g *Digraph) SetArc(u, v int, weight int64) error {
+	if err := g.check(u, v); err != nil {
+		return err
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop %d->%d not allowed", u, v)
+	}
+	g.w[u*g.n+v] = weight
+	return nil
+}
+
+// RemoveArc deletes the arc u->v if present.
+func (g *Digraph) RemoveArc(u, v int) error {
+	if err := g.check(u, v); err != nil {
+		return err
+	}
+	g.w[u*g.n+v] = NoEdge
+	return nil
+}
+
+// Weight returns the weight of arc u->v and whether the arc exists.
+func (g *Digraph) Weight(u, v int) (int64, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return NoEdge, false
+	}
+	w := g.w[u*g.n+v]
+	return w, w != NoEdge
+}
+
+// HasArc reports whether the arc u->v exists.
+func (g *Digraph) HasArc(u, v int) bool {
+	_, ok := g.Weight(u, v)
+	return ok
+}
+
+// ArcCount returns the number of arcs.
+func (g *Digraph) ArcCount() int {
+	c := 0
+	for _, w := range g.w {
+		if w != NoEdge {
+			c++
+		}
+	}
+	return c
+}
+
+// Row returns a copy of vertex u's outgoing weight row (NoEdge for absent
+// arcs). This mirrors the CONGEST-CLIQUE input convention: node u of the
+// network receives the row of the adjacency matrix corresponding to u.
+func (g *Digraph) Row(u int) []int64 {
+	row := make([]int64, g.n)
+	copy(row, g.w[u*g.n:(u+1)*g.n])
+	return row
+}
+
+// Clone returns a deep copy.
+func (g *Digraph) Clone() *Digraph {
+	w := make([]int64, len(g.w))
+	copy(w, g.w)
+	return &Digraph{n: g.n, w: w}
+}
+
+// MaxAbsWeight returns the maximum absolute value among finite arc weights
+// (the W of the paper), or 0 for an arcless graph.
+func (g *Digraph) MaxAbsWeight() int64 {
+	var m int64
+	for _, w := range g.w {
+		if w == NoEdge {
+			continue
+		}
+		a := w
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func (g *Digraph) check(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: vertex out of range: (%d,%d) with n=%d", u, v, g.n)
+	}
+	return nil
+}
+
+// Undirected is a dense weighted undirected graph on vertices 0..n-1, the
+// input type of FindEdges / FindEdgesWithPromise. Absent edges hold NoEdge.
+type Undirected struct {
+	n int
+	w []int64 // row-major, kept symmetric
+}
+
+// NewUndirected returns an empty undirected graph on n vertices.
+func NewUndirected(n int) *Undirected {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	w := make([]int64, n*n)
+	for i := range w {
+		w[i] = NoEdge
+	}
+	return &Undirected{n: n, w: w}
+}
+
+// N returns the number of vertices.
+func (g *Undirected) N() int { return g.n }
+
+// SetEdge sets the weight of edge {u,v}. Self-loops are rejected.
+func (g *Undirected) SetEdge(u, v int, weight int64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: vertex out of range: (%d,%d) with n=%d", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d not allowed", u)
+	}
+	g.w[u*g.n+v] = weight
+	g.w[v*g.n+u] = weight
+	return nil
+}
+
+// RemoveEdge deletes edge {u,v} if present.
+func (g *Undirected) RemoveEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: vertex out of range: (%d,%d) with n=%d", u, v, g.n)
+	}
+	g.w[u*g.n+v] = NoEdge
+	g.w[v*g.n+u] = NoEdge
+	return nil
+}
+
+// Weight returns the weight of edge {u,v} and whether it exists.
+func (g *Undirected) Weight(u, v int) (int64, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return NoEdge, false
+	}
+	w := g.w[u*g.n+v]
+	return w, w != NoEdge
+}
+
+// HasEdge reports whether edge {u,v} exists.
+func (g *Undirected) HasEdge(u, v int) bool {
+	_, ok := g.Weight(u, v)
+	return ok
+}
+
+// EdgeCount returns the number of (unordered) edges.
+func (g *Undirected) EdgeCount() int {
+	c := 0
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.w[u*g.n+v] != NoEdge {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// Neighbors returns the sorted neighbor list of u.
+func (g *Undirected) Neighbors(u int) []int {
+	var out []int
+	for v := 0; v < g.n; v++ {
+		if v != u && g.w[u*g.n+v] != NoEdge {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Row returns a copy of vertex u's weight row (NoEdge for absent edges),
+// matching the distributed input convention: node u receives N_G(u) with
+// weights.
+func (g *Undirected) Row(u int) []int64 {
+	row := make([]int64, g.n)
+	copy(row, g.w[u*g.n:(u+1)*g.n])
+	return row
+}
+
+// Clone returns a deep copy.
+func (g *Undirected) Clone() *Undirected {
+	w := make([]int64, len(g.w))
+	copy(w, g.w)
+	return &Undirected{n: g.n, w: w}
+}
+
+// Subgraph returns the subgraph containing exactly the edges for which
+// keep(u,v) is true (u < v).
+func (g *Undirected) Subgraph(keep func(u, v int) bool) *Undirected {
+	sub := NewUndirected(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if w := g.w[u*g.n+v]; w != NoEdge && keep(u, v) {
+				sub.w[u*g.n+v] = w
+				sub.w[v*g.n+u] = w
+			}
+		}
+	}
+	return sub
+}
+
+// Pair is an unordered vertex pair {U,V}, always normalized to U < V. It is
+// the element type of the sets S and P(u,v) in the paper.
+type Pair struct {
+	U, V int
+}
+
+// MakePair normalizes (a,b) into a Pair with U < V. It panics if a == b,
+// since P(V) excludes diagonal pairs.
+func MakePair(a, b int) Pair {
+	switch {
+	case a < b:
+		return Pair{U: a, V: b}
+	case b < a:
+		return Pair{U: b, V: a}
+	default:
+		panic("graph: pair with equal endpoints")
+	}
+}
+
+// Contains reports whether the pair includes vertex x.
+func (p Pair) Contains(x int) bool { return p.U == x || p.V == x }
+
+// Other returns the endpoint that is not x. It panics if x is not an
+// endpoint.
+func (p Pair) Other(x int) int {
+	switch x {
+	case p.U:
+		return p.V
+	case p.V:
+		return p.U
+	}
+	panic("graph: Other on non-member vertex")
+}
+
+// String implements fmt.Stringer.
+func (p Pair) String() string { return fmt.Sprintf("{%d,%d}", p.U, p.V) }

@@ -1,0 +1,251 @@
+// Package matrix implements min-plus (tropical) semiring matrices over
+// ℤ ∪ {−∞, +∞}, the algebraic substrate of the paper's reduction chain:
+// the distance product (Definition 2) and APSP via repeated squaring
+// (Proposition 3).
+//
+// Entries use the same saturating extended integers as package graph:
+// graph.Inf is +∞ ("no path"), graph.NegInf is −∞. The distance product is
+// C[i,j] = min_k (A[i,k] + B[k,j]) with the convention +∞ + x = +∞ and
+// −∞ + (finite or −∞) = −∞.
+package matrix
+
+import (
+	"fmt"
+	"strings"
+
+	"qclique/internal/graph"
+)
+
+// Matrix is a dense square matrix of extended integers.
+type Matrix struct {
+	n int
+	a []int64 // row-major
+}
+
+// New returns an n×n matrix with every entry +∞.
+func New(n int) *Matrix {
+	if n < 0 {
+		panic("matrix: negative dimension")
+	}
+	a := make([]int64, n*n)
+	for i := range a {
+		a[i] = graph.Inf
+	}
+	return &Matrix{n: n, a: a}
+}
+
+// Identity returns the min-plus identity: 0 on the diagonal, +∞ elsewhere.
+func Identity(n int) *Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.a[i*n+i] = 0
+	}
+	return m
+}
+
+// FromRows builds a matrix from row-major data. It returns an error if rows
+// are ragged or empty-but-nonzero.
+func FromRows(rows [][]int64) (*Matrix, error) {
+	n := len(rows)
+	m := New(n)
+	for i, r := range rows {
+		if len(r) != n {
+			return nil, fmt.Errorf("matrix: row %d has %d entries, want %d", i, len(r), n)
+		}
+		copy(m.a[i*n:(i+1)*n], r)
+	}
+	return m, nil
+}
+
+// N returns the dimension.
+func (m *Matrix) N() int { return m.n }
+
+// At returns entry (i, j). It panics on out-of-range indices (programming
+// error).
+func (m *Matrix) At(i, j int) int64 {
+	m.bounds(i, j)
+	return m.a[i*m.n+j]
+}
+
+// Set writes entry (i, j), clamping into [−∞, +∞].
+func (m *Matrix) Set(i, j int, v int64) {
+	m.bounds(i, j)
+	if v > graph.Inf {
+		v = graph.Inf
+	}
+	if v < graph.NegInf {
+		v = graph.NegInf
+	}
+	m.a[i*m.n+j] = v
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []int64 {
+	m.bounds(i, 0)
+	out := make([]int64, m.n)
+	copy(out, m.a[i*m.n:(i+1)*m.n])
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	a := make([]int64, len(m.a))
+	copy(a, m.a)
+	return &Matrix{n: m.n, a: a}
+}
+
+// Equal reports whether two matrices have the same dimension and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.n != o.n {
+		return false
+	}
+	for i, v := range m.a {
+		if o.a[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsFinite returns the largest absolute value among finite entries
+// (the M of Proposition 2), or 0 if no entry is finite.
+func (m *Matrix) MaxAbsFinite() int64 {
+	var mx int64
+	for _, v := range m.a {
+		if !graph.IsFinite(v) {
+			continue
+		}
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// String renders the matrix with "inf"/"-inf" for the sentinels; intended
+// for small matrices in tests and examples.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			switch v := m.a[i*m.n+j]; {
+			case v >= graph.Inf:
+				b.WriteString("inf")
+			case v <= graph.NegInf:
+				b.WriteString("-inf")
+			default:
+				fmt.Fprintf(&b, "%d", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (m *Matrix) bounds(i, j int) {
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range for n=%d", i, j, m.n))
+	}
+}
+
+// DistanceProduct computes A ⋆ B (Definition 2) by the direct cubic
+// algorithm. It is the centralized reference implementation; the
+// distributed pipelines are validated against it. It returns an error on a
+// dimension mismatch.
+func DistanceProduct(a, b *Matrix) (*Matrix, error) {
+	if a.n != b.n {
+		return nil, fmt.Errorf("matrix: dimension mismatch %d vs %d", a.n, b.n)
+	}
+	n := a.n
+	c := New(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a.a[i*n+k]
+			if aik >= graph.Inf {
+				continue
+			}
+			rowB := b.a[k*n : (k+1)*n]
+			rowC := c.a[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				if s := graph.SaturatingAdd(aik, rowB[j]); s < rowC[j] {
+					rowC[j] = s
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// FromDigraph encodes a directed graph as the matrix A_G of Section 3:
+// 0 on the diagonal, w(i,j) for arcs, +∞ otherwise.
+func FromDigraph(g *graph.Digraph) *Matrix {
+	n := g.N()
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.a[i*n+i] = 0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if w, ok := g.Weight(i, j); ok {
+				m.a[i*n+j] = w
+			}
+		}
+	}
+	return m
+}
+
+// Product is the function signature of a distance-product implementation;
+// APSPBySquaring is parameterized over it so the same Proposition 3 driver
+// runs on the reference product, the distributed gather product, or the
+// FindEdges-based product of Proposition 2.
+type Product func(a, b *Matrix) (*Matrix, error)
+
+// SquaringStats reports what a run of APSPBySquaring did.
+type SquaringStats struct {
+	// Products is the number of distance products performed; Proposition 3
+	// bounds it by ⌈log₂ n⌉ for n ≥ 2.
+	Products int
+}
+
+// APSPBySquaring computes the n-th min-plus power of A_G by repeated
+// squaring (Proposition 3): after ⌈log₂ n⌉ squarings, A^(2^k) with 2^k ≥ n
+// holds all pairwise distances. The walk-length budget is n rather than n−1
+// so that a negative cycle (which needs up to n hops to close) surfaces as a
+// negative diagonal entry. The caller supplies the distance-product
+// implementation. The input must have a zero diagonal (it is A_G).
+func APSPBySquaring(ag *Matrix, prod Product) (*Matrix, SquaringStats, error) {
+	var stats SquaringStats
+	n := ag.n
+	cur := ag.Clone()
+	if n <= 1 {
+		return cur, stats, nil
+	}
+	// Squarings until walk-length budget 2^k >= n.
+	for length := 1; length < n; length *= 2 {
+		next, err := prod(cur, cur)
+		if err != nil {
+			return nil, stats, fmt.Errorf("squaring %d: %w", stats.Products, err)
+		}
+		stats.Products++
+		cur = next
+	}
+	return cur, stats, nil
+}
+
+// HasNegativeDiagonal reports whether any diagonal entry is negative, the
+// matrix-level signature of a negative cycle after APSPBySquaring.
+func (m *Matrix) HasNegativeDiagonal() bool {
+	for i := 0; i < m.n; i++ {
+		if m.a[i*m.n+i] < 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,265 @@
+// Package qsearch implements the distributed quantum search framework of
+// Le Gall and Magniez (PODC 2018) as used by the paper (Section 4): a node
+// searches a space X through an r-round distributed evaluation procedure in
+// Õ(r·√|X|) rounds, and m searches run in parallel through a single shared
+// evaluation procedure — including the truncated procedure C̃m of Theorem 3
+// that is only correct on load-balanced ("typical") inputs.
+//
+// # Simulation contract
+//
+// The real protocol transports superposed queries through a fixed,
+// input-independent communication schedule (that input independence is
+// exactly what Section 4.2 buys). The simulation therefore (1) executes
+// the evaluation schedule once through the CONGEST-CLIQUE simulator,
+// measuring its true round cost r and obtaining the oracle truth tables,
+// (2) evolves exact per-instance Grover state vectors locally, and
+// (3) charges r rounds for every further oracle invocation by replaying
+// the measured cost. Truncation error — the amplitude mass the truncated
+// procedure corrupts, bounded by Lemma 5 — is computed analytically and
+// injected as a sampled failure, reproducing the Theorem 3 error model.
+package qsearch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"qclique/internal/congest"
+	"qclique/internal/quantum"
+	"qclique/internal/xrand"
+)
+
+// ErrTruncation reports an injected Theorem-3 truncation failure: the
+// atypical amplitude mass corrupted the run. Callers retry, exactly as the
+// paper's union-bound analysis assumes.
+var ErrTruncation = errors.New("qsearch: truncation failure (atypical amplitude mass)")
+
+// EvalFunc executes the evaluation procedure's fixed communication
+// schedule once through the network and returns the oracle truth tables:
+// tables[i][x] answers g_i(x) for instance i over search-space element x.
+// Implementations must charge all communication to net, must have an
+// input-independent schedule, and must return an error if a load promise
+// is violated (the C̃m abort).
+type EvalFunc func(net *congest.Network) ([][]bool, error)
+
+// Spec describes one multi-search invocation.
+type Spec struct {
+	// SpaceSize is |X|.
+	SpaceSize int
+	// Instances is m, the number of parallel searches.
+	Instances int
+	// Eval is the shared evaluation procedure.
+	Eval EvalFunc
+	// Beta is the typicality bound β of Theorem 3 (queries per element of
+	// X per evaluation). Zero means "untruncated evaluation" (Section 4.1
+	// semantics): no truncation error is modeled.
+	Beta float64
+	// Passes overrides the number of amplification passes; 0 selects the
+	// default O(log m) schedule.
+	Passes int
+	// DisableFailureInjection turns off sampling of the truncation error
+	// (the bound is still reported). Used by deterministic tests.
+	DisableFailureInjection bool
+}
+
+// Result reports the outcome of a (multi-)search.
+type Result struct {
+	// Found[i] reports whether instance i located a witness.
+	Found []bool
+	// Witness[i] is the located element for instance i (valid when
+	// Found[i]).
+	Witness []int
+	// EvalRounds is the measured round cost of one evaluation invocation.
+	EvalRounds int64
+	// EvalCalls counts oracle invocations (Grover iterations plus
+	// verifications) charged at EvalRounds each.
+	EvalCalls int64
+	// Iterations is the total number of Grover iterations in the
+	// lock-step schedule.
+	Iterations int64
+	// Passes is the number of amplification passes executed.
+	Passes int
+	// TruncationErrorBound is the Lemma-5/Theorem-3 bound on the
+	// probability that truncation corrupted the run (0 when Beta == 0).
+	TruncationErrorBound float64
+	// PreconditionsHold reports whether the Theorem 3 hypotheses
+	// (|X| < m/(36 log m), β > 8m/|X|) held for this invocation.
+	PreconditionsHold bool
+}
+
+// AllFound reports whether every instance found a witness.
+func (r *Result) AllFound() bool {
+	for _, f := range r.Found {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// FoundCount returns the number of successful instances.
+func (r *Result) FoundCount() int {
+	c := 0
+	for _, f := range r.Found {
+		if f {
+			c++
+		}
+	}
+	return c
+}
+
+// defaultPasses is the O(log m) amplification count driving per-instance
+// failure below 1/m² (Appendix A: "amplified ... by repeating the
+// algorithm a logarithmic number of times").
+func defaultPasses(m int) int {
+	if m < 2 {
+		return 3
+	}
+	return 3 + 2*int(math.Ceil(math.Log2(float64(m))))
+}
+
+// MultiSearch runs spec.Instances parallel Grover searches over a space of
+// spec.SpaceSize elements, sharing the evaluation procedure in lock-step:
+// within a pass, every instance executes the same number of Grover
+// iterations (the joint circuit applies Um·Cm to all registers at once),
+// so the oracle-call count per pass is the maximum of the BBHT schedule,
+// not the sum.
+func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, error) {
+	if spec.SpaceSize <= 0 {
+		return nil, fmt.Errorf("qsearch: space size %d", spec.SpaceSize)
+	}
+	if spec.Instances <= 0 {
+		return nil, fmt.Errorf("qsearch: instance count %d", spec.Instances)
+	}
+	if spec.Eval == nil {
+		return nil, errors.New("qsearch: nil evaluation procedure")
+	}
+
+	// Execute the fixed schedule once: measures its cost and yields the
+	// truth tables for the local state-vector evolution.
+	baseline := net.Metrics()
+	tables, err := spec.Eval(net)
+	if err != nil {
+		return nil, fmt.Errorf("qsearch: evaluation procedure: %w", err)
+	}
+	evalCost := net.DeltaSince(baseline)
+	if len(tables) != spec.Instances {
+		return nil, fmt.Errorf("qsearch: evaluation returned %d tables, want %d", len(tables), spec.Instances)
+	}
+	for i, tab := range tables {
+		if len(tab) != spec.SpaceSize {
+			return nil, fmt.Errorf("qsearch: table %d has %d entries, want %d", i, len(tab), spec.SpaceSize)
+		}
+	}
+
+	res := &Result{
+		Found:      make([]bool, spec.Instances),
+		Witness:    make([]int, spec.Instances),
+		EvalRounds: evalCost.Rounds,
+	}
+	for i := range res.Witness {
+		res.Witness[i] = -1
+	}
+	res.EvalCalls = 1 // the staging invocation above
+
+	passes := spec.Passes
+	if passes <= 0 {
+		passes = defaultPasses(spec.Instances)
+	}
+	sqrtX := math.Sqrt(float64(spec.SpaceSize))
+	maxRounds := 4 + 3*int(math.Ceil(math.Log2(float64(spec.SpaceSize+1))))
+	const lambda = 6.0 / 5.0
+
+	// Instances with an all-false truth table can never verify a measured
+	// candidate, so their probes are skipped — an exact equivalence, not an
+	// approximation: the lock-step schedule's cost does not depend on the
+	// instance count, and a probe of an empty oracle cannot change Found.
+	feasible := make([]bool, spec.Instances)
+	remaining := 0
+	for i, tab := range tables {
+		for _, v := range tab {
+			if v {
+				feasible[i] = true
+				remaining++
+				break
+			}
+		}
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		res.Passes++
+		mcur := 1.0
+		for round := 0; round < maxRounds; round++ {
+			j := rng.IntN(int(math.Ceil(mcur)) + 1)
+			// j lock-step Grover iterations plus one verification query.
+			res.Iterations += int64(j)
+			res.EvalCalls += int64(j) + 1
+			for i := 0; i < spec.Instances; i++ {
+				if res.Found[i] || !feasible[i] {
+					continue
+				}
+				x, hit := quantum.FixedScheduleProbe(tables[i], j, rng.SplitN("probe", pass*1_000_003+round*1009+i))
+				if hit {
+					res.Found[i] = true
+					res.Witness[i] = x
+					remaining--
+				}
+			}
+			mcur = math.Min(lambda*mcur, sqrtX)
+		}
+		if remaining == 0 {
+			// All satisfiable instances have verified witnesses. The nodes
+			// detect this with a one-word convergecast per pass (charged),
+			// and stop early.
+			break
+		}
+	}
+	if err := net.BroadcastAll("qsearch/converge", int64(res.Passes)); err != nil {
+		return nil, err
+	}
+
+	// Charge every oracle call beyond the staged one by replaying the
+	// measured schedule cost.
+	net.ReplayCharge("qsearch/oracle", evalCost, res.EvalCalls-1)
+
+	// Theorem 3 truncation accounting.
+	if spec.Beta > 0 {
+		res.PreconditionsHold = quantum.Theorem3Preconditions(spec.Instances, spec.SpaceSize, spec.Beta)
+		dev := quantum.TruncationDeviationBound(res.Iterations, spec.Instances, spec.SpaceSize)
+		if dev > 1 {
+			dev = 1
+		}
+		res.TruncationErrorBound = dev
+		if !spec.DisableFailureInjection && rng.Split("trunc").Bool(dev) {
+			return res, ErrTruncation
+		}
+	}
+	return res, nil
+}
+
+// Search runs a single distributed quantum search (the Section 4.1
+// framework with m = 1): find any x with g(x) = 1 through the given
+// evaluation procedure.
+func Search(net *congest.Network, spaceSize int, eval EvalFunc, rng *xrand.Source) (*Result, error) {
+	return MultiSearch(net, Spec{SpaceSize: spaceSize, Instances: 1, Eval: eval}, rng)
+}
+
+// LocalEval adapts locally known truth tables into an EvalFunc that charges
+// a fixed number of broadcast rounds; useful for tests and for protocols
+// whose evaluation data is already in place.
+func LocalEval(tables [][]bool, rounds int64) EvalFunc {
+	return func(net *congest.Network) ([][]bool, error) {
+		if rounds > 0 {
+			if err := net.BroadcastAll("qsearch/local-eval", rounds); err != nil {
+				return nil, err
+			}
+		}
+		out := make([][]bool, len(tables))
+		for i, t := range tables {
+			row := make([]bool, len(t))
+			copy(row, t)
+			out[i] = row
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,226 @@
+// Package quantum provides an exact state-vector simulation of Grover
+// search, the quantum primitive underlying the paper's distributed
+// algorithm (Section 4), together with the "typical inputs" analysis of
+// Theorem 3 (Poisson-binomial frequency tails, Lemma 5 amplitude-mass
+// bounds).
+//
+// Search spaces in the paper have size |X| ≤ √n (subsets of the vertex
+// partition V'), so an |X|-dimensional real state vector simulates the
+// algorithm exactly: Grover's operator keeps amplitudes real, and the
+// simulation reproduces amplitudes, iteration counts and measurement
+// statistics without approximation.
+package quantum
+
+import (
+	"fmt"
+	"math"
+
+	"qclique/internal/xrand"
+)
+
+// Oracle answers membership queries g(x) for x in [0, N).
+type Oracle func(x int) bool
+
+// Uniform returns the uniform superposition over N elements.
+func Uniform(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	amps := make([]float64, n)
+	a := 1 / math.Sqrt(float64(n))
+	for i := range amps {
+		amps[i] = a
+	}
+	return amps
+}
+
+// Iterate applies one Grover iteration in place: a phase flip on marked
+// elements followed by inversion about the mean (the diffusion operator).
+func Iterate(amps []float64, marked []bool) {
+	for i := range amps {
+		if marked[i] {
+			amps[i] = -amps[i]
+		}
+	}
+	var mean float64
+	for _, a := range amps {
+		mean += a
+	}
+	mean /= float64(len(amps))
+	for i := range amps {
+		amps[i] = 2*mean - amps[i]
+	}
+}
+
+// SuccessProbability returns the probability that measuring amps yields a
+// marked element.
+func SuccessProbability(amps []float64, marked []bool) float64 {
+	var p float64
+	for i, a := range amps {
+		if marked[i] {
+			p += a * a
+		}
+	}
+	return p
+}
+
+// Measure samples an index from the squared-amplitude distribution.
+func Measure(amps []float64, rng *xrand.Source) int {
+	r := rng.Float64()
+	var acc float64
+	for i, a := range amps {
+		acc += a * a
+		if r < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last index.
+	return len(amps) - 1
+}
+
+// IterationsForKnown returns the optimal Grover iteration count
+// ⌊(π/4)·√(N/t)⌋ for a space of size n with t known solutions.
+func IterationsForKnown(n, t int) int {
+	if t <= 0 || n <= 0 {
+		return 0
+	}
+	if 2*t >= n {
+		return 0 // solutions are already likely under uniform measurement
+	}
+	theta := math.Asin(math.Sqrt(float64(t) / float64(n)))
+	k := math.Floor(math.Pi / (4 * theta))
+	if k < 0 {
+		return 0
+	}
+	return int(k)
+}
+
+// MarkedFromOracle materializes the oracle's truth table.
+func MarkedFromOracle(n int, g Oracle) []bool {
+	marked := make([]bool, n)
+	for i := range marked {
+		marked[i] = g(i)
+	}
+	return marked
+}
+
+// CountMarked returns the number of true entries.
+func CountMarked(marked []bool) int {
+	c := 0
+	for _, m := range marked {
+		if m {
+			c++
+		}
+	}
+	return c
+}
+
+// SearchResult reports the outcome and cost of a Grover search.
+type SearchResult struct {
+	// Found reports whether a solution was located.
+	Found bool
+	// X is the located solution when Found.
+	X int
+	// Iterations is the total number of Grover iterations executed; each
+	// iteration makes one oracle query (in the distributed setting, one
+	// invocation of the evaluation procedure).
+	Iterations int64
+	// Verifications is the number of classical verification queries made
+	// on measured candidates.
+	Verifications int64
+}
+
+// OracleCalls is the total number of oracle invocations (iterations plus
+// candidate verifications), the quantity the distributed round accounting
+// multiplies by the evaluation cost.
+func (r SearchResult) OracleCalls() int64 { return r.Iterations + r.Verifications }
+
+// Search locates a solution of g over [0, n) with an unknown number of
+// solutions using the Boyer–Brassard–Høyer–Tapp schedule: geometrically
+// growing random iteration counts. It performs O(√n) iterations in
+// expectation when a solution exists and gives up (Found=false) after the
+// schedule is exhausted, which for a solution-free oracle happens within
+// O(√n log n) iterations.
+func Search(n int, g Oracle, rng *xrand.Source) SearchResult {
+	var res SearchResult
+	if n <= 0 {
+		return res
+	}
+	marked := MarkedFromOracle(n, g)
+	return searchMarked(n, marked, rng, &res)
+}
+
+// searchMarked runs the BBHT schedule against a materialized truth table,
+// accumulating costs into res.
+func searchMarked(n int, marked []bool, rng *xrand.Source, res *SearchResult) SearchResult {
+	sqrtN := math.Sqrt(float64(n))
+	m := 1.0
+	const lambda = 6.0 / 5.0
+	// After O(log n) rounds m saturates at √n; a few more rounds at the
+	// saturated value drive the failure probability for nonempty oracles
+	// below 2^-Ω(rounds). 4+3·log₂ n rounds bounds total iterations by
+	// O(√n log n).
+	maxRounds := 4 + 3*int(math.Ceil(math.Log2(float64(n+1))))
+	for round := 0; round < maxRounds; round++ {
+		j := rng.IntN(int(math.Ceil(m)) + 1)
+		amps := Uniform(n)
+		for it := 0; it < j; it++ {
+			Iterate(amps, marked)
+		}
+		res.Iterations += int64(j)
+		x := Measure(amps, rng)
+		res.Verifications++
+		if marked[x] {
+			res.Found = true
+			res.X = x
+			return *res
+		}
+		m = math.Min(lambda*m, sqrtN)
+	}
+	res.Found = false
+	return *res
+}
+
+// FixedScheduleProbe runs exactly j Grover iterations from the uniform
+// state and measures once; it is the building block of the lock-step
+// multi-search, where every parallel instance must use the same iteration
+// count (the global quantum circuit applies the same number of UmCm steps
+// to all registers).
+func FixedScheduleProbe(marked []bool, j int, rng *xrand.Source) (x int, hit bool) {
+	amps := Uniform(len(marked))
+	for it := 0; it < j; it++ {
+		Iterate(amps, marked)
+	}
+	x = Measure(amps, rng)
+	return x, marked[x]
+}
+
+// AmplitudeAfter returns the state after j iterations from uniform; used by
+// analysis code and tests.
+func AmplitudeAfter(marked []bool, j int) []float64 {
+	amps := Uniform(len(marked))
+	for it := 0; it < j; it++ {
+		Iterate(amps, marked)
+	}
+	return amps
+}
+
+// Norm returns the L2 norm of the amplitude vector (should remain 1 up to
+// floating-point error; Grover's operator is unitary).
+func Norm(amps []float64) float64 {
+	var s float64
+	for _, a := range amps {
+		s += a * a
+	}
+	return math.Sqrt(s)
+}
+
+// ValidateDistribution checks that amps is a unit vector within tolerance;
+// a defensive invariant used in tests and debug paths.
+func ValidateDistribution(amps []float64, tol float64) error {
+	n := Norm(amps)
+	if math.Abs(n-1) > tol {
+		return fmt.Errorf("quantum: state norm %g deviates from 1 beyond %g", n, tol)
+	}
+	return nil
+}

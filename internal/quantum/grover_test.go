@@ -1,0 +1,231 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qclique/internal/xrand"
+)
+
+func TestUniformIsUnit(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64} {
+		amps := Uniform(n)
+		if err := ValidateDistribution(amps, 1e-9); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+	if Uniform(0) != nil || Uniform(-1) != nil {
+		t.Error("degenerate sizes should return nil")
+	}
+}
+
+func TestIteratePreservesNorm(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.IntN(40)
+		marked := make([]bool, n)
+		for i := range marked {
+			marked[i] = rng.Bool(0.3)
+		}
+		amps := Uniform(n)
+		for it := 0; it < 10; it++ {
+			Iterate(amps, marked)
+			if ValidateDistribution(amps, 1e-6) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroverAmplification(t *testing.T) {
+	// One marked element out of 64: after ⌊π/4·√64⌋ = 6 iterations the
+	// success probability must be near 1 (theory: sin²((2k+1)θ) ≈ 0.997).
+	n := 64
+	marked := make([]bool, n)
+	marked[17] = true
+	k := IterationsForKnown(n, 1)
+	if k != 6 {
+		t.Fatalf("IterationsForKnown(64,1) = %d, want 6", k)
+	}
+	amps := AmplitudeAfter(marked, k)
+	if p := SuccessProbability(amps, marked); p < 0.95 {
+		t.Errorf("success probability %f after %d iterations", p, k)
+	}
+}
+
+func TestIterationsForKnownShape(t *testing.T) {
+	// √N shape: k(N,1) grows like (π/4)√N.
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		k := IterationsForKnown(n, 1)
+		ideal := math.Pi / 4 * math.Sqrt(float64(n))
+		if math.Abs(float64(k)-ideal) > ideal/3+1 {
+			t.Errorf("n=%d: k=%d, ideal %f", n, k, ideal)
+		}
+	}
+	if IterationsForKnown(10, 0) != 0 || IterationsForKnown(0, 1) != 0 {
+		t.Error("degenerate cases should be 0")
+	}
+	if IterationsForKnown(10, 6) != 0 {
+		t.Error("majority-marked space needs no iterations")
+	}
+}
+
+func TestNoOvershootAtOptimalIterations(t *testing.T) {
+	// For several (n, t) the optimal count must land at >= 1-t/n... use a
+	// conservative 0.8 threshold.
+	cases := [][2]int{{16, 1}, {64, 3}, {256, 5}, {100, 2}}
+	for _, c := range cases {
+		n, tt := c[0], c[1]
+		marked := make([]bool, n)
+		for i := 0; i < tt; i++ {
+			marked[i*7%n] = true
+		}
+		if CountMarked(marked) != tt {
+			continue // collision in placement; skip
+		}
+		k := IterationsForKnown(n, tt)
+		amps := AmplitudeAfter(marked, k)
+		if p := SuccessProbability(amps, marked); p < 0.8 {
+			t.Errorf("n=%d t=%d k=%d: p=%f", n, tt, k, p)
+		}
+	}
+}
+
+func TestMeasureStatistics(t *testing.T) {
+	rng := xrand.New(5)
+	n := 8
+	marked := make([]bool, n)
+	marked[3] = true
+	amps := AmplitudeAfter(marked, IterationsForKnown(n, 1))
+	hits := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if Measure(amps, rng) == 3 {
+			hits++
+		}
+	}
+	want := SuccessProbability(amps, marked)
+	got := float64(hits) / trials
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("measured rate %f, amplitude says %f", got, want)
+	}
+}
+
+func TestSearchFindsPlantedSolution(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 50; trial++ {
+		r := rng.SplitN("t", trial)
+		n := 4 + r.IntN(60)
+		target := r.IntN(n)
+		res := Search(n, func(x int) bool { return x == target }, r)
+		if !res.Found || res.X != target {
+			t.Fatalf("trial %d: search failed: %+v", trial, res)
+		}
+	}
+}
+
+func TestSearchNoSolution(t *testing.T) {
+	rng := xrand.New(13)
+	res := Search(64, func(int) bool { return false }, rng)
+	if res.Found {
+		t.Fatal("found a solution in an empty oracle")
+	}
+	// Cost cap: O(√n log n) iterations.
+	if res.Iterations > 8*64 {
+		t.Errorf("no-solution search used %d iterations", res.Iterations)
+	}
+	if res.Verifications == 0 {
+		t.Error("search must verify candidates")
+	}
+}
+
+func TestSearchCostScalesLikeSqrtN(t *testing.T) {
+	// Average BBHT iteration count for single-solution instances must grow
+	// sublinearly — close to c√n. Compare n=64 vs n=4096: the ratio of
+	// costs should be near 8 (=√64), certainly below 20 (linear would be 64).
+	rng := xrand.New(17)
+	avg := func(n int) float64 {
+		var total int64
+		const trials = 60
+		for i := 0; i < trials; i++ {
+			r := rng.SplitN("s", n*1000+i)
+			target := r.IntN(n)
+			res := Search(n, func(x int) bool { return x == target }, r)
+			if !res.Found {
+				t.Fatalf("n=%d trial %d: not found", n, i)
+			}
+			total += res.OracleCalls()
+		}
+		return float64(total) / trials
+	}
+	small := avg(64)
+	big := avg(4096)
+	ratio := big / small
+	if ratio > 20 {
+		t.Errorf("cost ratio %f suggests super-√n scaling (small=%f big=%f)", ratio, small, big)
+	}
+}
+
+func TestSearchManySolutions(t *testing.T) {
+	rng := xrand.New(19)
+	n := 128
+	res := Search(n, func(x int) bool { return x%4 == 0 }, rng)
+	if !res.Found || res.X%4 != 0 {
+		t.Fatalf("search failed: %+v", res)
+	}
+	// With n/4 solutions, very few iterations are needed.
+	if res.Iterations > 64 {
+		t.Errorf("many-solution search used %d iterations", res.Iterations)
+	}
+}
+
+func TestSearchDegenerate(t *testing.T) {
+	rng := xrand.New(23)
+	if res := Search(0, func(int) bool { return true }, rng); res.Found {
+		t.Error("empty space cannot contain a solution")
+	}
+	res := Search(1, func(x int) bool { return x == 0 }, rng)
+	if !res.Found || res.X != 0 {
+		t.Errorf("singleton search: %+v", res)
+	}
+}
+
+func TestFixedScheduleProbe(t *testing.T) {
+	rng := xrand.New(29)
+	n := 64
+	marked := make([]bool, n)
+	marked[9] = true
+	k := IterationsForKnown(n, 1)
+	hits := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		if _, hit := FixedScheduleProbe(marked, k, rng); hit {
+			hits++
+		}
+	}
+	if float64(hits)/trials < 0.9 {
+		t.Errorf("fixed-schedule hit rate %d/%d", hits, trials)
+	}
+}
+
+func TestMarkedFromOracleAndCount(t *testing.T) {
+	marked := MarkedFromOracle(10, func(x int) bool { return x%2 == 1 })
+	if CountMarked(marked) != 5 {
+		t.Errorf("count = %d", CountMarked(marked))
+	}
+	if marked[0] || !marked[1] {
+		t.Error("truth table wrong")
+	}
+}
+
+func TestOracleCalls(t *testing.T) {
+	r := SearchResult{Iterations: 5, Verifications: 2}
+	if r.OracleCalls() != 7 {
+		t.Error("OracleCalls must sum iterations and verifications")
+	}
+}

@@ -1,0 +1,324 @@
+package triangles
+
+import (
+	"errors"
+	"fmt"
+
+	"qclique/internal/congest"
+	"qclique/internal/graph"
+	"qclique/internal/qsearch"
+	"qclique/internal/quantum"
+	"qclique/internal/xrand"
+)
+
+// This file is the driver for Algorithm ComputePairs (Figure 1) and its
+// Step 3 implementation (Figure 3): the public FindEdgesWithPromise entry
+// point, the per-class multi-searches, retry handling for the protocol's
+// abort branches, and the classical √n-scan variant used as the
+// non-quantum baseline for the same algorithm.
+
+// Instance is a FindEdgesWithPromise input.
+type Instance struct {
+	// G is the weighted undirected graph; pair weights f(u,v) are read
+	// from it.
+	G *graph.Undirected
+	// Legs optionally restricts the triangle "legs" {u,w} and {w,v} to a
+	// subgraph (the Proposition 1 reduction samples legs); nil means G.
+	Legs *graph.Undirected
+	// S is the pair set to report on; nil means all pairs P(V).
+	S map[graph.Pair]bool
+}
+
+func (in *Instance) legs() *graph.Undirected {
+	if in.Legs != nil {
+		return in.Legs
+	}
+	return in.G
+}
+
+func (in *Instance) inS(a, b int) bool {
+	if in.S == nil {
+		return true
+	}
+	return in.S[graph.MakePair(a, b)]
+}
+
+// SearchMode selects the Step 3 search implementation.
+type SearchMode int
+
+const (
+	// SearchQuantum is the paper's Õ(n^{1/4}) distributed Grover search.
+	SearchQuantum SearchMode = iota + 1
+	// SearchClassicalScan checks every element of each search space one
+	// evaluation at a time — the O(√n) classical implementation the paper
+	// notes for Step 3.
+	SearchClassicalScan
+)
+
+func (m SearchMode) String() string {
+	switch m {
+	case SearchQuantum:
+		return "quantum"
+	case SearchClassicalScan:
+		return "classical-scan"
+	default:
+		return fmt.Sprintf("SearchMode(%d)", int(m))
+	}
+}
+
+// Options configures a FindEdgesWithPromise run.
+type Options struct {
+	// Params supplies the protocol constants; the zero value selects
+	// PaperParams.
+	Params *Params
+	// Mode selects the Step 3 search; the zero value selects SearchQuantum.
+	Mode SearchMode
+	// Data selects payload-carrying versus charge-only placement; the zero
+	// value selects DataFull.
+	Data DataMode
+	// Seed drives all protocol randomness.
+	Seed uint64
+	// Net optionally supplies an existing network so that costs accumulate
+	// across calls (the reductions above this protocol do that); when nil
+	// a fresh network is created.
+	Net *congest.Network
+	// InjectTruncationFailures enables sampling of the Theorem 3
+	// truncation error as protocol failures (retried like the other
+	// aborts). The bound is reported either way. At small simulated n the
+	// asymptotic bound saturates and would make every run fail, so
+	// injection is opt-in.
+	InjectTruncationFailures bool
+}
+
+func (o Options) params() Params {
+	if o.Params != nil {
+		return *o.Params
+	}
+	return PaperParams()
+}
+
+func (o Options) mode() SearchMode {
+	if o.Mode == 0 {
+		return SearchQuantum
+	}
+	return o.Mode
+}
+
+func (o Options) data() DataMode {
+	if o.Data == 0 {
+		return DataFull
+	}
+	return o.Data
+}
+
+// ClassStat reports one class-α search of Step 3.2.
+type ClassStat struct {
+	Alpha      int
+	SpaceSize  int
+	Instances  int
+	EvalRounds int64
+	EvalCalls  int64
+	Found      int
+}
+
+// Report is the outcome of FindEdgesWithPromise.
+type Report struct {
+	// Edges is the output: pairs of S involved in at least one negative
+	// triangle (with legs in Legs).
+	Edges map[graph.Pair]bool
+	// Rounds is the total CONGEST-CLIQUE rounds charged, including aborted
+	// attempts.
+	Rounds int64
+	// Metrics is the full network accounting.
+	Metrics congest.Metrics
+	// Retries counts aborted attempts (covering imbalance, IdentifyClass
+	// overflow, slot overflow, injected truncation failures).
+	Retries int
+	// Classes are the per-α search statistics of the successful attempt.
+	Classes []ClassStat
+	// TruncationErrorBound is the summed Theorem 3 deviation bound across
+	// the per-node multi-searches of the successful attempt (capped at 1).
+	TruncationErrorBound float64
+	// Mode records which Step 3 implementation ran.
+	Mode SearchMode
+}
+
+// retryableError reports whether an attempt failure is one of the
+// protocol's abort branches (retried with fresh randomness) rather than a
+// hard error.
+func retryableError(err error) bool {
+	var nwb *NotWellBalancedError
+	var ia *IdentifyAbortError
+	var so *SlotOverflowError
+	return errors.As(err, &nwb) || errors.As(err, &ia) || errors.As(err, &so) ||
+		errors.Is(err, qsearch.ErrTruncation)
+}
+
+// FindEdgesWithPromise solves the problem of Section 3 under the promise
+// Γ(u,v) ≤ Promise·log n for all pairs of S: it returns every pair of S
+// involved in a negative triangle. The algorithm is ComputePairs (Figure
+// 1) with the Step 3 searches implemented per opts.Mode.
+func FindEdgesWithPromise(inst Instance, opts Options) (*Report, error) {
+	if inst.G == nil {
+		return nil, errors.New("triangles: nil graph")
+	}
+	n := inst.G.N()
+	pt, err := NewPartitions(n)
+	if err != nil {
+		return nil, err
+	}
+	net := opts.Net
+	if net == nil {
+		net, err = congest.NewNetwork(n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	params := opts.params()
+	rng := xrand.New(opts.Seed)
+
+	// Step 1 (deterministic): charged once; aborts below restart only the
+	// randomized steps, which is what fresh randomness re-draws.
+	pl, err := runPlacement(net, pt, inst.legs(), opts.data())
+	if err != nil {
+		return nil, err
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= params.MaxRetries; attempt++ {
+		rep, err := computePairsAttempt(net, pt, &inst, pl, params, opts, rng.SplitN("attempt", attempt))
+		if err == nil {
+			rep.Retries = attempt
+			rep.Rounds = net.Rounds()
+			rep.Metrics = net.Metrics()
+			rep.Mode = opts.mode()
+			return rep, nil
+		}
+		if !retryableError(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("triangles: %d attempts aborted, last: %w", params.MaxRetries+1, lastErr)
+}
+
+// computePairsAttempt runs Steps 2–3 of ComputePairs once.
+func computePairsAttempt(net *congest.Network, pt *Partitions, inst *Instance, pl *placement, params Params, opts Options, rng *xrand.Source) (*Report, error) {
+	// Step 3.1 (run before the searches; Figure 3): classify the triples.
+	cls, err := runIdentifyClass(net, pt, inst, pl, params, rng.Split("identify"))
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: coverings.
+	st, err := runCoverings(net, pt, inst, params, rng.Split("cover"))
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Edges: make(map[graph.Pair]bool)}
+
+	// Step 3.2: for each class α, search T_α[u,v]. With no kept pairs
+	// (S empty or disjoint from the coverings) there is nothing to search
+	// and the output is empty.
+	for alpha := 0; len(st.instances) > 0 && alpha <= cls.maxClass; alpha++ {
+		b := newEvalBuilder(pt, pl, st, cls, params, alpha, rng.SplitN("eval", alpha))
+		if b.spaceSize == 0 {
+			continue
+		}
+		stat := ClassStat{Alpha: alpha, SpaceSize: b.spaceSize, Instances: len(st.instances)}
+		switch opts.mode() {
+		case SearchClassicalScan:
+			found, err := classicalScan(net, b)
+			if err != nil {
+				return nil, err
+			}
+			stat.EvalCalls = int64(b.spaceSize)
+			for i, ok := range found {
+				if ok {
+					rep.Edges[st.instances[i].pair] = true
+					stat.Found++
+				}
+			}
+		default:
+			res, err := qsearch.MultiSearch(net, qsearch.Spec{
+				SpaceSize: b.spaceSize,
+				Instances: len(st.instances),
+				Eval:      b.evalFunc(),
+			}, rng.SplitN("search", alpha))
+			if err != nil {
+				return nil, err
+			}
+			stat.EvalRounds = res.EvalRounds
+			stat.EvalCalls = res.EvalCalls
+			for i, ok := range res.Found {
+				if ok {
+					rep.Edges[st.instances[i].pair] = true
+					stat.Found++
+				}
+			}
+			// Theorem 3 accounting: per-node searches have m = kept pairs
+			// at that node and the slot cap as β; sum the per-node
+			// deviation bounds (union bound across nodes).
+			bound := rep.TruncationErrorBound
+			for _, cov := range st.coverings {
+				if len(cov.Pairs) == 0 {
+					continue
+				}
+				bound += quantum.TruncationDeviationBound(res.Iterations, len(cov.Pairs), b.spaceSize)
+			}
+			if bound > 1 {
+				bound = 1
+			}
+			rep.TruncationErrorBound = bound
+			if opts.InjectTruncationFailures && rng.SplitN("trunc", alpha).Bool(bound) {
+				return nil, qsearch.ErrTruncation
+			}
+		}
+		rep.Classes = append(rep.Classes, stat)
+	}
+
+	// Deliver each found pair to its two endpoint nodes (the problem's
+	// output convention: node u outputs the pairs {u,v} it is part of).
+	var loads []congest.Load
+	for pr := range rep.Edges {
+		for _, owner := range []int{pr.U, pr.V} {
+			// Reporting node: the search node that found it; charge one
+			// word from a representative search node to the endpoint.
+			src := pt.SearchNode(SearchLabel{U: pt.CoarseOf(pr.U), V: pt.CoarseOf(pr.V), X: 0})
+			if src == congest.NodeID(owner) {
+				continue
+			}
+			loads = append(loads, congest.Load{Src: src, Dst: congest.NodeID(owner), Words: 1})
+		}
+	}
+	if err := net.ChargeBalanced("computepairs/output", loads); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// classicalScan is the classical implementation of Step 3: one evaluation
+// per element of the (padded) search space, answering every instance
+// exactly. It costs spaceSize × evalRounds instead of Õ(√spaceSize) ×
+// evalRounds.
+func classicalScan(net *congest.Network, b *evalBuilder) ([]bool, error) {
+	baseline := net.Metrics()
+	tables, err := b.evalFunc()(net)
+	if err != nil {
+		return nil, err
+	}
+	evalCost := net.DeltaSince(baseline)
+	// One evaluation per space element; the first was executed above.
+	net.ReplayCharge("classical-scan/oracle", evalCost, int64(b.spaceSize-1))
+	found := make([]bool, len(tables))
+	for i, row := range tables {
+		for _, v := range row {
+			if v {
+				found[i] = true
+				break
+			}
+		}
+	}
+	return found, nil
+}

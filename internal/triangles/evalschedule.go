@@ -1,0 +1,278 @@
+package triangles
+
+import (
+	"fmt"
+
+	"qclique/internal/congest"
+	"qclique/internal/graph"
+	"qclique/internal/qsearch"
+	"qclique/internal/xrand"
+)
+
+// This file implements the evaluation procedures of Figures 4 (class
+// α = 0) and 5 (α > 0): the fixed, input-independent communication
+// schedule through which the search-labeled nodes (u,v,x) query the
+// triple-labeled nodes (u,v,w) during the distributed Grover searches.
+//
+// Simulation contract (see package qsearch): the schedule is executed once
+// per multi-search with a sampled *typical* query assignment — each
+// instance queries one uniformly random element of its search space, which
+// is exactly the marginal the initial Grover superposition induces — and
+// the slot caps of the C̃m contract are enforced on it (overflow ⇒ abort,
+// the paper's "error message" branch). The measured schedule cost is then
+// charged once per oracle call. Truth tables are computed from the Step 1
+// placement data that the queried triple nodes hold.
+
+// SlotOverflowError reports a C̃m truncation abort: some query list
+// exceeded the Figure 4/5 slot cap.
+type SlotOverflowError struct {
+	Label  SearchLabel
+	WBlock int
+	Count  int
+	Cap    int
+	Alpha  int
+}
+
+func (e *SlotOverflowError) Error() string {
+	return fmt.Sprintf("triangles: eval slot overflow at (%d,%d,x=%d)→w=%d for α=%d: %d entries, cap %d",
+		e.Label.U, e.Label.V, e.Label.X, e.WBlock, e.Alpha, e.Count, e.Cap)
+}
+
+// instanceRef is one search instance: a kept pair at a search label.
+type instanceRef struct {
+	label  int // SearchIndex
+	pair   graph.Pair
+	weight int64 // f(pair) in G
+}
+
+// searchState is the Step 2 outcome: coverings and the flattened instance
+// list for the multi-searches.
+type searchState struct {
+	pt        *Partitions
+	coverings []Covering // indexed by SearchIndex
+	instances []instanceRef
+}
+
+// runCoverings executes Step 2 of ComputePairs: every search-labeled node
+// samples its covering Λx(u,v), then loads the pair weights from the pair
+// owners and keeps the pairs that are in S and present in G. Aborts with
+// NotWellBalancedError when Lemma 2's balance condition fails.
+func runCoverings(net *congest.Network, pt *Partitions, inst *Instance, params Params, rng *xrand.Source) (*searchState, error) {
+	st := &searchState{pt: pt, coverings: make([]Covering, pt.NumSearchLabels())}
+	var loads []congest.Load
+	for li := 0; li < pt.NumSearchLabels(); li++ {
+		label := pt.SearchFromIndex(li)
+		pairs, err := pt.sampleCovering(label, params, rng.SplitN("covering", li))
+		if err != nil {
+			_ = net.Broadcast("computepairs/step2-abort", pt.SearchNode(label), 1)
+			return nil, err
+		}
+		cov := Covering{Label: label}
+		dst := pt.SearchNode(label)
+		for _, pr := range pairs {
+			// Request to the pair owner and two-word response (weight +
+			// S-membership). Owner is the smaller endpoint by convention.
+			owner := congest.NodeID(pr.U)
+			if owner != dst {
+				loads = append(loads,
+					congest.Load{Src: dst, Dst: owner, Words: 2},
+					congest.Load{Src: owner, Dst: dst, Words: 2},
+				)
+			}
+			w, ok := inst.G.Weight(pr.U, pr.V)
+			if !ok || !inst.inS(pr.U, pr.V) {
+				continue
+			}
+			cov.Pairs = append(cov.Pairs, pr)
+			cov.Weights = append(cov.Weights, w)
+		}
+		st.coverings[li] = cov
+	}
+	if err := net.ChargeBalanced("computepairs/step2-covering", loads); err != nil {
+		return nil, err
+	}
+	for li, cov := range st.coverings {
+		for pi, pr := range cov.Pairs {
+			st.instances = append(st.instances, instanceRef{label: li, pair: pr, weight: cov.Weights[pi]})
+		}
+	}
+	return st, nil
+}
+
+// evalBuilder assembles the class-α evaluation procedure.
+type evalBuilder struct {
+	pt         *Partitions
+	pl         *placement
+	st         *searchState
+	params     Params
+	alpha      int
+	spaceSize  int     // padded: max |T_α[u,v]| over groups
+	classLists [][]int // per group u*q+v: T_α[u,v]
+	rng        *xrand.Source
+	validate   bool
+}
+
+func newEvalBuilder(pt *Partitions, pl *placement, st *searchState, cls *classification, params Params, alpha int, rng *xrand.Source) *evalBuilder {
+	q := pt.NumCoarse()
+	lists := make([][]int, q*q)
+	size := 0
+	for u := 0; u < q; u++ {
+		for v := 0; v < q; v++ {
+			lists[u*q+v] = cls.classesFor(u, v, alpha)
+			if len(lists[u*q+v]) > size {
+				size = len(lists[u*q+v])
+			}
+		}
+	}
+	return &evalBuilder{
+		pt:         pt,
+		pl:         pl,
+		st:         st,
+		params:     params,
+		alpha:      alpha,
+		spaceSize:  size,
+		classLists: lists,
+		rng:        rng,
+	}
+}
+
+// groupOf returns the group index of a search label.
+func (b *evalBuilder) groupOf(li int) int {
+	l := b.pt.SearchFromIndex(li)
+	return l.U*b.pt.NumCoarse() + l.V
+}
+
+// truthRow computes the oracle row for one pair in one group: entry i
+// answers "does some w in fine block T_α[u,v][i] close a negative triangle
+// with this pair". Negative triangle test (Definition 1):
+// f(u,w) + f(w,v) < −f(u,v). (Figure 4 prints the comparison as
+// min ≤ f(u,v); the strict-inequality form against −f(u,v) is the one
+// consistent with Definition 1 and is what we implement.)
+func (b *evalBuilder) truthRow(group int, pr graph.Pair, weight int64) []bool {
+	q := b.pt.NumCoarse()
+	u, v := group/q, group%q
+	a, bb := pr.U, pr.V
+	if b.pt.CoarseOf(a) != u {
+		a, bb = bb, a
+	}
+	list := b.classLists[group]
+	row := make([]bool, b.spaceSize)
+	for i, w := range list {
+		row[i] = b.pl.minLegSum(u, v, w, a, bb) < -weight
+	}
+	return row
+}
+
+// evalFunc returns the qsearch evaluation procedure for this class.
+func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
+	return func(net *congest.Network) ([][]bool, error) {
+		n := b.pt.N()
+		dup := b.params.duplication(n, b.alpha)
+		slotCap := b.params.slotCap(n, b.alpha)
+
+		// Figure 5 Step 0 (α > 0 with a duplication factor): every triple
+		// node of class α broadcasts its Step 1 tables to its dup−1 clone
+		// labels so the query bandwidth scales with 2^α.
+		if b.alpha > 0 && dup > 1 {
+			var loads []congest.Load
+			q := b.pt.NumCoarse()
+			for u := 0; u < q; u++ {
+				for v := 0; v < q; v++ {
+					for _, w := range b.classLists[u*q+v] {
+						t := TripleLabel{U: u, V: v, W: w}
+						src := b.pt.TripleNode(t)
+						words := int64(len(b.pt.Coarse[u])*len(b.pt.Fine[w]) + len(b.pt.Fine[w])*len(b.pt.Coarse[v]))
+						for y := 1; y < dup; y++ {
+							dst := b.cloneNode(t, y, dup)
+							if dst == src {
+								continue
+							}
+							loads = append(loads, congest.Load{Src: src, Dst: dst, Words: words})
+						}
+					}
+				}
+			}
+			if err := net.ChargeBalanced(fmt.Sprintf("eval/α=%d/step0-duplicate", b.alpha), loads); err != nil {
+				return nil, err
+			}
+		}
+
+		// Sample the typical query assignment: each instance queries one
+		// uniform element of its search space — the marginal induced by
+		// the uniform initial superposition. Build the per-(k,w) lists
+		// L^k_w and enforce the slot caps of the C̃m contract.
+		qrng := b.rng.Split("query-assignment")
+		listCount := make(map[[2]int]int) // (searchLabel, wBlock) → entries
+		for _, ins := range b.st.instances {
+			g := b.groupOf(ins.label)
+			list := b.classLists[g]
+			if len(list) == 0 {
+				continue
+			}
+			w := list[qrng.IntN(len(list))]
+			k := [2]int{ins.label, w}
+			listCount[k]++
+			if listCount[k] > slotCap {
+				label := b.pt.SearchFromIndex(ins.label)
+				return nil, &SlotOverflowError{Label: label, WBlock: w, Count: listCount[k], Cap: slotCap, Alpha: b.alpha}
+			}
+		}
+
+		// Figure 4/5 Steps 1–2: send each list (3 words per entry: the two
+		// endpoints and the pair weight) to the triple node (or its clone
+		// label), and receive one word per entry back. Sublists are spread
+		// round-robin across the dup clone labels.
+		var loads []congest.Load
+		for k, count := range listCount {
+			label := b.pt.SearchFromIndex(k[0])
+			src := b.pt.SearchNode(label)
+			t := TripleLabel{U: label.U, V: label.V, W: k[1]}
+			per := (count + dup - 1) / dup
+			remaining := count
+			for y := 0; y < dup && remaining > 0; y++ {
+				chunk := per
+				if chunk > remaining {
+					chunk = remaining
+				}
+				remaining -= chunk
+				dst := b.cloneNode(t, y, dup)
+				if dst == src {
+					continue
+				}
+				loads = append(loads,
+					congest.Load{Src: src, Dst: dst, Words: int64(3 * chunk)},
+					congest.Load{Src: dst, Dst: src, Words: int64(chunk)},
+				)
+			}
+		}
+		if err := net.ChargeBalanced(fmt.Sprintf("eval/α=%d/query-response", b.alpha), loads); err != nil {
+			return nil, err
+		}
+
+		// Assemble the truth tables from the queried triple nodes' data.
+		// Rows are memoized per (group, pair): a pair covered by several
+		// Λx sets shares one row.
+		memo := make(map[[3]int][]bool)
+		tables := make([][]bool, len(b.st.instances))
+		for i, ins := range b.st.instances {
+			g := b.groupOf(ins.label)
+			key := [3]int{g, ins.pair.U, ins.pair.V}
+			row, ok := memo[key]
+			if !ok {
+				row = b.truthRow(g, ins.pair, ins.weight)
+				memo[key] = row
+			}
+			tables[i] = row
+		}
+		return tables, nil
+	}
+}
+
+// cloneNode maps the Figure 5 label (u,v,w,y) to a physical node. For
+// y = 0 (and for dup = 1, i.e. Figure 4) it is the triple node itself.
+func (b *evalBuilder) cloneNode(t TripleLabel, y, dup int) congest.NodeID {
+	if y == 0 || dup <= 1 {
+		return b.pt.TripleNode(t)
+	}
+	return congest.NodeID((b.pt.TripleIndex(t)*dup + y) % b.pt.N())
+}

@@ -1,0 +1,222 @@
+package triangles
+
+import (
+	"errors"
+	"testing"
+
+	"qclique/internal/congest"
+	"qclique/internal/graph"
+	"qclique/internal/xrand"
+)
+
+// buildEval assembles an evalBuilder for class alpha on a random workload.
+func buildEval(t *testing.T, n int, seed uint64, params Params, alpha int) (*congest.Network, *evalBuilder, *searchState) {
+	t.Helper()
+	pt, err := NewPartitions(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := congest.NewNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(seed)
+	g, err := graph.RandomUndirected(n, graph.UndirectedOpts{EdgeProb: 0.5, MinWeight: -8, MaxWeight: 15}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &Instance{G: g}
+	pl, err := runPlacement(net, pt, inst.legs(), DataDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := runIdentifyClass(net, pt, inst, pl, params, rng.Split("identify"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := runCoverings(net, pt, inst, params, rng.Split("cover"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, newEvalBuilder(pt, pl, st, cls, params, alpha, rng.Split("eval")), st
+}
+
+func TestEvalFuncTruthTablesMatchBruteForce(t *testing.T) {
+	net, b, st := buildEval(t, 32, 1, PaperParams(), 0)
+	if b.spaceSize == 0 {
+		t.Skip("class 0 empty")
+	}
+	tables, err := b.evalFunc()(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(st.instances) {
+		t.Fatalf("tables = %d, instances = %d", len(tables), len(st.instances))
+	}
+	// Spot check each table entry against the brute-force triangle test.
+	rng := xrand.New(99)
+	checked := 0
+	for trial := 0; trial < 500 && checked < 200; trial++ {
+		i := rng.IntN(len(st.instances))
+		ins := st.instances[i]
+		g := b.groupOf(ins.label)
+		list := b.classLists[g]
+		if len(list) == 0 {
+			continue
+		}
+		xi := rng.IntN(b.spaceSize)
+		want := false
+		if xi < len(list) {
+			w := list[xi]
+			for _, c := range b.pt.Fine[w] {
+				if c == ins.pair.U || c == ins.pair.V {
+					continue
+				}
+				la, ok := b.pl.legs.Weight(ins.pair.U, c)
+				if !ok {
+					continue
+				}
+				lb, ok := b.pl.legs.Weight(ins.pair.V, c)
+				if !ok {
+					continue
+				}
+				if graph.SaturatingAdd(la, lb) < -ins.weight {
+					want = true
+					break
+				}
+			}
+		}
+		if tables[i][xi] != want {
+			t.Fatalf("instance %d element %d: table %v, brute force %v", i, xi, tables[i][xi], want)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d entries checked", checked)
+	}
+}
+
+func TestEvalFuncSlotOverflowAborts(t *testing.T) {
+	params := PaperParams()
+	params.SlotCap = 1e-9 // every nonempty list overflows
+	net, b, st := buildEval(t, 32, 2, params, 0)
+	if b.spaceSize == 0 || len(st.instances) == 0 {
+		t.Skip("no work")
+	}
+	_, err := b.evalFunc()(net)
+	var so *SlotOverflowError
+	if !errors.As(err, &so) {
+		t.Fatalf("err = %v, want SlotOverflowError", err)
+	}
+	if so.Error() == "" {
+		t.Error("empty overflow message")
+	}
+}
+
+func TestEvalFuncChargesRounds(t *testing.T) {
+	net, b, _ := buildEval(t, 32, 3, PaperParams(), 0)
+	if b.spaceSize == 0 {
+		t.Skip("class 0 empty")
+	}
+	before := net.Rounds()
+	if _, err := b.evalFunc()(net); err != nil {
+		t.Fatal(err)
+	}
+	if net.Rounds() <= before {
+		t.Error("evaluation must charge rounds")
+	}
+}
+
+func TestEvalBuilderPadding(t *testing.T) {
+	_, b, _ := buildEval(t, 32, 4, PaperParams(), 0)
+	// Padded entries (beyond the group's class list) must always be false.
+	if b.spaceSize == 0 {
+		t.Skip("class 0 empty")
+	}
+	for g, list := range b.classLists {
+		if len(list) >= b.spaceSize {
+			continue
+		}
+		row := b.truthRow(g, graph.MakePair(0, 1), 100000) // huge weight: nothing negative
+		for i := len(list); i < b.spaceSize; i++ {
+			if row[i] {
+				t.Fatal("padded element marked true")
+			}
+		}
+		break
+	}
+}
+
+func TestCloneNodeMapping(t *testing.T) {
+	_, b, _ := buildEval(t, 32, 5, PaperParams(), 0)
+	tl := TripleLabel{U: 0, V: 0, W: 0}
+	if b.cloneNode(tl, 0, 1) != b.pt.TripleNode(tl) {
+		t.Error("y=0 must map to the triple node")
+	}
+	if b.cloneNode(tl, 0, 4) != b.pt.TripleNode(tl) {
+		t.Error("y=0 with dup>1 must map to the triple node")
+	}
+	n := b.pt.N()
+	for y := 1; y < 4; y++ {
+		c := b.cloneNode(tl, y, 4)
+		if c < 0 || int(c) >= n {
+			t.Fatalf("clone node %d out of range", c)
+		}
+	}
+}
+
+func TestRunCoveringsKeepsOnlySEdges(t *testing.T) {
+	pt, err := NewPartitions(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := congest.NewNetwork(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.NewUndirected(16)
+	if err := g.SetEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetEdge(2, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	inst := &Instance{G: g, S: map[graph.Pair]bool{graph.MakePair(0, 1): true}}
+	st, err := runCoverings(net, pt, inst, PaperParams(), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range st.instances {
+		if ins.pair != graph.MakePair(0, 1) {
+			t.Fatalf("kept pair %v outside S∩E", ins.pair)
+		}
+		if ins.weight != 5 {
+			t.Fatalf("kept weight %d, want 5", ins.weight)
+		}
+	}
+	if len(st.instances) == 0 {
+		t.Error("the S pair should be covered by at least one Λx (paper constants sample everything at n=16)")
+	}
+}
+
+func TestFigure5DuplicationPathCharges(t *testing.T) {
+	// Force dup > 1 via a tiny ClassSize and a nonzero class; verify the
+	// duplication broadcast charges rounds and the schedule still works.
+	params := PaperParams()
+	params.ClassSize = 0.0001
+	params.ClassThreshold = 0.0001 // push triples into high classes
+	net, b, st := buildEval(t, 32, 6, params, 3)
+	if b.spaceSize == 0 || len(st.instances) == 0 {
+		t.Skip("class 3 empty under forced thresholds")
+	}
+	if params.duplication(32, 3) <= 1 {
+		t.Skip("duplication did not activate")
+	}
+	before := net.Rounds()
+	if _, err := b.evalFunc()(net); err != nil {
+		t.Fatal(err)
+	}
+	if net.Rounds() <= before {
+		t.Error("Figure 5 duplication must charge rounds")
+	}
+}

@@ -1,0 +1,163 @@
+// Package triangles implements the paper's negative-triangle machinery:
+// FindEdgesWithPromise via Algorithm ComputePairs (Figure 1) with its
+// partitions and labelings (Section 5.1), Algorithm IdentifyClass
+// (Figure 2, Proposition 5), the evaluation procedures for the distributed
+// quantum searches (Figures 4 and 5), the classical √n-search variant, the
+// Dolev–Lenzen–Peled Õ(n^{1/3}) triangle-listing baseline, and the
+// Proposition 1 reduction from FindEdges to FindEdgesWithPromise.
+package triangles
+
+import "math"
+
+// Params collects the constants of Section 5. The paper's values are tuned
+// for union bounds at asymptotic n; PaperParams returns them verbatim,
+// BenchParams returns smaller constants with the same asymptotic shape for
+// scaling measurements at simulable n. Every constant multiplies ln n (the
+// paper's "log n"); the helpers below perform that multiplication.
+type Params struct {
+	// CoverSample is c in the Λx pair-sampling probability c·ln(n)/√n
+	// (Section 5.1 partition procedure; paper: 10).
+	CoverSample float64
+	// WellBalanced is c in the well-balancedness bound c·n^{1/4}·ln n
+	// (Section 5.1; paper: 100).
+	WellBalanced float64
+	// ClassSample is c in the IdentifyClass selection probability c·ln(n)/n
+	// (Figure 2 Step 1; paper: 10).
+	ClassSample float64
+	// ClassAbort is c in the IdentifyClass abort bound c·ln n (Figure 2
+	// Step 1; paper: 20).
+	ClassAbort float64
+	// ClassThreshold is c in the class boundaries c·2^α·ln n (Figure 2
+	// Step 2; paper: 10).
+	ClassThreshold float64
+	// Promise is c in the FindEdgesWithPromise promise Γ(u,v) ≤ c·ln n
+	// (Section 3; paper: 90).
+	Promise float64
+	// SlotCap is c in the evaluation-schedule per-destination cap
+	// c·2^α·√n·ln n (Figures 4–5; paper: 800).
+	SlotCap float64
+	// ClassSize is c in the Lemma 4 bound |Tα[u,v]| ≤ c·√n·ln(n)/2^α
+	// (paper: 720); it also sets the Figure 5 duplication factor
+	// 2^α/(c·ln n).
+	ClassSize float64
+	// Reduction is c in the Proposition 1 sampling probability
+	// √(c·2^i·ln(n)/n) and loop bound c·2^i·ln n ≤ n (paper: 60).
+	Reduction float64
+	// MaxRetries bounds how many times an aborted protocol run (covering
+	// not well-balanced, IdentifyClass overflow, truncation failure) is
+	// retried with fresh randomness before giving up.
+	MaxRetries int
+}
+
+// PaperParams returns the constants exactly as printed in the paper.
+func PaperParams() Params {
+	return Params{
+		CoverSample:    10,
+		WellBalanced:   100,
+		ClassSample:    10,
+		ClassAbort:     20,
+		ClassThreshold: 10,
+		Promise:        90,
+		SlotCap:        800,
+		ClassSize:      720,
+		Reduction:      60,
+		MaxRetries:     25,
+	}
+}
+
+// BenchParams returns constants scaled down by roughly 3x, preserving the
+// asymptotic shape (every bound still carries its ln n and √n factors)
+// while keeping message volumes simulable at n in the hundreds. Coverage
+// of P(u,v) still holds with probability 1 − n^{-3+o(1)} per pair.
+func BenchParams() Params {
+	return Params{
+		CoverSample:    3,
+		WellBalanced:   40,
+		ClassSample:    4,
+		ClassAbort:     10,
+		ClassThreshold: 4,
+		Promise:        30,
+		SlotCap:        260,
+		ClassSize:      240,
+		Reduction:      20,
+		MaxRetries:     25,
+	}
+}
+
+// logN is the paper's "log n" (natural log, floored at 1 so the tiny-n
+// regime keeps positive probabilities).
+func logN(n int) float64 {
+	if n < 3 {
+		return 1
+	}
+	return math.Log(float64(n))
+}
+
+// coverSampleProb is the Λx(u,v) per-pair sampling probability, clipped
+// into [0, 1].
+func (p Params) coverSampleProb(n int) float64 {
+	return clipProb(p.CoverSample * logN(n) / math.Sqrt(float64(n)))
+}
+
+// wellBalancedBound is the per-u cap on |{v ∈ v : {u,v} ∈ Λx(u,v)}|.
+func (p Params) wellBalancedBound(n int) int {
+	return int(math.Ceil(p.WellBalanced * math.Pow(float64(n), 0.25) * logN(n)))
+}
+
+// classSampleProb is the IdentifyClass per-neighbor selection probability.
+func (p Params) classSampleProb(n int) float64 {
+	return clipProb(p.ClassSample * logN(n) / float64(n))
+}
+
+// classAbortBound is the |Λ(u)| abort threshold of IdentifyClass.
+func (p Params) classAbortBound(n int) int {
+	return int(math.Ceil(p.ClassAbort * logN(n)))
+}
+
+// classThreshold is the Figure 2 boundary 10·2^c·log n.
+func (p Params) classThreshold(n, c int) float64 {
+	return p.ClassThreshold * math.Pow(2, float64(c)) * logN(n)
+}
+
+// promiseBound is the FindEdgesWithPromise promise Γ ≤ 90·log n.
+func (p Params) promiseBound(n int) int {
+	return int(math.Ceil(p.Promise * logN(n)))
+}
+
+// slotCap is the evaluation-schedule per-destination list cap
+// 800·2^α·√n·log n.
+func (p Params) slotCap(n, alpha int) int {
+	return int(math.Ceil(p.SlotCap * math.Pow(2, float64(alpha)) * math.Sqrt(float64(n)) * logN(n)))
+}
+
+// duplication is the Figure 5 bandwidth-duplication factor
+// max(1, 2^α/(ClassSize·log n)).
+func (p Params) duplication(n, alpha int) int {
+	d := math.Pow(2, float64(alpha)) / (p.ClassSize * logN(n))
+	if d < 1 {
+		return 1
+	}
+	return int(math.Floor(d))
+}
+
+// reductionProb is the Proposition 1 leg-sampling probability
+// √(Reduction·2^i·log n / n), clipped into [0, 1].
+func (p Params) reductionProb(n, i int) float64 {
+	return clipProb(math.Sqrt(p.Reduction * math.Pow(2, float64(i)) * logN(n) / float64(n)))
+}
+
+// reductionLoopActive reports whether the Proposition 1 while-loop
+// condition Reduction·2^i·log n ≤ n still holds.
+func (p Params) reductionLoopActive(n, i int) bool {
+	return p.Reduction*math.Pow(2, float64(i))*logN(n) <= float64(n)
+}
+
+func clipProb(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

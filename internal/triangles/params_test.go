@@ -1,0 +1,120 @@
+package triangles
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperParamsValues(t *testing.T) {
+	p := PaperParams()
+	// The printed constants of the paper.
+	if p.CoverSample != 10 || p.WellBalanced != 100 || p.ClassSample != 10 ||
+		p.ClassAbort != 20 || p.ClassThreshold != 10 || p.Promise != 90 ||
+		p.SlotCap != 800 || p.ClassSize != 720 || p.Reduction != 60 {
+		t.Errorf("paper constants drifted: %+v", p)
+	}
+	if p.MaxRetries <= 0 {
+		t.Error("retries must be positive")
+	}
+}
+
+func TestBenchParamsPreserveShape(t *testing.T) {
+	paper := PaperParams()
+	bench := BenchParams()
+	// Scaled-down but same sign and same dependence: every derived bound
+	// must still be positive and smaller than the paper bound.
+	n := 256
+	if bench.coverSampleProb(n) <= 0 || bench.coverSampleProb(n) > paper.coverSampleProb(n) {
+		t.Error("cover sampling probability out of order")
+	}
+	if bench.promiseBound(n) <= 0 || bench.promiseBound(n) > paper.promiseBound(n) {
+		t.Error("promise bound out of order")
+	}
+	if bench.slotCap(n, 0) <= 0 || bench.slotCap(n, 0) > paper.slotCap(n, 0) {
+		t.Error("slot cap out of order")
+	}
+}
+
+func TestDerivedBoundsScaling(t *testing.T) {
+	p := PaperParams()
+	// coverSampleProb carries log(n)/√n.
+	for _, n := range []int{16, 256, 4096} {
+		want := 10 * math.Log(float64(n)) / math.Sqrt(float64(n))
+		if want > 1 {
+			want = 1
+		}
+		if got := p.coverSampleProb(n); math.Abs(got-want) > 1e-12 {
+			t.Errorf("coverSampleProb(%d) = %f, want %f", n, got, want)
+		}
+	}
+	// slotCap doubles per class.
+	if 2*p.slotCap(256, 0) != p.slotCap(256, 1) &&
+		math.Abs(float64(2*p.slotCap(256, 0)-p.slotCap(256, 1))) > 2 {
+		t.Errorf("slot cap not doubling: α0=%d α1=%d", p.slotCap(256, 0), p.slotCap(256, 1))
+	}
+	// classThreshold doubles per class exactly.
+	if p.classThreshold(256, 3) != 2*p.classThreshold(256, 2) {
+		t.Error("class threshold not doubling")
+	}
+	// wellBalancedBound carries n^{1/4}·log n.
+	if p.wellBalancedBound(16) >= p.wellBalancedBound(256) {
+		t.Error("balance bound must grow with n")
+	}
+}
+
+func TestDuplicationFactor(t *testing.T) {
+	p := PaperParams()
+	// At realistic α the factor stays 1 until 2^α exceeds 720·log n.
+	if p.duplication(256, 0) != 1 || p.duplication(256, 5) != 1 {
+		t.Error("small classes must not duplicate")
+	}
+	// Forcing a tiny ClassSize activates duplication.
+	p.ClassSize = 0.001
+	if p.duplication(256, 8) <= 1 {
+		t.Errorf("duplication = %d, want > 1", p.duplication(256, 8))
+	}
+}
+
+func TestReductionSchedule(t *testing.T) {
+	p := PaperParams()
+	// Probabilities grow with the level and eventually the loop stops.
+	n := 100000
+	if !p.reductionLoopActive(n, 0) {
+		t.Fatal("level 0 must be active at large n")
+	}
+	prev := 0.0
+	levels := 0
+	for i := 0; p.reductionLoopActive(n, i); i++ {
+		pr := p.reductionProb(n, i)
+		if pr <= prev {
+			t.Fatalf("sampling probability must grow per level: %f then %f", prev, pr)
+		}
+		prev = pr
+		levels++
+		if levels > 64 {
+			t.Fatal("loop does not terminate")
+		}
+	}
+	if levels == 0 {
+		t.Error("expected at least one level at n=100000")
+	}
+	// Tiny n: no levels (the paper's c=0 case).
+	if p.reductionLoopActive(30, 0) {
+		t.Error("level 0 must be inactive at n=30 with paper constants")
+	}
+}
+
+func TestClipProb(t *testing.T) {
+	if clipProb(-0.5) != 0 || clipProb(1.5) != 1 || clipProb(0.25) != 0.25 {
+		t.Error("clipProb wrong")
+	}
+}
+
+func TestLogNFloor(t *testing.T) {
+	if logN(0) != 1 || logN(2) != 1 {
+		t.Error("tiny n must floor at 1")
+	}
+	if math.Abs(logN(100)-math.Log(100)) > 1e-12 {
+		t.Error("logN must be ln for n >= 3")
+	}
+}

@@ -1,0 +1,241 @@
+package triangles
+
+import (
+	"fmt"
+
+	"qclique/internal/congest"
+	"qclique/internal/graph"
+)
+
+// This file implements Step 1 of Algorithm ComputePairs (Figure 1): each
+// triple-labeled node (u,v,w) loads the weights f(u,w) for all
+// {u,w} ∈ P(u,w) and f(w,v) for all {w,v} ∈ P(w,v). The u-side legs are
+// routed from their endpoint in u, the v-side legs from their endpoint in
+// v; every node sources and sinks O(n^{5/4}) words, so Lemma-1 routing
+// delivers the placement in O(n^{1/4}) rounds.
+
+// DataMode selects how much of the protocol's data movement is physically
+// materialized.
+type DataMode int
+
+const (
+	// DataFull routes placement payloads through the simulator and stores
+	// per-triple weight tables; truth queries are answered from the stored
+	// copies. Used by correctness tests.
+	DataFull DataMode = iota + 1
+	// DataDirect charges the identical link loads but answers truth
+	// queries from the input graph directly, trading fidelity of data flow
+	// (not of cost accounting) for memory. Used by large-n scaling runs.
+	DataDirect
+)
+
+// tripleData is the weight table held by one triple-labeled node after
+// Step 1.
+type tripleData struct {
+	legsUW []int64 // row-major |Coarse[U]| × |Fine[W]|: f(a,c)
+	legsWV []int64 // row-major |Fine[W]| × |Coarse[V]|: f(c,b)
+}
+
+// placement is the completed Step 1 state.
+type placement struct {
+	pt   *Partitions
+	mode DataMode
+	legs *graph.Undirected
+	data []tripleData // indexed by TripleIndex; nil unless DataFull
+}
+
+const (
+	sideUW congest.Word = 1
+	sideWV congest.Word = 2
+)
+
+// runPlacement executes (or charges) Step 1 on the network.
+func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, mode DataMode) (*placement, error) {
+	pl := &placement{pt: pt, mode: mode, legs: legs}
+	q := pt.NumCoarse()
+	s := pt.NumFine()
+
+	if mode == DataFull {
+		pl.data = make([]tripleData, pt.NumTriples())
+		for ti := range pl.data {
+			t := pt.TripleFromIndex(ti)
+			pl.data[ti] = tripleData{
+				legsUW: newNoEdge(len(pt.Coarse[t.U]) * len(pt.Fine[t.W])),
+				legsWV: newNoEdge(len(pt.Fine[t.W]) * len(pt.Coarse[t.V])),
+			}
+		}
+	}
+
+	var msgs []congest.Message
+	var loads []congest.Load
+	ingestLocal := 0
+
+	emit := func(src, dst congest.NodeID, data []congest.Word) {
+		if src == dst {
+			// Local hand-off: the sender hosts the triple label itself.
+			if mode == DataFull {
+				pl.ingest(congest.Message{Src: src, Dst: dst, Data: data})
+			}
+			ingestLocal++
+			return
+		}
+		if mode == DataFull {
+			msgs = append(msgs, congest.Message{Src: src, Dst: dst, Data: data})
+		} else {
+			loads = append(loads, congest.Load{Src: src, Dst: dst, Words: int64(len(data))})
+		}
+	}
+
+	for u := 0; u < q; u++ {
+		for v := 0; v < q; v++ {
+			for w := 0; w < s; w++ {
+				t := TripleLabel{U: u, V: v, W: w}
+				dst := pt.TripleNode(t)
+				ti := congest.Word(pt.TripleIndex(t))
+				// u-side legs: vertex a sends f(a, c) for all c in w.
+				for ai, a := range pt.Coarse[u] {
+					data := make([]congest.Word, 0, 4+len(pt.Fine[w]))
+					data = append(data, ti, sideUW, congest.Word(ai))
+					for _, c := range pt.Fine[w] {
+						data = append(data, encodeWeight(weightOrNoEdge(legs, a, c)))
+					}
+					emit(congest.NodeID(a), dst, data)
+				}
+				// v-side legs: vertex b sends f(c, b) for all c in w.
+				for bi, b := range pt.Coarse[v] {
+					data := make([]congest.Word, 0, 4+len(pt.Fine[w]))
+					data = append(data, ti, sideWV, congest.Word(bi))
+					for _, c := range pt.Fine[w] {
+						data = append(data, encodeWeight(weightOrNoEdge(legs, c, b)))
+					}
+					emit(congest.NodeID(b), dst, data)
+				}
+			}
+		}
+	}
+
+	if mode == DataFull {
+		inboxes, err := net.ExchangeBalanced("computepairs/step1-placement", msgs)
+		if err != nil {
+			return nil, fmt.Errorf("placement: %w", err)
+		}
+		for _, inbox := range inboxes {
+			for _, m := range inbox {
+				if err := pl.ingestChecked(m); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return pl, nil
+	}
+	if err := net.ChargeBalanced("computepairs/step1-placement", loads); err != nil {
+		return nil, fmt.Errorf("placement: %w", err)
+	}
+	return pl, nil
+}
+
+func newNoEdge(n int) []int64 {
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = graph.NoEdge
+	}
+	return w
+}
+
+func weightOrNoEdge(g *graph.Undirected, a, b int) int64 {
+	if w, ok := g.Weight(a, b); ok {
+		return w
+	}
+	return graph.NoEdge
+}
+
+// encodeWeight and decodeWeight pack extended weights into message words.
+func encodeWeight(w int64) congest.Word { return congest.Word(uint64(w)) }
+func decodeWeight(w congest.Word) int64 { return int64(uint64(w)) }
+
+func (pl *placement) ingestChecked(m congest.Message) error {
+	if len(m.Data) < 3 {
+		return fmt.Errorf("placement: short message (%d words)", len(m.Data))
+	}
+	pl.ingest(m)
+	return nil
+}
+
+func (pl *placement) ingest(m congest.Message) {
+	ti := int(m.Data[0])
+	side := m.Data[1]
+	idx := int(m.Data[2])
+	t := pl.pt.TripleFromIndex(ti)
+	td := &pl.data[ti]
+	weights := m.Data[3:]
+	switch side {
+	case sideUW:
+		sW := len(pl.pt.Fine[t.W])
+		for ci := 0; ci < len(weights) && ci < sW; ci++ {
+			td.legsUW[idx*sW+ci] = decodeWeight(weights[ci])
+		}
+	case sideWV:
+		qV := len(pl.pt.Coarse[t.V])
+		for ci := 0; ci < len(weights); ci++ {
+			td.legsWV[ci*qV+idx] = decodeWeight(weights[ci])
+		}
+	}
+}
+
+// minLegSum answers the triple node's local computation (Figures 4–5): the
+// minimum of f(a,c)+f(c,b) over c in fine block w, where a lies in coarse
+// block u and b in coarse block v. Returns graph.Inf when no c closes both
+// legs.
+func (pl *placement) minLegSum(u, v, w int, a, b int) int64 {
+	if pl.mode == DataDirect {
+		best := graph.Inf
+		for _, c := range pl.pt.Fine[w] {
+			if c == a || c == b {
+				continue
+			}
+			wa, ok := pl.legs.Weight(a, c)
+			if !ok {
+				continue
+			}
+			wb, ok := pl.legs.Weight(c, b)
+			if !ok {
+				continue
+			}
+			if s := graph.SaturatingAdd(wa, wb); s < best {
+				best = s
+			}
+		}
+		return best
+	}
+	t := TripleLabel{U: u, V: v, W: w}
+	td := &pl.data[pl.pt.TripleIndex(t)]
+	ai := indexInBlock(pl.pt.Coarse[u], a)
+	bi := indexInBlock(pl.pt.Coarse[v], b)
+	sW := len(pl.pt.Fine[w])
+	qV := len(pl.pt.Coarse[v])
+	best := graph.Inf
+	for ci := 0; ci < sW; ci++ {
+		c := pl.pt.Fine[w][ci]
+		if c == a || c == b {
+			continue
+		}
+		wa := td.legsUW[ai*sW+ci]
+		if wa == graph.NoEdge {
+			continue
+		}
+		wb := td.legsWV[ci*qV+bi]
+		if wb == graph.NoEdge {
+			continue
+		}
+		if s := graph.SaturatingAdd(wa, wb); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// indexInBlock locates v inside a contiguous block (blocks produced by
+// splitEven are sorted ranges, so the offset is v - block[0]).
+func indexInBlock(block []int, v int) int {
+	return v - block[0]
+}

@@ -1,0 +1,149 @@
+package triangles
+
+import (
+	"testing"
+
+	"qclique/internal/congest"
+	"qclique/internal/graph"
+	"qclique/internal/xrand"
+)
+
+func placementPair(t *testing.T, n int, seed uint64) (*Partitions, *graph.Undirected) {
+	t.Helper()
+	pt, err := NewPartitions(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(seed)
+	g, err := graph.RandomUndirected(n, graph.UndirectedOpts{EdgeProb: 0.5, MinWeight: -10, MaxWeight: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt, g
+}
+
+// bruteMinLegSum is the reference for placement.minLegSum.
+func bruteMinLegSum(pt *Partitions, g *graph.Undirected, w, a, b int) int64 {
+	best := graph.Inf
+	for _, c := range pt.Fine[w] {
+		if c == a || c == b {
+			continue
+		}
+		wa, ok := g.Weight(a, c)
+		if !ok {
+			continue
+		}
+		wb, ok := g.Weight(c, b)
+		if !ok {
+			continue
+		}
+		if s := graph.SaturatingAdd(wa, wb); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+func TestPlacementFullMatchesDirect(t *testing.T) {
+	for _, n := range []int{16, 30, 81} {
+		pt, g := placementPair(t, n, uint64(n))
+		netFull, err := congest.NewNetwork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := runPlacement(netFull, pt, g, DataFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		netDirect, err := congest.NewNetwork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := runPlacement(netDirect, pt, g, DataDirect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identical round accounting.
+		if netFull.Rounds() != netDirect.Rounds() {
+			t.Errorf("n=%d: full %d rounds vs direct %d rounds", n, netFull.Rounds(), netDirect.Rounds())
+		}
+		// Identical leg sums against brute force, across all groups.
+		rng := xrand.New(uint64(n) + 7)
+		for trial := 0; trial < 200; trial++ {
+			u := rng.IntN(pt.NumCoarse())
+			v := rng.IntN(pt.NumCoarse())
+			w := rng.IntN(pt.NumFine())
+			a := pt.Coarse[u][rng.IntN(len(pt.Coarse[u]))]
+			b := pt.Coarse[v][rng.IntN(len(pt.Coarse[v]))]
+			if a == b {
+				continue
+			}
+			want := bruteMinLegSum(pt, g, w, a, b)
+			if got := full.minLegSum(u, v, w, a, b); got != want {
+				t.Fatalf("n=%d full: minLegSum(%d,%d,%d,%d,%d) = %d, want %d", n, u, v, w, a, b, got, want)
+			}
+			if got := direct.minLegSum(u, v, w, a, b); got != want {
+				t.Fatalf("n=%d direct: minLegSum = %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func TestPlacementRoundsScaleAsQuarterPower(t *testing.T) {
+	// Step 1 is O(n^{1/4}) rounds: measured rounds at n=16 vs n=256
+	// (16× n growth) should grow ≈ 2× (= 16^{1/4}...·const), certainly
+	// below 6×.
+	rounds := func(n int) int64 {
+		pt, g := placementPair(t, n, uint64(n))
+		net, err := congest.NewNetwork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := runPlacement(net, pt, g, DataDirect); err != nil {
+			t.Fatal(err)
+		}
+		return net.Rounds()
+	}
+	r16 := rounds(16)
+	r256 := rounds(256)
+	if ratio := float64(r256) / float64(r16); ratio > 6 {
+		t.Errorf("placement rounds ratio %f (r16=%d r256=%d) too steep for n^{1/4}", ratio, r16, r256)
+	}
+}
+
+func TestPlacementShortMessage(t *testing.T) {
+	pt, g := placementPair(t, 16, 1)
+	net, err := congest.NewNetwork(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := runPlacement(net, pt, g, DataFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.ingestChecked(congest.Message{Data: []congest.Word{1}}); err == nil {
+		t.Error("short message must be rejected")
+	}
+}
+
+func TestEncodeDecodeWeight(t *testing.T) {
+	for _, w := range []int64{0, 1, -1, graph.Inf, graph.NegInf, 123456789, -987654321} {
+		if decodeWeight(encodeWeight(w)) != w {
+			t.Errorf("weight %d does not roundtrip", w)
+		}
+	}
+}
+
+func TestIndexInBlock(t *testing.T) {
+	pt, err := NewPartitions(81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, block := range pt.Coarse {
+		for want, v := range block {
+			if got := indexInBlock(block, v); got != want {
+				t.Fatalf("block %d vertex %d: index %d, want %d", bi, v, got, want)
+			}
+		}
+	}
+}

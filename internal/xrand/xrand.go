@@ -1,0 +1,109 @@
+// Package xrand provides deterministic, splittable pseudo-random number
+// generation for the simulator.
+//
+// Every protocol run in this repository is replayable from a single root
+// seed. Sub-streams are derived by hashing a label and an index into the
+// root seed (SplitMix64 finalization), so independent protocol phases and
+// independent nodes draw from statistically independent streams without
+// sharing mutable state. This is what makes the CONGEST-CLIQUE simulator
+// deterministic even when node handlers run concurrently.
+package xrand
+
+import "math/rand/v2"
+
+// splitmix64 is the SplitMix64 finalizer. It is a strong 64-bit mixing
+// function used to derive independent stream seeds from (seed, label, index)
+// triples.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashLabel folds a string label into a 64-bit value with FNV-1a and then
+// strengthens it with SplitMix64.
+func hashLabel(label string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	return splitmix64(h)
+}
+
+// Source is a deterministic random stream. It wraps math/rand/v2's PCG
+// generator seeded from a derived seed.
+type Source struct {
+	seed uint64
+	rng  *rand.Rand
+}
+
+// New returns a Source rooted at seed.
+func New(seed uint64) *Source {
+	return &Source{
+		seed: seed,
+		rng:  rand.New(rand.NewPCG(splitmix64(seed), splitmix64(seed^0xa5a5a5a5a5a5a5a5))),
+	}
+}
+
+// Seed reports the seed this source was derived from.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Split derives an independent child stream identified by a label. Splitting
+// does not advance the parent stream, so the derivation is order-independent:
+// Split("a") yields the same stream whether or not Split("b") was called
+// first.
+func (s *Source) Split(label string) *Source {
+	return New(splitmix64(s.seed ^ hashLabel(label)))
+}
+
+// SplitN derives an independent child stream identified by a label and an
+// index (for example, one stream per node).
+func (s *Source) SplitN(label string, n int) *Source {
+	return New(splitmix64(s.seed^hashLabel(label)) + splitmix64(uint64(n)+0x1234_5678_9abc_def0))
+}
+
+// Uint64 returns a uniformly random 64-bit value.
+func (s *Source) Uint64() uint64 { return s.rng.Uint64() }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0, matching
+// math/rand/v2 semantics.
+func (s *Source) IntN(n int) int { return s.rng.IntN(n) }
+
+// Int64N returns a uniform value in [0, n).
+func (s *Source) Int64N(n int64) int64 { return s.rng.Int64N(n) }
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Bool returns true with probability p. Values of p outside [0, 1] clip.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.rng.Float64() < p
+}
+
+// IntRange returns a uniform value in [lo, hi] inclusive. It panics if
+// lo > hi.
+func (s *Source) IntRange(lo, hi int) int {
+	if lo > hi {
+		panic("xrand: IntRange with lo > hi")
+	}
+	return lo + s.rng.IntN(hi-lo+1)
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using the provided swap
+// function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }

@@ -1,0 +1,134 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(1234)
+	b := New(1234)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield identical streams")
+		}
+	}
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Error("different seeds should diverge immediately (overwhelmingly likely)")
+	}
+}
+
+func TestSplitIndependenceOfOrder(t *testing.T) {
+	r1 := New(99)
+	r2 := New(99)
+	// Draw from r1's "a" child after creating "b" first; order must not matter.
+	_ = r1.Split("b")
+	a1 := r1.Split("a")
+	a2 := r2.Split("a")
+	for i := 0; i < 50; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatal("Split must be order-independent")
+		}
+	}
+	if r1.Split("a").Seed() == r1.Split("b").Seed() {
+		t.Error("distinct labels must yield distinct streams")
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	r := New(7)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		s := r.SplitN("node", i)
+		if seen[s.Seed()] {
+			t.Fatalf("SplitN collision at %d", i)
+		}
+		seen[s.Seed()] = true
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange out of range: %d", v)
+		}
+	}
+}
+
+func TestIntRangePanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IntRange(5,4) should panic")
+		}
+	}()
+	New(1).IntRange(5, 4)
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(17)
+	if r.Bool(0) {
+		t.Error("Bool(0) must be false")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) must be true")
+	}
+	if r.Bool(-0.5) || !r.Bool(1.5) {
+		t.Error("out-of-range probabilities must clip")
+	}
+	const trials = 20000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) empirical rate %f", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(31)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, v := range xs {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("element %d lost in shuffle", i)
+		}
+	}
+}

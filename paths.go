@@ -1,0 +1,55 @@
+package qclique
+
+import (
+	"errors"
+	"fmt"
+
+	"qclique/internal/core"
+	"qclique/internal/matrix"
+)
+
+// ErrNoPath is returned by ShortestPath for unreachable pairs.
+var ErrNoPath = core.ErrNoPath
+
+// ShortestPath reconstructs one shortest path from src to dst out of an
+// APSP result (footnote 1 of the paper: lengths extend to paths via the
+// standard successor technique). The result must come from SolveAPSP on
+// the same graph.
+func ShortestPath(g *Digraph, res *APSPResult, src, dst int) ([]int, error) {
+	if g == nil || res == nil {
+		return nil, errors.New("qclique: nil graph or result")
+	}
+	n := g.N()
+	if len(res.Dist) != n {
+		return nil, fmt.Errorf("qclique: result is for n=%d, graph has n=%d", len(res.Dist), n)
+	}
+	dist := matrix.New(n)
+	for i := 0; i < n; i++ {
+		if len(res.Dist[i]) != n {
+			return nil, fmt.Errorf("qclique: ragged distance row %d", i)
+		}
+		for j := 0; j < n; j++ {
+			dist.Set(i, j, res.Dist[i][j])
+		}
+	}
+	return core.ReconstructPath(g.g, dist, src, dst)
+}
+
+// SolveSSSP computes single-source shortest distances from src (the paper
+// notes the APSP algorithm is also the best known exact SSSP in the
+// CONGEST-CLIQUE model; this runs the same pipeline and projects one row).
+func SolveSSSP(g *Digraph, src int, opts ...Option) ([]int64, *APSPResult, error) {
+	if g == nil {
+		return nil, nil, errors.New("qclique: nil graph")
+	}
+	res, err := SolveAPSP(g, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if src < 0 || src >= g.N() {
+		return nil, nil, fmt.Errorf("qclique: source %d out of range", src)
+	}
+	row := make([]int64, g.N())
+	copy(row, res.Dist[src])
+	return row, res, nil
+}

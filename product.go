@@ -1,0 +1,46 @@
+package qclique
+
+import (
+	"qclique/internal/congest"
+	"qclique/internal/distprod"
+	"qclique/internal/matrix"
+)
+
+// productFor dispatches a distance product to the solver selected by the
+// options.
+func productFor(a, b *matrix.Matrix, o options) (*matrix.Matrix, int64, error) {
+	if o.strategy == Gossip {
+		net, err := congest.NewNetwork(maxInt(a.N(), 1))
+		if err != nil {
+			return nil, 0, err
+		}
+		c, err := distprod.GossipProduct(net)(a, b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return c, net.Rounds(), nil
+	}
+	solver := distprod.SolverQuantum
+	switch o.strategy {
+	case ClassicalSearch:
+		solver = distprod.SolverClassicalScan
+	case DolevListing:
+		solver = distprod.SolverDolev
+	}
+	c, stats, err := distprod.Product(a, b, distprod.Options{
+		Solver: solver,
+		Params: o.params(),
+		Seed:   o.seed,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, stats.Rounds, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
