@@ -47,12 +47,16 @@ func benchDigraph(b *testing.B, n int) *graph.Digraph {
 }
 
 // BenchmarkE1APSPQuantum regenerates E1 (Theorem 1): the full quantum APSP
-// pipeline end to end.
+// pipeline end to end. The n=32 and n=64 cases exist because the hot-path
+// overhaul (incremental tripartite reuse, flat link-load accounting,
+// parallel node-local phases) brought them into benchmarkable range; they
+// are what the scaling studies extrapolate from.
 func BenchmarkE1APSPQuantum(b *testing.B) {
 	params := triangles.BenchParams()
-	for _, n := range []int{8, 16} {
+	for _, n := range []int{8, 16, 32, 64} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			g := benchDigraph(b, n)
+			b.ReportAllocs()
 			var rounds int64
 			for i := 0; i < b.N; i++ {
 				res, err := core.Solve(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Seed: uint64(i)})
@@ -73,6 +77,7 @@ func BenchmarkE2FindEdgesPromise(b *testing.B) {
 	for _, n := range []int{16, 81, 256} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			g := benchTriangleGraph(b, n)
+			b.ReportAllocs()
 			var rounds int64
 			for i := 0; i < b.N; i++ {
 				rep, err := triangles.FindEdgesWithPromise(triangles.Instance{G: g}, triangles.Options{

@@ -1,0 +1,204 @@
+// Command bench runs the E1–E3 benchmark workloads (the paper's headline
+// measurements: full quantum APSP pipeline, FindEdgesWithPromise sweep,
+// truncated multi-search) and emits a machine-readable JSON report with
+// ns/op, rounds/op and allocation counts per configuration, so the
+// performance trajectory is tracked across PRs:
+//
+//	go run ./cmd/bench -label "PR 1" -out BENCH_1.json
+//
+// The wall-clock numbers measure simulator speed on the host; the
+// rounds/op numbers measure the algorithm in the CONGEST-CLIQUE cost model
+// and must stay bit-identical across performance work (see the README's
+// performance section for the distinction).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"qclique/internal/congest"
+	"qclique/internal/core"
+	"qclique/internal/graph"
+	"qclique/internal/qsearch"
+	"qclique/internal/triangles"
+	"qclique/internal/xrand"
+)
+
+// Result is one benchmark configuration's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	RoundsPerOp float64 `json:"rounds_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Label      string   `json:"label"`
+	GoVersion  string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Timestamp  string   `json:"timestamp"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func measure(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	out := Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if v, ok := r.Extra["rounds/op"]; ok {
+		out.RoundsPerOp = v
+	}
+	return out
+}
+
+func benchDigraph(n int) (*graph.Digraph, error) {
+	return graph.RandomDigraph(n, graph.DigraphOpts{
+		ArcProb: 0.4, MinWeight: -8, MaxWeight: 8, NoNegativeCycles: true,
+	}, xrand.New(uint64(n)))
+}
+
+func benchTriangleGraph(n int) (*graph.Undirected, error) {
+	rng := xrand.New(uint64(n))
+	g, err := graph.RandomUndirected(n, graph.UndirectedOpts{EdgeProb: 0.15, MinWeight: 1, MaxWeight: 40}, rng)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := graph.PlantNegativeTriangles(g, 1+n/16, 30, rng.Split("p")); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// e1Sizes mirrors BenchmarkE1APSPQuantum; quick mode drops the slow tail.
+func e1Sizes(quick bool) []int {
+	if quick {
+		return []int{8, 16}
+	}
+	return []int{8, 16, 32, 64}
+}
+
+func buildReport(label string, quick bool) (*Report, error) {
+	rep := &Report{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	params := triangles.BenchParams()
+
+	// E1: full quantum APSP pipeline (Theorem 1).
+	for _, n := range e1Sizes(quick) {
+		g, err := benchDigraph(n)
+		if err != nil {
+			return nil, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, measure(fmt.Sprintf("E1APSPQuantum/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Solve(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds/op")
+		}))
+	}
+
+	// E2: FindEdgesWithPromise sweep (Theorem 2).
+	for _, n := range []int{16, 81, 256} {
+		g, err := benchTriangleGraph(n)
+		if err != nil {
+			return nil, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, measure(fmt.Sprintf("E2FindEdgesPromise/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				r, err := triangles.FindEdgesWithPromise(triangles.Instance{G: g}, triangles.Options{
+					Seed: uint64(i), Params: &params, Data: triangles.DataDirect,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = r.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds/op")
+		}))
+	}
+
+	// E3: truncated parallel multi-search (Theorem 3).
+	for _, m := range []int{4000, 8000} {
+		const size = 8
+		rng := xrand.New(uint64(m))
+		tables := make([][]bool, m)
+		for i := range tables {
+			tables[i] = make([]bool, size)
+			tables[i][rng.IntN(size)] = true
+		}
+		beta := 8*float64(m)/size + 64
+		rep.Benchmarks = append(rep.Benchmarks, measure(fmt.Sprintf("E3MultiSearch/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				nw, err := congest.NewNetwork(8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := qsearch.MultiSearch(nw, qsearch.Spec{
+					SpaceSize: size, Instances: m, Eval: qsearch.LocalEval(tables, 1), Beta: beta,
+				}, rng.SplitN("i", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllFound() {
+					b.Fatal("search failed")
+				}
+				rounds = nw.Rounds()
+			}
+			b.ReportMetric(float64(rounds), "rounds/op")
+		}))
+	}
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this path (default: stdout)")
+	label := flag.String("label", "dev", "label recorded in the report")
+	quick := flag.Bool("quick", false, "skip the slow large-n configurations")
+	flag.Parse()
+
+	rep, err := buildReport(*label, *quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestWorkloadConstructors(t *testing.T) {
+	if _, err := benchDigraph(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := benchTriangleGraph(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE1SizesQuickSubset(t *testing.T) {
+	full := e1Sizes(false)
+	quick := e1Sizes(true)
+	if len(quick) >= len(full) {
+		t.Fatalf("quick mode must drop configurations: quick=%v full=%v", quick, full)
+	}
+	if full[len(full)-1] < 32 {
+		t.Fatalf("full mode must include the n>=32 scaling cases, got %v", full)
+	}
+}
+
+func TestReportMarshals(t *testing.T) {
+	rep := &Report{
+		Label:      "test",
+		Benchmarks: []Result{{Name: "E1APSPQuantum/n=8", Iterations: 1, NsPerOp: 1, RoundsPerOp: 2}},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks[0].RoundsPerOp != 2 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+}

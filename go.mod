@@ -1,0 +1,3 @@
+module qclique
+
+go 1.24

@@ -121,6 +121,11 @@ func (m *Metrics) Add(other Metrics) {
 }
 
 // Network is a CONGEST-CLIQUE instance with n nodes.
+//
+// A Network is not safe for concurrent use: protocols parallelize their
+// node-local computation (see package par) but funnel all communication
+// accounting through a single goroutine, which is also what keeps round
+// charging deterministic.
 type Network struct {
 	n       int
 	metrics Metrics
@@ -134,6 +139,101 @@ type Network struct {
 	// traceLimit bounds the retained per-phase trace to avoid unbounded
 	// memory in long runs; 0 keeps everything.
 	traceLimit int
+
+	// sc holds the flat per-phase accounting buffers, reused across phases
+	// so that recording a phase performs zero heap allocations.
+	sc linkScratch
+
+	// inboxes is the reusable per-destination delivery buffer handed out by
+	// ExchangeDirect/ExchangeBalanced; see those methods for the borrow
+	// contract.
+	inboxes [][]Message
+}
+
+// linkScratch is the reusable flat accounting state for one phase: per-link
+// word counts over the n² directed links plus per-node source/destination
+// totals. Entries are validity-stamped with a phase epoch instead of being
+// cleared, so beginning a phase is O(1) and only touched slots are visited.
+type linkScratch struct {
+	epoch     uint64
+	link      []int64  // n*n, row-major (src*n + dst)
+	linkStamp []uint64 // epoch when link[i] was last written
+	touched   []int32  // link indices written this phase
+	perSrc    []int64  // n per-source word totals
+	perDst    []int64  // n per-destination word totals
+	nodeStamp []uint64 // epoch stamps shared by perSrc/perDst
+}
+
+func (sc *linkScratch) ensure(n int) {
+	if len(sc.link) < n*n {
+		sc.link = make([]int64, n*n)
+		sc.linkStamp = make([]uint64, n*n)
+		sc.perSrc = make([]int64, n)
+		sc.perDst = make([]int64, n)
+		sc.nodeStamp = make([]uint64, n)
+	}
+}
+
+// begin opens a new accounting phase.
+func (sc *linkScratch) begin(n int) {
+	sc.ensure(n)
+	sc.epoch++
+	sc.touched = sc.touched[:0]
+}
+
+// addLink accumulates w words on link (s,d) and returns the link's running
+// total within the phase.
+func (sc *linkScratch) addLink(n int, s, d NodeID, w int64) int64 {
+	idx := int(s)*n + int(d)
+	if sc.linkStamp[idx] != sc.epoch {
+		sc.linkStamp[idx] = sc.epoch
+		sc.link[idx] = 0
+		sc.touched = append(sc.touched, int32(idx))
+	}
+	sc.link[idx] += w
+	return sc.link[idx]
+}
+
+// addNode accumulates w words on the per-source and per-destination totals.
+func (sc *linkScratch) addNode(s, d NodeID, w int64) {
+	for _, v := range [2]NodeID{s, d} {
+		if sc.nodeStamp[v] != sc.epoch {
+			sc.nodeStamp[v] = sc.epoch
+			sc.perSrc[v] = 0
+			sc.perDst[v] = 0
+		}
+	}
+	sc.perSrc[s] += w
+	sc.perDst[d] += w
+}
+
+// maxLink returns the largest per-link total of the phase.
+func (sc *linkScratch) maxLink() int64 {
+	var m int64
+	for _, idx := range sc.touched {
+		if sc.link[idx] > m {
+			m = sc.link[idx]
+		}
+	}
+	return m
+}
+
+// maxNode returns the largest per-source and per-destination totals of the
+// phase (scanning only stamped nodes via the touched link endpoints would
+// double-visit; the touched list is per-link, so recover node maxima from
+// it instead).
+func (sc *linkScratch) maxNode(n int) (srcLoad, dstLoad int64) {
+	for _, idx := range sc.touched {
+		s := NodeID(int(idx) / n)
+		d := NodeID(int(idx) % n)
+		if sc.nodeStamp[s] == sc.epoch && sc.perSrc[s] > srcLoad {
+			srcLoad = sc.perSrc[s]
+		}
+		if sc.nodeStamp[d] == sc.epoch && sc.perDst[d] > dstLoad {
+			dstLoad = sc.perDst[d]
+		}
+	}
+	return srcLoad, dstLoad
 }
 
 // Option configures a Network.
@@ -166,10 +266,22 @@ func NewNetwork(n int, opts ...Option) (*Network, error) {
 // N returns the node count.
 func (nw *Network) N() int { return nw.n }
 
-// Metrics returns a copy of the accumulated metrics.
+// Metrics returns a copy of the accumulated metrics, including a copy of
+// the retained phase trace. Hot paths that only need the aggregate counters
+// (for DeltaSince arithmetic) should use Snapshot, which skips the O(trace)
+// copy.
 func (nw *Network) Metrics() Metrics {
 	m := nw.metrics
 	m.Trace = append([]PhaseStat(nil), nw.metrics.Trace...)
+	return m
+}
+
+// Snapshot returns the aggregate counters without copying the phase trace
+// (Trace is nil in the result). It is the allocation-free companion of
+// Metrics for baseline/delta accounting inside protocol hot loops.
+func (nw *Network) Snapshot() Metrics {
+	m := nw.metrics
+	m.Trace = nil
 	return m
 }
 
@@ -207,36 +319,24 @@ func (nw *Network) checkEndpoints(src, dst NodeID) error {
 	return nil
 }
 
-// linkLoads aggregates per-link word counts of a message batch.
-func (nw *Network) linkLoads(msgs []Message) (map[[2]NodeID]int64, int64, error) {
-	loads := make(map[[2]NodeID]int64)
-	var total int64
-	for _, m := range msgs {
-		if err := nw.checkEndpoints(m.Src, m.Dst); err != nil {
-			return nil, 0, err
-		}
-		w := m.Words()
-		loads[[2]NodeID{m.Src, m.Dst}] += w
-		total += w
-	}
-	return loads, total, nil
-}
-
 // ExchangeDirect delivers msgs with direct (non-relayed) scheduling: the
 // phase costs the maximum per-link word count. It returns per-destination
 // inboxes. Message order within an inbox is deterministic (stable in input
-// order).
+// order). The returned inboxes are borrowed from the network's delivery
+// buffer and remain valid only until the next Exchange call on this
+// network; callers that need them longer must copy.
 func (nw *Network) ExchangeDirect(label string, msgs []Message) ([][]Message, error) {
-	loads, total, err := nw.linkLoads(msgs)
-	if err != nil {
-		return nil, fmt.Errorf("exchange %q: %w", label, err)
-	}
-	var maxLink int64
-	for _, w := range loads {
-		if w > maxLink {
-			maxLink = w
+	nw.sc.begin(nw.n)
+	var total int64
+	for _, m := range msgs {
+		if err := nw.checkEndpoints(m.Src, m.Dst); err != nil {
+			return nil, fmt.Errorf("exchange %q: %w", label, err)
 		}
+		w := m.Words()
+		nw.sc.addLink(nw.n, m.Src, m.Dst, w)
+		total += w
 	}
+	maxLink := nw.sc.maxLink()
 	nw.record(PhaseStat{
 		Kind:        PhaseDirect,
 		Label:       label,
@@ -252,38 +352,23 @@ func (nw *Network) ExchangeDirect(label string, msgs []Message) ([][]Message, er
 // sinks at most n words; each sub-batch costs two rounds. The total cost is
 // 2 * ceil(max(maxSourceLoad, maxDestLoad) / n). When schedule validation
 // is enabled, an explicit relay schedule is constructed per sub-batch and
-// verified against the one-word-per-link-per-round constraint.
+// verified against the one-word-per-link-per-round constraint. The returned
+// inboxes follow the same borrow contract as ExchangeDirect.
 func (nw *Network) ExchangeBalanced(label string, msgs []Message) ([][]Message, error) {
-	var srcLoad, dstLoad int64
-	perSrc := make(map[NodeID]int64)
-	perDst := make(map[NodeID]int64)
-	var total int64
-	var maxLink int64
-	linkLoads := make(map[[2]NodeID]int64)
+	nw.sc.begin(nw.n)
+	var total, maxLink int64
 	for _, m := range msgs {
 		if err := nw.checkEndpoints(m.Src, m.Dst); err != nil {
 			return nil, fmt.Errorf("exchange %q: %w", label, err)
 		}
 		w := m.Words()
-		perSrc[m.Src] += w
-		perDst[m.Dst] += w
-		total += w
-		l := linkLoads[[2]NodeID{m.Src, m.Dst}] + w
-		linkLoads[[2]NodeID{m.Src, m.Dst}] = l
-		if l > maxLink {
+		nw.sc.addNode(m.Src, m.Dst, w)
+		if l := nw.sc.addLink(nw.n, m.Src, m.Dst, w); l > maxLink {
 			maxLink = l
 		}
+		total += w
 	}
-	for _, w := range perSrc {
-		if w > srcLoad {
-			srcLoad = w
-		}
-	}
-	for _, w := range perDst {
-		if w > dstLoad {
-			dstLoad = w
-		}
-	}
+	srcLoad, dstLoad := nw.sc.maxNode(nw.n)
 	rounds := balancedRounds(srcLoad, dstLoad, int64(nw.n))
 	if nw.validateSchedules && len(msgs) > 0 {
 		if err := validateRelaySchedule(nw.n, msgs); err != nil {
@@ -314,17 +399,20 @@ func balancedRounds(srcLoad, dstLoad, n int64) int64 {
 	return 2 * batches
 }
 
-// deliver groups messages by destination, preserving input order.
+// deliver groups messages by destination, preserving input order. The
+// per-destination slices are pooled on the network and recycled by the next
+// deliver call.
 func (nw *Network) deliver(msgs []Message) [][]Message {
-	inboxes := make([][]Message, nw.n)
-	counts := make([]int, nw.n)
-	for _, m := range msgs {
-		counts[m.Dst]++
+	if nw.inboxes == nil {
+		nw.inboxes = make([][]Message, nw.n)
 	}
-	for i, c := range counts {
-		if c > 0 {
-			inboxes[i] = make([]Message, 0, c)
-		}
+	inboxes := nw.inboxes
+	for i := range inboxes {
+		// Clear before truncating: stale Message values past the new length
+		// would otherwise pin the previous phase's payload arenas at the
+		// largest exchange's high-water mark.
+		clear(inboxes[i])
+		inboxes[i] = inboxes[i][:0]
 	}
 	for _, m := range msgs {
 		inboxes[m.Dst] = append(inboxes[m.Dst], m)
@@ -334,9 +422,8 @@ func (nw *Network) deliver(msgs []Message) [][]Message {
 
 // ChargeDirect accounts a bulk phase without materializing payloads.
 func (nw *Network) ChargeDirect(label string, loads []Load) error {
-	var maxLink int64
-	agg := make(map[[2]NodeID]int64)
-	var total int64
+	nw.sc.begin(nw.n)
+	var total, maxLink int64
 	for _, l := range loads {
 		if err := nw.checkEndpoints(l.Src, l.Dst); err != nil {
 			return fmt.Errorf("charge %q: %w", label, err)
@@ -344,12 +431,10 @@ func (nw *Network) ChargeDirect(label string, loads []Load) error {
 		if l.Words < 0 {
 			return fmt.Errorf("charge %q: negative load", label)
 		}
-		w := agg[[2]NodeID{l.Src, l.Dst}] + l.Words
-		agg[[2]NodeID{l.Src, l.Dst}] = w
-		total += l.Words
-		if w > maxLink {
+		if w := nw.sc.addLink(nw.n, l.Src, l.Dst, l.Words); w > maxLink {
 			maxLink = w
 		}
+		total += l.Words
 	}
 	nw.record(PhaseStat{
 		Kind:        PhaseDirect,
@@ -364,9 +449,7 @@ func (nw *Network) ChargeDirect(label string, loads []Load) error {
 // ChargeBalanced accounts a bulk Lemma-1 phase without materializing
 // payloads.
 func (nw *Network) ChargeBalanced(label string, loads []Load) error {
-	perSrc := make(map[NodeID]int64)
-	perDst := make(map[NodeID]int64)
-	agg := make(map[[2]NodeID]int64)
+	nw.sc.begin(nw.n)
 	var total, maxLink int64
 	for _, l := range loads {
 		if err := nw.checkEndpoints(l.Src, l.Dst); err != nil {
@@ -375,26 +458,13 @@ func (nw *Network) ChargeBalanced(label string, loads []Load) error {
 		if l.Words < 0 {
 			return fmt.Errorf("charge %q: negative load", label)
 		}
-		perSrc[l.Src] += l.Words
-		perDst[l.Dst] += l.Words
-		total += l.Words
-		w := agg[[2]NodeID{l.Src, l.Dst}] + l.Words
-		agg[[2]NodeID{l.Src, l.Dst}] = w
-		if w > maxLink {
+		nw.sc.addNode(l.Src, l.Dst, l.Words)
+		if w := nw.sc.addLink(nw.n, l.Src, l.Dst, l.Words); w > maxLink {
 			maxLink = w
 		}
+		total += l.Words
 	}
-	var srcLoad, dstLoad int64
-	for _, w := range perSrc {
-		if w > srcLoad {
-			srcLoad = w
-		}
-	}
-	for _, w := range perDst {
-		if w > dstLoad {
-			dstLoad = w
-		}
-	}
+	srcLoad, dstLoad := nw.sc.maxNode(nw.n)
 	nw.record(PhaseStat{
 		Kind:        PhaseBalanced,
 		Label:       label,

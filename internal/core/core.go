@@ -65,6 +65,11 @@ type Config struct {
 	Params *triangles.Params
 	// Seed drives all protocol randomness.
 	Seed uint64
+	// Workers bounds the host-side parallelism of node-local phases
+	// (oracle evaluation, Grover state-vector updates, local min-plus
+	// work); <= 0 selects GOMAXPROCS. Dist and Rounds are identical for
+	// every setting — parallelism only changes wall-clock time.
+	Workers int
 }
 
 func (c Config) strategy() Strategy {
@@ -117,12 +122,16 @@ func Solve(g *graph.Digraph, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		// One full gossip of the adjacency rows, then local Floyd–Warshall
-		// at every node; no further communication.
+		// One full gossip of the adjacency rows, then local repeated
+		// squaring at every node (rows split across the worker pool); no
+		// further communication.
 		if err := net.BroadcastAll("gossip/rows", int64(n)); err != nil {
 			return nil, err
 		}
-		dist, sq, err := matrix.APSPBySquaring(ag, matrix.DistanceProduct)
+		prod := func(a, b *matrix.Matrix) (*matrix.Matrix, error) {
+			return matrix.DistanceProductPar(a, b, cfg.Workers)
+		}
+		dist, sq, err := matrix.APSPBySquaring(ag, prod)
 		if err != nil {
 			return nil, err
 		}
@@ -152,10 +161,11 @@ func Solve(g *graph.Digraph, cfg Config) (*Result, error) {
 		calls := 0
 		prod := func(a, b *matrix.Matrix) (*matrix.Matrix, error) {
 			c, stats, err := distprod.Product(a, b, distprod.Options{
-				Solver: solver,
-				Params: cfg.Params,
-				Seed:   rng.SplitN("product", res.Products+calls).Seed(),
-				Net:    net,
+				Solver:  solver,
+				Params:  cfg.Params,
+				Seed:    rng.SplitN("product", res.Products+calls).Seed(),
+				Net:     net,
+				Workers: cfg.Workers,
 			})
 			if err != nil {
 				return nil, err

@@ -62,6 +62,14 @@ type Options struct {
 	// nodes for an n×n product. When nil a fresh network is created per
 	// call.
 	Net *congest.Network
+	// Workers bounds the host-side parallelism of node-local phases
+	// (forwarded to the triangles layer); <= 0 selects GOMAXPROCS.
+	Workers int
+	// DisableIncremental forces a full tripartite rebuild on every binary
+	// search step instead of the in-place threshold-leg rewrite. The two
+	// paths are bit-identical (the regression tests assert it); the flag
+	// exists so the equivalence stays testable and measurable.
+	DisableIncremental bool
 }
 
 // Stats reports the cost drivers of one product.
@@ -79,6 +87,33 @@ type Stats struct {
 // A or B that are +Inf are omitted (no leg); -Inf entries are rejected by
 // Product before reaching here.
 func tripartite(a, b, d *matrix.Matrix) (*graph.Undirected, map[graph.Pair]bool, error) {
+	inst, err := newTripartite(a, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := inst.ResetThresholdLeg(d); err != nil {
+		return nil, nil, err
+	}
+	return inst.g, inst.s, nil
+}
+
+// tripartiteInstance is a reusable Vassilevska Williams–Williams reduction
+// instance. The A-leg (I–K) and B-leg (J–K) edges depend only on the input
+// matrices and are built once; the binary search then mutates only the
+// threshold leg (the n² I–J edges) between FindEdges calls via
+// ResetThresholdLeg, replacing the O(n²) full rebuild per step with an
+// in-place block rewrite.
+type tripartiteInstance struct {
+	n   int
+	g   *graph.Undirected
+	s   map[graph.Pair]bool
+	neg []int64 // scratch: row-major -D block handed to SetBipartiteBlock
+}
+
+// newTripartite builds the static legs of the reduction instance; the
+// threshold leg starts absent and must be installed with ResetThresholdLeg
+// before the instance is handed to a solver.
+func newTripartite(a, b *matrix.Matrix) (*tripartiteInstance, error) {
 	n := a.N()
 	g := graph.NewUndirected(3 * n)
 	s := make(map[graph.Pair]bool, n*n)
@@ -86,26 +121,37 @@ func tripartite(a, b, d *matrix.Matrix) (*graph.Undirected, map[graph.Pair]bool,
 		for k := 0; k < n; k++ {
 			if v := a.At(i, k); graph.IsFinite(v) {
 				if err := g.SetEdge(i, 2*n+k, v); err != nil {
-					return nil, nil, err
+					return nil, err
 				}
 			}
 			if v := b.At(k, i); graph.IsFinite(v) {
 				// f(j,k) = B[k,j] with j = i here.
 				if err := g.SetEdge(n+i, 2*n+k, v); err != nil {
-					return nil, nil, err
+					return nil, err
 				}
 			}
 		}
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if err := g.SetEdge(i, n+j, -d.At(i, j)); err != nil {
-				return nil, nil, err
-			}
 			s[graph.MakePair(i, n+j)] = true
 		}
 	}
-	return g, s, nil
+	return &tripartiteInstance{n: n, g: g, s: s, neg: make([]int64, n*n)}, nil
+}
+
+// ResetThresholdLeg rewrites the I–J edges to f(i,j) = -D[i,j] in place,
+// leaving the A- and B-leg edges untouched.
+func (t *tripartiteInstance) ResetThresholdLeg(d *matrix.Matrix) error {
+	if d.N() != t.n {
+		return fmt.Errorf("distprod: threshold matrix is %d×%d, instance is %d×%d", d.N(), d.N(), t.n, t.n)
+	}
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			t.neg[i*t.n+j] = -d.At(i, j)
+		}
+	}
+	return t.g.SetBipartiteBlock(0, t.n, t.n, t.n, t.neg)
 }
 
 // solveFindEdges dispatches one FindEdges call to the configured solver.
@@ -123,10 +169,11 @@ func solveFindEdges(inst triangles.Instance, opts Options, seed uint64) (map[gra
 			mode = triangles.SearchClassicalScan
 		}
 		rep, err := triangles.FindEdges(inst, triangles.Options{
-			Params: opts.Params,
-			Mode:   mode,
-			Seed:   seed,
-			Net:    opts.Net,
+			Params:  opts.Params,
+			Mode:    mode,
+			Seed:    seed,
+			Net:     opts.Net,
+			Workers: opts.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -163,11 +210,36 @@ func Product(a, b *matrix.Matrix, opts Options) (*matrix.Matrix, *Stats, error) 
 		}
 		opts.Net = net
 	}
-	baseline := net.Metrics()
+	baseline := net.Snapshot()
 	rng := xrand.New(opts.Seed)
 
 	m := a.MaxAbsFinite() + b.MaxAbsFinite() // bound on |C[i,j]| for finite entries
 	stats := &Stats{MaxAbs: m}
+
+	// Build the reduction instance once: the A/B legs never change across
+	// the binary search, only the threshold leg is rewritten per step.
+	var inst *tripartiteInstance
+	if !opts.DisableIncremental {
+		inst, err = newTripartite(a, b)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	// refresh installs D into the instance, rebuilding from scratch when
+	// the incremental path is disabled (regression baseline).
+	refresh := func(d *matrix.Matrix) (triangles.Instance, error) {
+		if opts.DisableIncremental {
+			g, s, err := tripartite(a, b, d)
+			if err != nil {
+				return triangles.Instance{}, err
+			}
+			return triangles.Instance{G: g, S: s}, nil
+		}
+		if err := inst.ResetThresholdLeg(d); err != nil {
+			return triangles.Instance{}, err
+		}
+		return triangles.Instance{G: inst.g, S: inst.s}, nil
+	}
 
 	// Infinity probe: with D ≡ m+1, any pair NOT in a negative triangle
 	// has C[i,j] ≥ m+1, i.e. C[i,j] = +Inf.
@@ -177,11 +249,11 @@ func Product(a, b *matrix.Matrix, opts Options) (*matrix.Matrix, *Stats, error) 
 			d.Set(i, j, m+1)
 		}
 	}
-	g, s, err := tripartite(a, b, d)
+	ti, err := refresh(d)
 	if err != nil {
 		return nil, nil, err
 	}
-	edges, err := solveFindEdges(triangles.Instance{G: g, S: s}, opts, rng.SplitN("step", 0).Seed())
+	edges, err := solveFindEdges(ti, opts, rng.SplitN("step", 0).Seed())
 	if err != nil {
 		return nil, nil, fmt.Errorf("distprod: infinity probe: %w", err)
 	}
@@ -226,11 +298,11 @@ func Product(a, b *matrix.Matrix, opts Options) (*matrix.Matrix, *Stats, error) 
 				d.Set(i, j, mid+1)
 			}
 		}
-		g, s, err := tripartite(a, b, d)
+		ti, err := refresh(d)
 		if err != nil {
 			return nil, nil, err
 		}
-		edges, err := solveFindEdges(triangles.Instance{G: g, S: s}, opts, rng.SplitN("step", step).Seed())
+		edges, err = solveFindEdges(ti, opts, rng.SplitN("step", step).Seed())
 		if err != nil {
 			return nil, nil, fmt.Errorf("distprod: step %d: %w", step, err)
 		}
@@ -277,12 +349,19 @@ func floorMid(lo, hi int64) int64 {
 // broadcasts its row of B (n words, full gossip), then computes its row of
 // A ⋆ B locally. It operates on an n-node network.
 func GossipProduct(net *congest.Network) matrix.Product {
+	return GossipProductPar(net, 1)
+}
+
+// GossipProductPar is GossipProduct with the per-node local min-plus work
+// spread over a bounded worker pool; workers <= 0 selects GOMAXPROCS. The
+// network charge and the result are identical to GossipProduct.
+func GossipProductPar(net *congest.Network, workers int) matrix.Product {
 	return func(a, b *matrix.Matrix) (*matrix.Matrix, error) {
 		if net != nil {
 			if err := net.BroadcastAll("gossip-product", int64(b.N())); err != nil {
 				return nil, err
 			}
 		}
-		return matrix.DistanceProduct(a, b)
+		return matrix.DistanceProductPar(a, b, workers)
 	}
 }

@@ -201,6 +201,38 @@ func (g *Undirected) SetEdge(u, v int, weight int64) error {
 	return nil
 }
 
+// SetBipartiteBlock overwrites every edge between the vertex ranges
+// [u0, u0+nu) and [v0, v0+nv) from the row-major nu×nv weight block w,
+// keeping the adjacency symmetric. A NoEdge entry deletes the edge. The two
+// ranges must be disjoint (the block would otherwise write a self-loop).
+//
+// This is the bulk-mutation path behind incremental reduction instances:
+// the Proposition 2 binary search rewrites only the threshold leg of the
+// tripartite construction between FindEdges calls, so rebuilding the whole
+// 3n-vertex graph per step is replaced by one O(nu·nv) in-place sweep.
+func (g *Undirected) SetBipartiteBlock(u0, nu, v0, nv int, w []int64) error {
+	if nu < 0 || nv < 0 || u0 < 0 || v0 < 0 || u0+nu > g.n || v0+nv > g.n {
+		return fmt.Errorf("graph: block [%d,%d)×[%d,%d) out of range for n=%d", u0, u0+nu, v0, v0+nv, g.n)
+	}
+	if u0 < v0+nv && v0 < u0+nu && nu > 0 && nv > 0 {
+		return fmt.Errorf("graph: block ranges [%d,%d) and [%d,%d) overlap", u0, u0+nu, v0, v0+nv)
+	}
+	if len(w) != nu*nv {
+		return fmt.Errorf("graph: block has %d weights, want %d", len(w), nu*nv)
+	}
+	for i := 0; i < nu; i++ {
+		u := u0 + i
+		row := g.w[u*g.n:]
+		wrow := w[i*nv : (i+1)*nv]
+		for j := 0; j < nv; j++ {
+			v := v0 + j
+			row[v] = wrow[j]
+			g.w[v*g.n+u] = wrow[j]
+		}
+	}
+	return nil
+}
+
 // RemoveEdge deletes edge {u,v} if present.
 func (g *Undirected) RemoveEdge(u, v int) error {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"qclique/internal/graph"
+	"qclique/internal/par"
 )
 
 // Matrix is a dense square matrix of extended integers.
@@ -159,26 +160,35 @@ func (m *Matrix) bounds(i, j int) {
 // distributed pipelines are validated against it. It returns an error on a
 // dimension mismatch.
 func DistanceProduct(a, b *Matrix) (*Matrix, error) {
+	return DistanceProductPar(a, b, 1)
+}
+
+// DistanceProductPar is DistanceProduct with the row loop split across a
+// bounded worker pool (the per-node local min-plus work of the gossip
+// strategy: node i computes row i). Rows are written to disjoint slices of
+// the output, so the result is bit-identical for every worker count;
+// workers <= 0 selects GOMAXPROCS.
+func DistanceProductPar(a, b *Matrix, workers int) (*Matrix, error) {
 	if a.n != b.n {
 		return nil, fmt.Errorf("matrix: dimension mismatch %d vs %d", a.n, b.n)
 	}
 	n := a.n
 	c := New(n)
-	for i := 0; i < n; i++ {
+	par.For(par.Workers(workers), n, func(i int) {
+		rowC := c.a[i*n : (i+1)*n]
 		for k := 0; k < n; k++ {
 			aik := a.a[i*n+k]
 			if aik >= graph.Inf {
 				continue
 			}
 			rowB := b.a[k*n : (k+1)*n]
-			rowC := c.a[i*n : (i+1)*n]
 			for j := 0; j < n; j++ {
 				if s := graph.SaturatingAdd(aik, rowB[j]); s < rowC[j] {
 					rowC[j] = s
 				}
 			}
 		}
-	}
+	})
 	return c, nil
 }
 

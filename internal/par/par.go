@@ -1,0 +1,73 @@
+// Package par provides the bounded worker pool used to parallelize the
+// simulator's per-node local phases (oracle evaluation, Grover state-vector
+// updates, local min-plus work). A CONGEST-CLIQUE round interleaves
+// communication (charged to the network) with node-local computation that
+// is embarrassingly parallel across nodes; this package exploits that on
+// the host without perturbing determinism: every index is processed exactly
+// once, callers write results into per-index slots, and all protocol
+// randomness is drawn from pre-derived per-index xrand streams, so the
+// merged outcome is independent of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned as-is.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n), using at most workers goroutines.
+// With workers <= 1 (or n <= 1) it runs inline on the calling goroutine —
+// the serial fast path costs no synchronization, so GOMAXPROCS=1 hosts pay
+// nothing for the parallel plumbing. fn must not depend on execution order
+// across indices; determinism comes from writing results into slot i only.
+func For(workers, n int, fn func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker runs fn(worker, i) like For but also identifies the worker
+// slot executing each index, so callers can reuse per-worker scratch
+// buffers (amplitude vectors, row accumulators) without locking. Worker
+// identifiers are in [0, workers) after resolution; the inline fast path
+// always reports worker 0.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,81 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int32, n)
+		For(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndSmall(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	if ran {
+		t.Error("For with n=0 ran the body")
+	}
+	For(4, 1, func(i int) {
+		if i != 0 {
+			t.Errorf("unexpected index %d", i)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Error("For with n=1 skipped the body")
+	}
+}
+
+func TestForDeterministicMerge(t *testing.T) {
+	// Results written to per-index slots must match the serial order
+	// regardless of worker count.
+	const n = 512
+	want := make([]int, n)
+	For(1, n, func(i int) { want[i] = i * i })
+	got := make([]int, n)
+	For(8, n, func(i int) { got[i] = i * i })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForEachWorkerBounds(t *testing.T) {
+	const n = 300
+	const workers = 5
+	var seen [workers]int32
+	counts := make([]int32, n)
+	ForEachWorker(workers, n, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker %d out of range", w)
+		}
+		atomic.AddInt32(&seen[w], 1)
+		atomic.AddInt32(&counts[i], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("defaulted worker count must be at least 1")
+	}
+}

@@ -1,0 +1,49 @@
+package qsearch
+
+import (
+	"testing"
+
+	"qclique/internal/xrand"
+)
+
+// TestMultiSearchWorkersDeterministic asserts that the parallel probe pool
+// reproduces the serial search exactly: same witnesses, same iteration and
+// oracle-call counts, same charged rounds.
+func TestMultiSearchWorkersDeterministic(t *testing.T) {
+	const m = 200
+	const size = 16
+	rng := xrand.New(5)
+	tables := make([][]bool, m)
+	for i := range tables {
+		tables[i] = make([]bool, size)
+		if i%3 != 0 { // leave some instances witness-free
+			tables[i][rng.IntN(size)] = true
+		}
+	}
+	run := func(workers int) (*Result, int64) {
+		nw := newNet(t, 8)
+		res, err := MultiSearch(nw, Spec{
+			SpaceSize: size, Instances: m, Eval: LocalEval(tables, 1), Workers: workers,
+		}, xrand.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, nw.Rounds()
+	}
+	serial, serialRounds := run(1)
+	for _, workers := range []int{2, 5, 16} {
+		parallel, rounds := run(workers)
+		if rounds != serialRounds {
+			t.Fatalf("workers=%d: rounds %d != %d", workers, rounds, serialRounds)
+		}
+		if parallel.Iterations != serial.Iterations || parallel.EvalCalls != serial.EvalCalls || parallel.Passes != serial.Passes {
+			t.Fatalf("workers=%d: schedule diverged: %+v vs %+v", workers, parallel, serial)
+		}
+		for i := range serial.Found {
+			if parallel.Found[i] != serial.Found[i] || parallel.Witness[i] != serial.Witness[i] {
+				t.Fatalf("workers=%d: instance %d diverged: (%v,%d) vs (%v,%d)",
+					workers, i, parallel.Found[i], parallel.Witness[i], serial.Found[i], serial.Witness[i])
+			}
+		}
+	}
+}

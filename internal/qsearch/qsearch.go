@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"qclique/internal/congest"
+	"qclique/internal/par"
 	"qclique/internal/quantum"
 	"qclique/internal/xrand"
 )
@@ -60,6 +61,11 @@ type Spec struct {
 	// DisableFailureInjection turns off sampling of the truncation error
 	// (the bound is still reported). Used by deterministic tests.
 	DisableFailureInjection bool
+	// Workers bounds the host-side parallelism of the per-instance Grover
+	// state-vector updates; <= 0 selects GOMAXPROCS. Every probe draws from
+	// its own pre-derived random stream, so results are identical for every
+	// worker count.
+	Workers int
 }
 
 // Result reports the outcome of a (multi-)search.
@@ -137,7 +143,7 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 
 	// Execute the fixed schedule once: measures its cost and yields the
 	// truth tables for the local state-vector evolution.
-	baseline := net.Metrics()
+	baseline := net.Snapshot()
 	tables, err := spec.Eval(net)
 	if err != nil {
 		return nil, fmt.Errorf("qsearch: evaluation procedure: %w", err)
@@ -174,16 +180,43 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 	// candidate, so their probes are skipped — an exact equivalence, not an
 	// approximation: the lock-step schedule's cost does not depend on the
 	// instance count, and a probe of an empty oracle cannot change Found.
-	feasible := make([]bool, spec.Instances)
-	remaining := 0
+	// Feasible instances are kept as a compact index list so the per-round
+	// scheduling work scales with the (typically small) feasible count,
+	// not the instance count.
+	feasibleIdx := make([]int32, 0, 16)
 	for i, tab := range tables {
 		for _, v := range tab {
 			if v {
-				feasible[i] = true
-				remaining++
+				feasibleIdx = append(feasibleIdx, int32(i))
 				break
 			}
 		}
+	}
+	remaining := len(feasibleIdx)
+
+	// Per-node state-vector evolution is embarrassingly parallel across
+	// instances: each probe draws from a stream derived from (pass, round,
+	// instance) alone, and hits are merged back by instance index, so the
+	// outcome is identical for every worker count. Workers keep one
+	// amplitude buffer each, making probes allocation-free.
+	// More workers than feasible instances would never be scheduled, so
+	// cap before allocating the per-worker scratch (amplitude buffers and
+	// reseedable RNGs).
+	workers := par.Workers(spec.Workers)
+	if workers > len(feasibleIdx) {
+		workers = len(feasibleIdx)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	active := make([]int32, 0, len(feasibleIdx))
+	probeX := make([]int32, spec.Instances)
+	probeHit := make([]bool, spec.Instances)
+	bufs := make([][]float64, workers)
+	scratchRng := make([]*xrand.Source, workers)
+	for w := range bufs {
+		bufs[w] = make([]float64, spec.SpaceSize)
+		scratchRng[w] = xrand.New(0)
 	}
 
 	for pass := 0; pass < passes; pass++ {
@@ -194,14 +227,23 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 			// j lock-step Grover iterations plus one verification query.
 			res.Iterations += int64(j)
 			res.EvalCalls += int64(j) + 1
-			for i := 0; i < spec.Instances; i++ {
-				if res.Found[i] || !feasible[i] {
-					continue
+			active = active[:0]
+			for _, i := range feasibleIdx {
+				if !res.Found[i] {
+					active = append(active, i)
 				}
-				x, hit := quantum.FixedScheduleProbe(tables[i], j, rng.SplitN("probe", pass*1_000_003+round*1009+i))
-				if hit {
-					res.Found[i] = true
-					res.Witness[i] = x
+			}
+			probeKey := pass*1_000_003 + round*1009
+			par.ForEachWorker(workers, len(active), func(w, k int) {
+				i := int(active[k])
+				x, hit := quantum.FixedScheduleProbeBuf(bufs[w], tables[i], j, rng.SplitNInto(scratchRng[w], "probe", probeKey+i))
+				probeX[i] = int32(x)
+				probeHit[i] = hit
+			})
+			for _, ia := range active {
+				if probeHit[ia] {
+					res.Found[ia] = true
+					res.Witness[ia] = int(probeX[ia])
 					remaining--
 				}
 			}

@@ -187,7 +187,18 @@ func searchMarked(n int, marked []bool, rng *xrand.Source, res *SearchResult) Se
 // count (the global quantum circuit applies the same number of UmCm steps
 // to all registers).
 func FixedScheduleProbe(marked []bool, j int, rng *xrand.Source) (x int, hit bool) {
-	amps := Uniform(len(marked))
+	return FixedScheduleProbeBuf(make([]float64, len(marked)), marked, j, rng)
+}
+
+// FixedScheduleProbeBuf is FixedScheduleProbe with a caller-provided
+// amplitude buffer of length len(marked). The multi-search worker pool runs
+// one probe per (instance, round) pair; reusing a per-worker state vector
+// keeps those probes allocation-free.
+func FixedScheduleProbeBuf(amps []float64, marked []bool, j int, rng *xrand.Source) (x int, hit bool) {
+	a := 1 / math.Sqrt(float64(len(marked)))
+	for i := range amps {
+		amps[i] = a
+	}
 	for it := 0; it < j; it++ {
 		Iterate(amps, marked)
 	}

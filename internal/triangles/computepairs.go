@@ -27,6 +27,12 @@ type Instance struct {
 	Legs *graph.Undirected
 	// S is the pair set to report on; nil means all pairs P(V).
 	S map[graph.Pair]bool
+
+	// sMask is a flat snapshot of S (index u*n+v with u < v) built once
+	// per promise call: Step 2 performs one S-membership test per sampled
+	// covering pair, and the flat probe replaces a Pair-keyed map lookup
+	// on that hot path.
+	sMask []bool
 }
 
 func (in *Instance) legs() *graph.Undirected {
@@ -36,9 +42,32 @@ func (in *Instance) legs() *graph.Undirected {
 	return in.G
 }
 
+// buildSMask materializes the flat S snapshot; a nil S means "all pairs"
+// and needs no mask.
+func (in *Instance) buildSMask() {
+	if in.S == nil {
+		in.sMask = nil
+		return
+	}
+	n := in.G.N()
+	m := make([]bool, n*n)
+	for p, ok := range in.S {
+		if ok {
+			m[p.U*n+p.V] = true
+		}
+	}
+	in.sMask = m
+}
+
 func (in *Instance) inS(a, b int) bool {
 	if in.S == nil {
 		return true
+	}
+	if in.sMask != nil {
+		if a > b {
+			a, b = b, a
+		}
+		return in.sMask[a*in.G.N()+b]
 	}
 	return in.S[graph.MakePair(a, b)]
 }
@@ -82,6 +111,10 @@ type Options struct {
 	// across calls (the reductions above this protocol do that); when nil
 	// a fresh network is created.
 	Net *congest.Network
+	// Workers bounds the host-side parallelism used for node-local
+	// computation (truth-table assembly, Grover state-vector updates);
+	// <= 0 selects GOMAXPROCS. Results are identical for every setting.
+	Workers int
 	// InjectTruncationFailures enables sampling of the Theorem 3
 	// truncation error as protocol failures (retried like the other
 	// aborts). The bound is reported either way. At small simulated n the
@@ -129,7 +162,9 @@ type Report struct {
 	// Rounds is the total CONGEST-CLIQUE rounds charged, including aborted
 	// attempts.
 	Rounds int64
-	// Metrics is the full network accounting.
+	// Metrics holds the aggregate network accounting (counters only; the
+	// per-phase trace stays on the caller's Network to keep this snapshot
+	// allocation-free on the hot path).
 	Metrics congest.Metrics
 	// Retries counts aborted attempts (covering imbalance, IdentifyClass
 	// overflow, slot overflow, injected truncation failures).
@@ -163,6 +198,7 @@ func FindEdgesWithPromise(inst Instance, opts Options) (*Report, error) {
 		return nil, errors.New("triangles: nil graph")
 	}
 	n := inst.G.N()
+	inst.buildSMask()
 	pt, err := NewPartitions(n)
 	if err != nil {
 		return nil, err
@@ -190,7 +226,7 @@ func FindEdgesWithPromise(inst Instance, opts Options) (*Report, error) {
 		if err == nil {
 			rep.Retries = attempt
 			rep.Rounds = net.Rounds()
-			rep.Metrics = net.Metrics()
+			rep.Metrics = net.Snapshot()
 			rep.Mode = opts.mode()
 			return rep, nil
 		}
@@ -223,6 +259,7 @@ func computePairsAttempt(net *congest.Network, pt *Partitions, inst *Instance, p
 	// and the output is empty.
 	for alpha := 0; len(st.instances) > 0 && alpha <= cls.maxClass; alpha++ {
 		b := newEvalBuilder(pt, pl, st, cls, params, alpha, rng.SplitN("eval", alpha))
+		b.workers = opts.Workers
 		if b.spaceSize == 0 {
 			continue
 		}
@@ -245,6 +282,7 @@ func computePairsAttempt(net *congest.Network, pt *Partitions, inst *Instance, p
 				SpaceSize: b.spaceSize,
 				Instances: len(st.instances),
 				Eval:      b.evalFunc(),
+				Workers:   opts.Workers,
 			}, rng.SplitN("search", alpha))
 			if err != nil {
 				return nil, err
@@ -280,7 +318,9 @@ func computePairsAttempt(net *congest.Network, pt *Partitions, inst *Instance, p
 
 	// Deliver each found pair to its two endpoint nodes (the problem's
 	// output convention: node u outputs the pairs {u,v} it is part of).
-	var loads []congest.Load
+	loadsBuf := getLoadBuf(2 * len(rep.Edges))
+	defer putLoadBuf(loadsBuf)
+	loads := *loadsBuf
 	for pr := range rep.Edges {
 		for _, owner := range []int{pr.U, pr.V} {
 			// Reporting node: the search node that found it; charge one
@@ -292,6 +332,7 @@ func computePairsAttempt(net *congest.Network, pt *Partitions, inst *Instance, p
 			loads = append(loads, congest.Load{Src: src, Dst: congest.NodeID(owner), Words: 1})
 		}
 	}
+	*loadsBuf = loads
 	if err := net.ChargeBalanced("computepairs/output", loads); err != nil {
 		return nil, err
 	}
@@ -303,7 +344,7 @@ func computePairsAttempt(net *congest.Network, pt *Partitions, inst *Instance, p
 // exactly. It costs spaceSize × evalRounds instead of Õ(√spaceSize) ×
 // evalRounds.
 func classicalScan(net *congest.Network, b *evalBuilder) ([]bool, error) {
-	baseline := net.Metrics()
+	baseline := net.Snapshot()
 	tables, err := b.evalFunc()(net)
 	if err != nil {
 		return nil, err

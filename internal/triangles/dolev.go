@@ -28,7 +28,7 @@ type DolevReport struct {
 	Edges map[graph.Pair]bool
 	// Rounds is the total CONGEST-CLIQUE rounds charged.
 	Rounds int64
-	// Metrics is the full accounting.
+	// Metrics is the aggregate accounting (counters only).
 	Metrics congest.Metrics
 	// Blocks is the partition parameter p ≈ n^{1/3}.
 	Blocks int
@@ -163,7 +163,7 @@ func DolevFindEdges(inst Instance, net *congest.Network) (*DolevReport, error) {
 	return &DolevReport{
 		Edges:   edges,
 		Rounds:  net.Rounds(),
-		Metrics: net.Metrics(),
+		Metrics: net.Snapshot(),
 		Blocks:  p,
 	}, nil
 }

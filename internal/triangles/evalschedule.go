@@ -5,6 +5,7 @@ import (
 
 	"qclique/internal/congest"
 	"qclique/internal/graph"
+	"qclique/internal/par"
 	"qclique/internal/qsearch"
 	"qclique/internal/xrand"
 )
@@ -59,38 +60,75 @@ type searchState struct {
 // NotWellBalancedError when Lemma 2's balance condition fails.
 func runCoverings(net *congest.Network, pt *Partitions, inst *Instance, params Params, rng *xrand.Source) (*searchState, error) {
 	st := &searchState{pt: pt, coverings: make([]Covering, pt.NumSearchLabels())}
-	var loads []congest.Load
+	// Pre-size everything from the expected covering mass (|P(u,v)|·prob
+	// summed over labels): Step 2 runs once per promise call on the
+	// full-pipeline hot loop and buffer regrowth here dominated the
+	// allocation profile. The kept pairs and weights are carved out of two
+	// shared arenas; the sampling scratch is reused across labels; the
+	// load list is pooled across calls.
+	expected := pt.expectedCoveringPairs(params)
+	loadsBuf := getLoadBuf(2*expected + 64)
+	defer putLoadBuf(loadsBuf)
+	loads := *loadsBuf
+	pairsArena := make([]graph.Pair, 0, expected+64)
+	weightsArena := make([]int64, 0, expected+64)
+	var sampleBuf []graph.Pair
+	perVertex := make([]int32, pt.N())
+	ownerCount := make([]int32, pt.N())
+	ownerTouched := make([]int32, 0, pt.N())
 	for li := 0; li < pt.NumSearchLabels(); li++ {
 		label := pt.SearchFromIndex(li)
-		pairs, err := pt.sampleCovering(label, params, rng.SplitN("covering", li))
+		pairs, err := pt.sampleCoveringBuf(label, params, rng.SplitN("covering", li), sampleBuf, perVertex)
 		if err != nil {
 			_ = net.Broadcast("computepairs/step2-abort", pt.SearchNode(label), 1)
 			return nil, err
 		}
+		sampleBuf = pairs
 		cov := Covering{Label: label}
 		dst := pt.SearchNode(label)
+		pStart, wStart := len(pairsArena), len(weightsArena)
+		ownerTouched = ownerTouched[:0]
 		for _, pr := range pairs {
 			// Request to the pair owner and two-word response (weight +
-			// S-membership). Owner is the smaller endpoint by convention.
-			owner := congest.NodeID(pr.U)
-			if owner != dst {
-				loads = append(loads,
-					congest.Load{Src: dst, Dst: owner, Words: 2},
-					congest.Load{Src: owner, Dst: dst, Words: 2},
-				)
+			// S-membership). Owner is the smaller endpoint by convention;
+			// requests to the same owner are aggregated into one load (the
+			// per-link accounting is identical either way).
+			if owner := congest.NodeID(pr.U); owner != dst {
+				if ownerCount[pr.U] == 0 {
+					ownerTouched = append(ownerTouched, int32(pr.U))
+				}
+				ownerCount[pr.U]++
 			}
 			w, ok := inst.G.Weight(pr.U, pr.V)
 			if !ok || !inst.inS(pr.U, pr.V) {
 				continue
 			}
-			cov.Pairs = append(cov.Pairs, pr)
-			cov.Weights = append(cov.Weights, w)
+			pairsArena = append(pairsArena, pr)
+			weightsArena = append(weightsArena, w)
 		}
+		for _, o := range ownerTouched {
+			words := 2 * int64(ownerCount[o])
+			ownerCount[o] = 0
+			loads = append(loads,
+				congest.Load{Src: dst, Dst: congest.NodeID(o), Words: words},
+				congest.Load{Src: congest.NodeID(o), Dst: dst, Words: words},
+			)
+		}
+		// Arena regrowth leaves earlier coverings on the old backing array,
+		// which stays correct — the slices are never written again.
+		cov.Pairs = pairsArena[pStart:len(pairsArena):len(pairsArena)]
+		cov.Weights = weightsArena[wStart:len(weightsArena):len(weightsArena)]
 		st.coverings[li] = cov
 	}
+	*loadsBuf = loads // retain grown capacity in the pool
 	if err := net.ChargeBalanced("computepairs/step2-covering", loads); err != nil {
 		return nil, err
 	}
+	total := 0
+	for _, cov := range st.coverings {
+		total += len(cov.Pairs)
+	}
+	st.instances = make([]instanceRef, 0, total)
 	for li, cov := range st.coverings {
 		for pi, pr := range cov.Pairs {
 			st.instances = append(st.instances, instanceRef{label: li, pair: pr, weight: cov.Weights[pi]})
@@ -110,6 +148,7 @@ type evalBuilder struct {
 	classLists [][]int // per group u*q+v: T_α[u,v]
 	rng        *xrand.Source
 	validate   bool
+	workers    int // host-side parallelism for truth-table assembly
 }
 
 func newEvalBuilder(pt *Partitions, pl *placement, st *searchState, cls *classification, params Params, alpha int, rng *xrand.Source) *evalBuilder {
@@ -149,18 +188,23 @@ func (b *evalBuilder) groupOf(li int) int {
 // min ≤ f(u,v); the strict-inequality form against −f(u,v) is the one
 // consistent with Definition 1 and is what we implement.)
 func (b *evalBuilder) truthRow(group int, pr graph.Pair, weight int64) []bool {
+	row := make([]bool, b.spaceSize)
+	b.truthRowInto(row, group, pr, weight)
+	return row
+}
+
+// truthRowInto writes the oracle row into a caller-provided slice of
+// length spaceSize (arena-backed in the evaluation procedure).
+func (b *evalBuilder) truthRowInto(row []bool, group int, pr graph.Pair, weight int64) {
 	q := b.pt.NumCoarse()
 	u, v := group/q, group%q
 	a, bb := pr.U, pr.V
 	if b.pt.CoarseOf(a) != u {
 		a, bb = bb, a
 	}
-	list := b.classLists[group]
-	row := make([]bool, b.spaceSize)
-	for i, w := range list {
+	for i, w := range b.classLists[group] {
 		row[i] = b.pl.minLegSum(u, v, w, a, bb) < -weight
 	}
-	return row
 }
 
 // evalFunc returns the qsearch evaluation procedure for this class.
@@ -174,7 +218,8 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 		// node of class α broadcasts its Step 1 tables to its dup−1 clone
 		// labels so the query bandwidth scales with 2^α.
 		if b.alpha > 0 && dup > 1 {
-			var loads []congest.Load
+			dupBuf := getLoadBuf(64)
+			loads := *dupBuf
 			q := b.pt.NumCoarse()
 			for u := 0; u < q; u++ {
 				for v := 0; v < q; v++ {
@@ -192,7 +237,10 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 					}
 				}
 			}
-			if err := net.ChargeBalanced(fmt.Sprintf("eval/α=%d/step0-duplicate", b.alpha), loads); err != nil {
+			*dupBuf = loads
+			err := net.ChargeBalanced(fmt.Sprintf("eval/α=%d/step0-duplicate", b.alpha), loads)
+			putLoadBuf(dupBuf)
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -200,9 +248,16 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 		// Sample the typical query assignment: each instance queries one
 		// uniform element of its search space — the marginal induced by
 		// the uniform initial superposition. Build the per-(k,w) lists
-		// L^k_w and enforce the slot caps of the C̃m contract.
+		// L^k_w and enforce the slot caps of the C̃m contract. The counts
+		// live in a flat (searchLabel × wBlock) array touched-list rather
+		// than a map: the assignment loop is the innermost accounting loop
+		// of every FindEdges call.
 		qrng := b.rng.Split("query-assignment")
-		listCount := make(map[[2]int]int) // (searchLabel, wBlock) → entries
+		numFine := b.pt.NumFine()
+		listCountBuf := getZeroedInt32(b.pt.NumSearchLabels() * numFine)
+		defer putInt32(listCountBuf)
+		listCount := *listCountBuf
+		touched := make([]int32, 0, len(b.st.instances))
 		for _, ins := range b.st.instances {
 			g := b.groupOf(ins.label)
 			list := b.classLists[g]
@@ -210,11 +265,14 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 				continue
 			}
 			w := list[qrng.IntN(len(list))]
-			k := [2]int{ins.label, w}
+			k := ins.label*numFine + w
+			if listCount[k] == 0 {
+				touched = append(touched, int32(k))
+			}
 			listCount[k]++
-			if listCount[k] > slotCap {
+			if int(listCount[k]) > slotCap {
 				label := b.pt.SearchFromIndex(ins.label)
-				return nil, &SlotOverflowError{Label: label, WBlock: w, Count: listCount[k], Cap: slotCap, Alpha: b.alpha}
+				return nil, &SlotOverflowError{Label: label, WBlock: w, Count: int(listCount[k]), Cap: slotCap, Alpha: b.alpha}
 			}
 		}
 
@@ -222,11 +280,14 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 		// endpoints and the pair weight) to the triple node (or its clone
 		// label), and receive one word per entry back. Sublists are spread
 		// round-robin across the dup clone labels.
-		var loads []congest.Load
-		for k, count := range listCount {
-			label := b.pt.SearchFromIndex(k[0])
+		loadsBuf := getLoadBuf(2 * dup * len(touched))
+		defer putLoadBuf(loadsBuf)
+		loads := *loadsBuf
+		for _, k := range touched {
+			count := int(listCount[k])
+			label := b.pt.SearchFromIndex(int(k) / numFine)
 			src := b.pt.SearchNode(label)
-			t := TripleLabel{U: label.U, V: label.V, W: k[1]}
+			t := TripleLabel{U: label.U, V: label.V, W: int(k) % numFine}
 			per := (count + dup - 1) / dup
 			remaining := count
 			for y := 0; y < dup && remaining > 0; y++ {
@@ -245,24 +306,57 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 				)
 			}
 		}
+		*loadsBuf = loads
 		if err := net.ChargeBalanced(fmt.Sprintf("eval/α=%d/query-response", b.alpha), loads); err != nil {
 			return nil, err
 		}
 
 		// Assemble the truth tables from the queried triple nodes' data.
 		// Rows are memoized per (group, pair): a pair covered by several
-		// Λx sets shares one row.
-		memo := make(map[[3]int][]bool)
-		tables := make([][]bool, len(b.st.instances))
+		// Λx sets shares one row, deduplicated through a flat pooled
+		// (group × pair) index table instead of a hash map. Row computation
+		// (the triple nodes' local min-plus work) is independent across
+		// rows, so the unique rows are computed by the worker pool and
+		// merged by index — identical output for any worker count.
+		// A pair {U,V} (U < V) can only appear in the two groups
+		// (CoarseOf(U), CoarseOf(V)) and its swap, so one orientation bit
+		// disambiguates the group and the dedup table needs just 2n² slots.
+		q := b.pt.NumCoarse()
+		rowOfBuf := getZeroedInt32(2 * n * n)
+		defer putInt32(rowOfBuf)
+		rowOf := *rowOfBuf // (orient*n + U)*n + V → row index + 1; 0 = unset
+		type rowJob struct {
+			group  int
+			pair   graph.Pair
+			weight int64
+		}
+		var jobs []rowJob
+		assign := make([]int32, len(b.st.instances))
 		for i, ins := range b.st.instances {
 			g := b.groupOf(ins.label)
-			key := [3]int{g, ins.pair.U, ins.pair.V}
-			row, ok := memo[key]
-			if !ok {
-				row = b.truthRow(g, ins.pair, ins.weight)
-				memo[key] = row
+			orient := 0
+			if g != b.pt.CoarseOf(ins.pair.U)*q+b.pt.CoarseOf(ins.pair.V) {
+				orient = 1
 			}
-			tables[i] = row
+			key := (orient*n+ins.pair.U)*n + ins.pair.V
+			ri := rowOf[key]
+			if ri == 0 {
+				jobs = append(jobs, rowJob{group: g, pair: ins.pair, weight: ins.weight})
+				ri = int32(len(jobs))
+				rowOf[key] = ri
+			}
+			assign[i] = ri - 1
+		}
+		rows := make([][]bool, len(jobs))
+		rowArena := make([]bool, len(jobs)*b.spaceSize)
+		par.For(par.Workers(b.workers), len(jobs), func(j int) {
+			row := rowArena[j*b.spaceSize : (j+1)*b.spaceSize]
+			b.truthRowInto(row, jobs[j].group, jobs[j].pair, jobs[j].weight)
+			rows[j] = row
+		})
+		tables := make([][]bool, len(b.st.instances))
+		for i, ri := range assign {
+			tables[i] = rows[ri]
 		}
 		return tables, nil
 	}

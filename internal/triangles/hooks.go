@@ -209,11 +209,9 @@ func CongestionTrial(g *graph.Undirected, params Params, seed uint64) (*Congesti
 	}
 
 	// Balanced: execute the Figure 4 schedule and read the measured peak.
-	baseline := net.Metrics()
 	if _, err := b.evalFunc()(net); err != nil {
 		return nil, err
 	}
-	_ = baseline
-	out.BalancedMaxLinkLoad = net.Metrics().MaxLinkLoad
+	out.BalancedMaxLinkLoad = net.Snapshot().MaxLinkLoad
 	return out, nil
 }

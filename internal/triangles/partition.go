@@ -193,6 +193,52 @@ func (p *Partitions) PairsBetween(a, b int) []graph.Pair {
 	return out
 }
 
+// forEachPairBetween visits P(A, B) in exactly the order PairsBetween
+// returns it, without materializing the slice — the covering sampler draws
+// one random bit per pair, so the iteration order is part of the
+// deterministic replay contract.
+func (p *Partitions) forEachPairBetween(a, b int, fn func(pr graph.Pair)) {
+	blockA := p.Coarse[a]
+	blockB := p.Coarse[b]
+	if a == b {
+		for i := 0; i < len(blockA); i++ {
+			for j := i + 1; j < len(blockA); j++ {
+				fn(graph.MakePair(blockA[i], blockA[j]))
+			}
+		}
+		return
+	}
+	for _, x := range blockA {
+		for _, y := range blockB {
+			fn(graph.MakePair(x, y))
+		}
+	}
+}
+
+// pairCountBetween returns |P(A, B)| without enumerating it.
+func (p *Partitions) pairCountBetween(a, b int) int {
+	if a == b {
+		k := len(p.Coarse[a])
+		return k * (k - 1) / 2
+	}
+	return len(p.Coarse[a]) * len(p.Coarse[b])
+}
+
+// expectedCoveringPairs returns the expected total number of sampled pairs
+// across all search labels, Σ |P(u,v)|·prob — the pre-sizing hint for the
+// Step 2 buffers.
+func (p *Partitions) expectedCoveringPairs(params Params) int {
+	prob := params.coverSampleProb(p.n)
+	q := p.NumCoarse()
+	total := 0
+	for u := 0; u < q; u++ {
+		for v := 0; v < q; v++ {
+			total += p.pairCountBetween(u, v)
+		}
+	}
+	return int(float64(total*p.NumFine()) * prob)
+}
+
 // Covering is one node's random covering set Λx(u,v) with the pair weights
 // it loaded (Step 2 of ComputePairs).
 type Covering struct {
@@ -224,26 +270,55 @@ func (e *NotWellBalancedError) Error() string {
 // existence are filtered later, during the weight-loading exchange). It
 // returns a NotWellBalancedError if any endpoint exceeds the balance bound.
 func (p *Partitions) sampleCovering(label SearchLabel, params Params, rng *xrand.Source) ([]graph.Pair, error) {
+	return p.sampleCoveringBuf(label, params, rng, nil, nil)
+}
+
+// sampleCoveringBuf is sampleCovering with caller-provided scratch: pairs
+// (reused as the backing for the returned slice, valid until the caller's
+// next sampleCoveringBuf call with the same buffer) and perVertex (length
+// n, will be reset). Step 2 calls this once per search label per promise
+// call; the scratch removes both per-label allocations.
+func (p *Partitions) sampleCoveringBuf(label SearchLabel, params Params, rng *xrand.Source, buf []graph.Pair, perVertex []int32) ([]graph.Pair, error) {
 	prob := params.coverSampleProb(p.n)
 	bound := params.wellBalancedBound(p.n)
-	perVertex := make(map[int]int)
-	var pairs []graph.Pair
-	for _, pr := range p.PairsBetween(label.U, label.V) {
+	if perVertex == nil {
+		perVertex = make([]int32, p.n)
+	}
+	pairs := buf[:0]
+	if cap(pairs) == 0 {
+		pairs = make([]graph.Pair, 0, int(float64(p.pairCountBetween(label.U, label.V))*prob)+8)
+	}
+	p.forEachPairBetween(label.U, label.V, func(pr graph.Pair) {
 		if !rng.Bool(prob) {
-			continue
+			return
 		}
 		pairs = append(pairs, pr)
 		perVertex[pr.U]++
 		perVertex[pr.V]++
-	}
+	})
 	// Well-balancedness (Section 5.1): for every u in block u, the number
 	// of sampled pairs touching it must stay within the bound. The paper
 	// states the condition for u ∈ u; by symmetry of P(u,v) we check both
 	// endpoints.
-	for v, c := range perVertex {
-		if c > bound {
-			return nil, &NotWellBalancedError{Label: label, Vertex: v, Count: c, Bound: bound}
+	var violation *NotWellBalancedError
+	for _, pr := range pairs {
+		if c := int(perVertex[pr.U]); c > bound {
+			violation = &NotWellBalancedError{Label: label, Vertex: pr.U, Count: c, Bound: bound}
+			break
 		}
+		if c := int(perVertex[pr.V]); c > bound {
+			violation = &NotWellBalancedError{Label: label, Vertex: pr.V, Count: c, Bound: bound}
+			break
+		}
+	}
+	// Re-zero the touched counters so the scratch is clean for the next
+	// label.
+	for _, pr := range pairs {
+		perVertex[pr.U] = 0
+		perVertex[pr.V] = 0
+	}
+	if violation != nil {
+		return nil, violation
 	}
 	return pairs, nil
 }

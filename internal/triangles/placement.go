@@ -56,34 +56,85 @@ func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, 
 	s := pt.NumFine()
 
 	if mode == DataFull {
+		// Carve every triple's weight tables out of one NoEdge-filled
+		// arena: two allocations for the whole step instead of two per
+		// triple label.
 		pl.data = make([]tripleData, pt.NumTriples())
+		totalCells := 0
 		for ti := range pl.data {
 			t := pt.TripleFromIndex(ti)
+			totalCells += len(pt.Coarse[t.U])*len(pt.Fine[t.W]) + len(pt.Fine[t.W])*len(pt.Coarse[t.V])
+		}
+		cells := newNoEdge(totalCells)
+		for ti := range pl.data {
+			t := pt.TripleFromIndex(ti)
+			uw := len(pt.Coarse[t.U]) * len(pt.Fine[t.W])
+			wv := len(pt.Fine[t.W]) * len(pt.Coarse[t.V])
 			pl.data[ti] = tripleData{
-				legsUW: newNoEdge(len(pt.Coarse[t.U]) * len(pt.Fine[t.W])),
-				legsWV: newNoEdge(len(pt.Fine[t.W]) * len(pt.Coarse[t.V])),
+				legsUW: cells[:uw:uw],
+				legsWV: cells[uw : uw+wv : uw+wv],
 			}
+			cells = cells[uw+wv:]
 		}
 	}
 
-	var msgs []congest.Message
-	var loads []congest.Load
-	ingestLocal := 0
+	if mode != DataFull {
+		// Charge-only fast path: the per-message word counts depend only on
+		// the partition shapes (3 header words plus one weight per fine-block
+		// vertex), so the link loads are charged without materializing any
+		// payload slices. This path runs once per promise call on the
+		// full-pipeline hot loop.
+		loadsBuf := getLoadBuf(pt.NumTriples() * 2 * ((pt.N()+q-1)/q + 1))
+		defer putLoadBuf(loadsBuf)
+		loads := *loadsBuf
+		for u := 0; u < q; u++ {
+			for v := 0; v < q; v++ {
+				for w := 0; w < s; w++ {
+					t := TripleLabel{U: u, V: v, W: w}
+					dst := pt.TripleNode(t)
+					words := int64(3 + len(pt.Fine[w]))
+					for _, a := range pt.Coarse[u] {
+						if congest.NodeID(a) != dst {
+							loads = append(loads, congest.Load{Src: congest.NodeID(a), Dst: dst, Words: words})
+						}
+					}
+					for _, b := range pt.Coarse[v] {
+						if congest.NodeID(b) != dst {
+							loads = append(loads, congest.Load{Src: congest.NodeID(b), Dst: dst, Words: words})
+						}
+					}
+				}
+			}
+		}
+		*loadsBuf = loads
+		if err := net.ChargeBalanced("computepairs/step1-placement", loads); err != nil {
+			return nil, fmt.Errorf("placement: %w", err)
+		}
+		return pl, nil
+	}
 
+	// Pre-size one word arena for every payload of the phase: the message
+	// count and sizes depend only on the partition shapes, so a single
+	// allocation replaces one slice per message.
+	totalMsgs, totalWords := 0, 0
+	for u := 0; u < q; u++ {
+		for v := 0; v < q; v++ {
+			for w := 0; w < s; w++ {
+				c := len(pt.Coarse[u]) + len(pt.Coarse[v])
+				totalMsgs += c
+				totalWords += c * (3 + len(pt.Fine[w]))
+			}
+		}
+	}
+	arena := make([]congest.Word, 0, totalWords)
+	msgs := make([]congest.Message, 0, totalMsgs)
 	emit := func(src, dst congest.NodeID, data []congest.Word) {
 		if src == dst {
 			// Local hand-off: the sender hosts the triple label itself.
-			if mode == DataFull {
-				pl.ingest(congest.Message{Src: src, Dst: dst, Data: data})
-			}
-			ingestLocal++
+			pl.ingest(congest.Message{Src: src, Dst: dst, Data: data})
 			return
 		}
-		if mode == DataFull {
-			msgs = append(msgs, congest.Message{Src: src, Dst: dst, Data: data})
-		} else {
-			loads = append(loads, congest.Load{Src: src, Dst: dst, Words: int64(len(data))})
-		}
+		msgs = append(msgs, congest.Message{Src: src, Dst: dst, Data: data})
 	}
 
 	for u := 0; u < q; u++ {
@@ -94,42 +145,36 @@ func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, 
 				ti := congest.Word(pt.TripleIndex(t))
 				// u-side legs: vertex a sends f(a, c) for all c in w.
 				for ai, a := range pt.Coarse[u] {
-					data := make([]congest.Word, 0, 4+len(pt.Fine[w]))
-					data = append(data, ti, sideUW, congest.Word(ai))
+					start := len(arena)
+					arena = append(arena, ti, sideUW, congest.Word(ai))
 					for _, c := range pt.Fine[w] {
-						data = append(data, encodeWeight(weightOrNoEdge(legs, a, c)))
+						arena = append(arena, encodeWeight(weightOrNoEdge(legs, a, c)))
 					}
-					emit(congest.NodeID(a), dst, data)
+					emit(congest.NodeID(a), dst, arena[start:len(arena):len(arena)])
 				}
 				// v-side legs: vertex b sends f(c, b) for all c in w.
 				for bi, b := range pt.Coarse[v] {
-					data := make([]congest.Word, 0, 4+len(pt.Fine[w]))
-					data = append(data, ti, sideWV, congest.Word(bi))
+					start := len(arena)
+					arena = append(arena, ti, sideWV, congest.Word(bi))
 					for _, c := range pt.Fine[w] {
-						data = append(data, encodeWeight(weightOrNoEdge(legs, c, b)))
+						arena = append(arena, encodeWeight(weightOrNoEdge(legs, c, b)))
 					}
-					emit(congest.NodeID(b), dst, data)
+					emit(congest.NodeID(b), dst, arena[start:len(arena):len(arena)])
 				}
 			}
 		}
 	}
 
-	if mode == DataFull {
-		inboxes, err := net.ExchangeBalanced("computepairs/step1-placement", msgs)
-		if err != nil {
-			return nil, fmt.Errorf("placement: %w", err)
-		}
-		for _, inbox := range inboxes {
-			for _, m := range inbox {
-				if err := pl.ingestChecked(m); err != nil {
-					return nil, err
-				}
+	inboxes, err := net.ExchangeBalanced("computepairs/step1-placement", msgs)
+	if err != nil {
+		return nil, fmt.Errorf("placement: %w", err)
+	}
+	for _, inbox := range inboxes {
+		for _, m := range inbox {
+			if err := pl.ingestChecked(m); err != nil {
+				return nil, err
 			}
 		}
-		return pl, nil
-	}
-	if err := net.ChargeBalanced("computepairs/step1-placement", loads); err != nil {
-		return nil, fmt.Errorf("placement: %w", err)
 	}
 	return pl, nil
 }

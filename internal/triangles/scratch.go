@@ -1,0 +1,53 @@
+package triangles
+
+import (
+	"sync"
+
+	"qclique/internal/congest"
+)
+
+// The protocol stack rebuilds its phase-local buffers once per promise call
+// — and the full APSP pipeline makes hundreds of promise calls, so those
+// buffers dominated the allocation profile. loadPool recycles the
+// congest.Load lists of the charge-only phases; a list is safe to recycle
+// as soon as the ChargeDirect/ChargeBalanced call consuming it returns
+// (the network aggregates loads into its own flat scratch and never
+// retains the slice).
+var loadPool = sync.Pool{New: func() any { return new([]congest.Load) }}
+
+// getLoadBuf returns an empty load list with at least capHint capacity.
+func getLoadBuf(capHint int) *[]congest.Load {
+	p := loadPool.Get().(*[]congest.Load)
+	if cap(*p) < capHint {
+		*p = make([]congest.Load, 0, capHint)
+	} else {
+		*p = (*p)[:0]
+	}
+	return p
+}
+
+// putLoadBuf recycles a load list obtained from getLoadBuf.
+func putLoadBuf(p *[]congest.Load) {
+	loadPool.Put(p)
+}
+
+// int32Pool recycles zeroed int32 index arrays (the flat row-dedup table of
+// the evaluation procedure).
+var int32Pool = sync.Pool{New: func() any { return new([]int32) }}
+
+// getZeroedInt32 returns a zeroed int32 slice of exactly n entries.
+func getZeroedInt32(n int) *[]int32 {
+	p := int32Pool.Get().(*[]int32)
+	if cap(*p) < n {
+		*p = make([]int32, n)
+		return p
+	}
+	*p = (*p)[:n]
+	clear(*p)
+	return p
+}
+
+// putInt32 recycles a slice obtained from getZeroedInt32.
+func putInt32(p *[]int32) {
+	int32Pool.Put(p)
+}

@@ -40,15 +40,26 @@ func hashLabel(label string) uint64 {
 // generator seeded from a derived seed.
 type Source struct {
 	seed uint64
+	pcg  *rand.PCG
 	rng  *rand.Rand
 }
 
 // New returns a Source rooted at seed.
 func New(seed uint64) *Source {
+	pcg := rand.NewPCG(splitmix64(seed), splitmix64(seed^0xa5a5a5a5a5a5a5a5))
 	return &Source{
 		seed: seed,
-		rng:  rand.New(rand.NewPCG(splitmix64(seed), splitmix64(seed^0xa5a5a5a5a5a5a5a5))),
+		pcg:  pcg,
+		rng:  rand.New(pcg),
 	}
+}
+
+// Reseed re-initializes the source in place to the stream New(seed) would
+// produce, reusing the generator's allocations. It is the scratch-source
+// primitive behind the allocation-free split variants below.
+func (s *Source) Reseed(seed uint64) {
+	s.seed = seed
+	s.pcg.Seed(splitmix64(seed), splitmix64(seed^0xa5a5a5a5a5a5a5a5))
 }
 
 // Seed reports the seed this source was derived from.
@@ -65,7 +76,20 @@ func (s *Source) Split(label string) *Source {
 // SplitN derives an independent child stream identified by a label and an
 // index (for example, one stream per node).
 func (s *Source) SplitN(label string, n int) *Source {
-	return New(splitmix64(s.seed^hashLabel(label)) + splitmix64(uint64(n)+0x1234_5678_9abc_def0))
+	return New(splitNSeed(s.seed, label, n))
+}
+
+// SplitNInto reseeds scratch to the exact stream SplitN(label, n) would
+// return, without allocating, and returns scratch. Hot loops that derive
+// one stream per (instance, round) probe use this with a per-worker
+// scratch source.
+func (s *Source) SplitNInto(scratch *Source, label string, n int) *Source {
+	scratch.Reseed(splitNSeed(s.seed, label, n))
+	return scratch
+}
+
+func splitNSeed(seed uint64, label string, n int) uint64 {
+	return splitmix64(seed^hashLabel(label)) + splitmix64(uint64(n)+0x1234_5678_9abc_def0)
 }
 
 // Uint64 returns a uniformly random 64-bit value.

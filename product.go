@@ -14,7 +14,7 @@ func productFor(a, b *matrix.Matrix, o options) (*matrix.Matrix, int64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		c, err := distprod.GossipProduct(net)(a, b)
+		c, err := distprod.GossipProductPar(net, o.workers)(a, b)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -28,9 +28,10 @@ func productFor(a, b *matrix.Matrix, o options) (*matrix.Matrix, int64, error) {
 		solver = distprod.SolverDolev
 	}
 	c, stats, err := distprod.Product(a, b, distprod.Options{
-		Solver: solver,
-		Params: o.params(),
-		Seed:   o.seed,
+		Solver:  solver,
+		Params:  o.params(),
+		Seed:    o.seed,
+		Workers: o.workers,
 	})
 	if err != nil {
 		return nil, 0, err

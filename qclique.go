@@ -107,6 +107,7 @@ type options struct {
 	strategy Strategy
 	preset   ParamPreset
 	seed     uint64
+	workers  int
 }
 
 // Option configures SolveAPSP, FindNegativeTriangleEdges and
@@ -127,6 +128,15 @@ func WithSeed(seed uint64) Option {
 // WithParams selects the protocol-constant preset.
 func WithParams(p ParamPreset) Option {
 	return func(o *options) { o.preset = p }
+}
+
+// WithWorkers bounds the host-side parallelism used for node-local phases
+// of the simulation (oracle evaluation, Grover state-vector updates, local
+// min-plus work). The default (0) uses GOMAXPROCS. Results — distances and
+// simulated round counts — are identical for every worker count; only
+// wall-clock time changes.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
 }
 
 func buildOptions(opts []Option) options {
@@ -212,6 +222,7 @@ func SolveAPSP(g *Digraph, opts ...Option) (*APSPResult, error) {
 		Strategy: o.strategy.toCore(),
 		Params:   o.params(),
 		Seed:     o.seed,
+		Workers:  o.workers,
 	})
 	if err != nil {
 		return nil, err
@@ -270,9 +281,10 @@ func FindNegativeTriangleEdges(g *Graph, opts ...Option) (*TriangleReport, error
 			mode = triangles.SearchClassicalScan
 		}
 		rep, err := triangles.FindEdges(inst, triangles.Options{
-			Params: o.params(),
-			Mode:   mode,
-			Seed:   o.seed,
+			Params:  o.params(),
+			Mode:    mode,
+			Seed:    o.seed,
+			Workers: o.workers,
 		})
 		if err != nil {
 			return nil, err
