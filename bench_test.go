@@ -8,6 +8,7 @@ package qclique
 // measurements as the tables recorded in EXPERIMENTS.md.
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -360,17 +361,7 @@ func BenchmarkE12Grover(b *testing.B) {
 
 // BenchmarkPublicAPISolve exercises the public façade end to end.
 func BenchmarkPublicAPISolve(b *testing.B) {
-	inner := benchDigraph(b, 12)
-	g := NewDigraph(12)
-	for u := 0; u < 12; u++ {
-		for v := 0; v < 12; v++ {
-			if w, ok := inner.Weight(u, v); ok {
-				if err := g.SetArc(u, v, w); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	}
+	g := toPublicDigraph(b, benchDigraph(b, 12))
 	var rounds int64
 	for i := 0; i < b.N; i++ {
 		res, err := SolveAPSP(g, WithStrategy(Quantum), WithParams(ScaledConstants), WithSeed(uint64(i)))
@@ -380,6 +371,75 @@ func BenchmarkPublicAPISolve(b *testing.B) {
 		rounds = res.Rounds
 	}
 	b.ReportMetric(float64(rounds), "rounds/op")
+}
+
+// BenchmarkSolverAmortizedQueries demonstrates the serving layer's
+// amortization: answering 100 mixed ShortestPath/SSSP queries through a
+// Solver (one pipeline run, batched projection against the cached result)
+// versus paying a full SolveAPSP per query. The acceptance bar for the
+// service layer is ≥10x between these two.
+func BenchmarkSolverAmortizedQueries(b *testing.B) {
+	const n = 8
+	const numQueries = 100
+	g := toPublicDigraph(b, benchDigraph(b, n))
+	opts := []Option{WithStrategy(Quantum), WithParams(ScaledConstants), WithSeed(1)}
+	var queries []PathQuery
+	for i := 0; i < numQueries; i++ {
+		queries = append(queries, PathQuery{Src: i % n, Dst: (i*3 + 1) % n})
+	}
+
+	b.Run("independent", func(b *testing.B) {
+		// The pre-service cost model: every query pays the full pipeline.
+		for i := 0; i < b.N; i++ {
+			for q := 0; q < numQueries; q++ {
+				res, err := SolveAPSP(g, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ShortestPath(g, res, queries[q].Src, queries[q].Dst); err != nil && !errors.Is(err, ErrNoPath) {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("solver-batched", func(b *testing.B) {
+		// One pipeline run per op (fresh solver), then the whole query
+		// batch is projection against the cached result.
+		for i := 0; i < b.N; i++ {
+			s := NewSolver(opts...)
+			answers, _, err := s.PathsBatch(g, queries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, a := range answers {
+				if a.Err != nil && !errors.Is(a.Err, ErrNoPath) {
+					b.Fatal(a.Err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSolverCachedResolve measures a cache-hit re-solve of an
+// unchanged graph: content hash plus LRU lookup, zero simulator rounds.
+func BenchmarkSolverCachedResolve(b *testing.B) {
+	const n = 16
+	g := toPublicDigraph(b, benchDigraph(b, n))
+	s := NewSolver(WithStrategy(Quantum), WithParams(ScaledConstants), WithSeed(1))
+	if _, err := s.Solve(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Solve(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("re-solve missed the cache")
+		}
+	}
 }
 
 // --- Ablations (DESIGN.md §5): measure the design choices in isolation.

@@ -1,0 +1,257 @@
+// Command apspd is the APSP-as-a-service daemon: a long-running HTTP/JSON
+// server over the qclique solve layer, with a content-addressed graph
+// store, an LRU solve cache with singleflight deduplication, batched path
+// queries and per-strategy metrics.
+//
+//	go run ./cmd/apspd -addr :8719
+//
+//	PUT  /graphs                   {"n":4,"arcs":[{"u":0,"v":1,"w":3},…]} → {"id":"sha256:…"}
+//	POST /graphs/{id}/solve        {"strategy":"quantum","preset":"scaled","seed":42}
+//	GET  /graphs/{id}/dist         ?src=&dst= (pair), ?src= (row), none (matrix)
+//	POST /graphs/{id}/paths:batch  {"queries":[{"src":0,"dst":3},…]}
+//	GET  /metrics                  per-strategy cache and round accounting
+//
+// Identical graphs hash to the same id, so a re-upload plus re-solve of an
+// unchanged graph performs zero simulator rounds. -selftest starts the
+// daemon on an ephemeral port, drives the full client flow against it and
+// cross-checks every answer with an in-process qclique.SolveAPSP — the CI
+// smoke job runs exactly that.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"qclique"
+	"qclique/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8719", "listen address")
+	cacheSize := flag.Int("cache-size", 64, "solve results retained (LRU)")
+	maxGraphs := flag.Int("max-graphs", 1024, "graphs retained in the store (LRU)")
+	workers := flag.Int("workers", 0, "host-parallelism bound (0 = GOMAXPROCS)")
+	selftestFlag := flag.Bool("selftest", false, "run the end-to-end smoke against an ephemeral daemon and exit")
+	flag.Parse()
+
+	cfg := serve.Config{CacheSize: *cacheSize, MaxGraphs: *maxGraphs, Workers: *workers}
+	if *selftestFlag {
+		if err := selftest(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "apspd selftest:", err)
+			os.Exit(1)
+		}
+		fmt.Println("apspd selftest ok")
+		return
+	}
+
+	svc := serve.New(cfg)
+	log.Printf("apspd listening on %s (cache=%d graphs=%d)", *addr, *cacheSize, *maxGraphs)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// selftest boots a real daemon on an ephemeral port and exercises every
+// endpoint, comparing against the library entry points.
+func selftest(cfg serve.Config) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewHandler(serve.New(cfg))}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Reference: solve the same graph in-process.
+	const n = 10
+	g := qclique.NewDigraph(n)
+	var arcs []map[string]any
+	addArc := func(u, v int, w int64) error {
+		if err := g.SetArc(u, v, w); err != nil {
+			return err
+		}
+		arcs = append(arcs, map[string]any{"u": u, "v": v, "w": w})
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := addArc(i, (i+1)%n, 3); err != nil {
+			return err
+		}
+	}
+	if err := addArc(0, 5, -2); err != nil {
+		return err
+	}
+	if err := addArc(5, 8, -1); err != nil {
+		return err
+	}
+	const seed = 42
+	want, err := qclique.SolveAPSP(g,
+		qclique.WithStrategy(qclique.Quantum),
+		qclique.WithParams(qclique.ScaledConstants),
+		qclique.WithSeed(seed))
+	if err != nil {
+		return fmt.Errorf("reference solve: %w", err)
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	call := func(method, path string, body any, out any) error {
+		var buf bytes.Buffer
+		if body != nil {
+			if err := json.NewEncoder(&buf).Encode(body); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequest(method, base+path, &buf)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, e.Error)
+		}
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
+	}
+
+	// 1. PUT the graph.
+	var put struct {
+		ID string `json:"id"`
+	}
+	if err := call(http.MethodPut, "/graphs", map[string]any{"n": n, "arcs": arcs}, &put); err != nil {
+		return err
+	}
+
+	// 2. Solve fresh, then cached: identical accounting, zero new rounds.
+	solveBody := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed}
+	var fresh, cached struct {
+		Rounds int64 `json:"rounds"`
+		Cached bool  `json:"cached"`
+	}
+	if err := call(http.MethodPost, "/graphs/"+put.ID+"/solve", solveBody, &fresh); err != nil {
+		return err
+	}
+	if fresh.Cached {
+		return fmt.Errorf("first solve reported cached")
+	}
+	if fresh.Rounds != want.Rounds {
+		return fmt.Errorf("daemon rounds %d != library rounds %d", fresh.Rounds, want.Rounds)
+	}
+	if err := call(http.MethodPost, "/graphs/"+put.ID+"/solve", solveBody, &cached); err != nil {
+		return err
+	}
+	if !cached.Cached || cached.Rounds != want.Rounds {
+		return fmt.Errorf("re-solve = %+v, want cached with rounds %d", cached, want.Rounds)
+	}
+
+	// 3. Full distance matrix matches the library solve.
+	var dist struct {
+		Dist [][]*int64 `json:"dist"`
+	}
+	q := fmt.Sprintf("/graphs/%s/dist?strategy=quantum&preset=scaled&seed=%d", put.ID, seed)
+	if err := call(http.MethodGet, q, nil, &dist); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w := want.Dist[i][j]
+			got := dist.Dist[i][j]
+			if w >= qclique.Inf {
+				if got != nil {
+					return fmt.Errorf("d(%d,%d) = %d, want null", i, j, *got)
+				}
+			} else if got == nil || *got != w {
+				return fmt.Errorf("d(%d,%d) = %v, want %d", i, j, got, w)
+			}
+		}
+	}
+
+	// 4. Batch paths: every reported path must realize the library
+	// distance.
+	var queries []map[string]int
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			queries = append(queries, map[string]int{"src": src, "dst": dst})
+		}
+	}
+	batchBody := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed, "queries": queries}
+	var batch struct {
+		Cached  bool `json:"cached"`
+		Results []struct {
+			Src   int    `json:"src"`
+			Dst   int    `json:"dst"`
+			Dist  *int64 `json:"dist"`
+			Path  []int  `json:"path"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := call(http.MethodPost, "/graphs/"+put.ID+"/paths:batch", batchBody, &batch); err != nil {
+		return err
+	}
+	if !batch.Cached {
+		return fmt.Errorf("batch did not reuse the cached solve")
+	}
+	for _, r := range batch.Results {
+		w := want.Dist[r.Src][r.Dst]
+		if w >= qclique.Inf {
+			if r.Error == "" {
+				return fmt.Errorf("(%d,%d): expected a no-path error", r.Src, r.Dst)
+			}
+			continue
+		}
+		if r.Dist == nil || *r.Dist != w {
+			return fmt.Errorf("(%d,%d): batch dist %v, want %d", r.Src, r.Dst, r.Dist, w)
+		}
+		var total int64
+		for i := 0; i+1 < len(r.Path); i++ {
+			aw, ok := g.Weight(r.Path[i], r.Path[i+1])
+			if !ok {
+				return fmt.Errorf("(%d,%d): broken path %v", r.Src, r.Dst, r.Path)
+			}
+			total += aw
+		}
+		if total != w {
+			return fmt.Errorf("(%d,%d): path weight %d, want %d", r.Src, r.Dst, total, w)
+		}
+	}
+
+	// 5. Metrics: the whole flow must have run the simulator exactly once.
+	var stats struct {
+		Strategies map[string]struct {
+			Solves        int64 `json:"solves"`
+			CacheHits     int64 `json:"cache_hits"`
+			RoundsCharged int64 `json:"rounds_charged"`
+		} `json:"strategies"`
+	}
+	if err := call(http.MethodGet, "/metrics", nil, &stats); err != nil {
+		return err
+	}
+	qs := stats.Strategies["quantum"]
+	if qs.Solves != 1 {
+		return fmt.Errorf("metrics report %d solves, want 1", qs.Solves)
+	}
+	if qs.RoundsCharged != want.Rounds {
+		return fmt.Errorf("metrics charged %d rounds, want %d", qs.RoundsCharged, want.Rounds)
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"qclique/internal/serve"
+)
+
+// TestSelftest runs the full daemon smoke in-process: boot on an ephemeral
+// port, PUT a graph, solve fresh and cached, read distances, batch paths,
+// and cross-check everything against qclique.SolveAPSP.
+func TestSelftest(t *testing.T) {
+	if err := selftest(serve.Config{CacheSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

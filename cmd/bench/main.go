@@ -4,12 +4,18 @@
 // ns/op, rounds/op and allocation counts per configuration, so the
 // performance trajectory is tracked across PRs:
 //
-//	go run ./cmd/bench -label "PR 1" -out BENCH_1.json
+//	go run ./cmd/bench -label "PR 2" -out BENCH_1.json
 //
-// The wall-clock numbers measure simulator speed on the host; the
-// rounds/op numbers measure the algorithm in the CONGEST-CLIQUE cost model
-// and must stay bit-identical across performance work (see the README's
-// performance section for the distinction).
+// It is also the CI regression gate ("Mind the Õ": round-accounting claims
+// only stay honest while they are continuously re-measured):
+//
+//	go run ./cmd/bench -check BENCH_1.json
+//
+// -check re-measures every configuration and fails (exit 1) if any
+// rounds/op deviates from the committed baseline at all — rounds are
+// deterministic seed-for-seed, measured at a pinned seed, so any drift is
+// a semantic change to the simulated protocol — or if any ns/op regresses
+// by more than -max-slowdown (wall-clock noise tolerance, default 2.5x).
 package main
 
 import (
@@ -29,6 +35,11 @@ import (
 	"qclique/internal/xrand"
 )
 
+// roundsSeed is the pinned seed at which rounds/op is measured; timing
+// loops vary the seed per iteration, the deterministic round count does
+// not.
+const roundsSeed = 0
+
 // Result is one benchmark configuration's measurement.
 type Result struct {
 	Name        string  `json:"name"`
@@ -45,22 +56,16 @@ type Report struct {
 	GoVersion  string   `json:"go"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Timestamp  string   `json:"timestamp"`
+	RoundsSeed uint64   `json:"rounds_seed"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-func measure(name string, fn func(b *testing.B)) Result {
-	r := testing.Benchmark(fn)
-	out := Result{
-		Name:        name,
-		Iterations:  r.N,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-	}
-	if v, ok := r.Extra["rounds/op"]; ok {
-		out.RoundsPerOp = v
-	}
-	return out
+// benchConfig is one measurable configuration: run executes the workload
+// once under a seed and returns the simulated round count, which is
+// deterministic seed-for-seed.
+type benchConfig struct {
+	name string
+	run  func(seed uint64) (int64, error)
 }
 
 func benchDigraph(n int) (*graph.Digraph, error) {
@@ -89,13 +94,9 @@ func e1Sizes(quick bool) []int {
 	return []int{8, 16, 32, 64}
 }
 
-func buildReport(label string, quick bool) (*Report, error) {
-	rep := &Report{
-		Label:      label,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-	}
+// benchConfigs assembles the E1–E3 workload matrix.
+func benchConfigs(quick bool) ([]benchConfig, error) {
+	var configs []benchConfig
 	params := triangles.BenchParams()
 
 	// E1: full quantum APSP pipeline (Theorem 1).
@@ -104,18 +105,16 @@ func buildReport(label string, quick bool) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep.Benchmarks = append(rep.Benchmarks, measure(fmt.Sprintf("E1APSPQuantum/n=%d", n), func(b *testing.B) {
-			b.ReportAllocs()
-			var rounds int64
-			for i := 0; i < b.N; i++ {
-				res, err := core.Solve(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Seed: uint64(i)})
+		configs = append(configs, benchConfig{
+			name: fmt.Sprintf("E1APSPQuantum/n=%d", n),
+			run: func(seed uint64) (int64, error) {
+				res, err := core.Solve(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Seed: seed})
 				if err != nil {
-					b.Fatal(err)
+					return 0, err
 				}
-				rounds = res.Rounds
-			}
-			b.ReportMetric(float64(rounds), "rounds/op")
-		}))
+				return res.Rounds, nil
+			},
+		})
 	}
 
 	// E2: FindEdgesWithPromise sweep (Theorem 2).
@@ -124,20 +123,18 @@ func buildReport(label string, quick bool) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep.Benchmarks = append(rep.Benchmarks, measure(fmt.Sprintf("E2FindEdgesPromise/n=%d", n), func(b *testing.B) {
-			b.ReportAllocs()
-			var rounds int64
-			for i := 0; i < b.N; i++ {
+		configs = append(configs, benchConfig{
+			name: fmt.Sprintf("E2FindEdgesPromise/n=%d", n),
+			run: func(seed uint64) (int64, error) {
 				r, err := triangles.FindEdgesWithPromise(triangles.Instance{G: g}, triangles.Options{
-					Seed: uint64(i), Params: &params, Data: triangles.DataDirect,
+					Seed: seed, Params: &params, Data: triangles.DataDirect,
 				})
 				if err != nil {
-					b.Fatal(err)
+					return 0, err
 				}
-				rounds = r.Rounds
-			}
-			b.ReportMetric(float64(rounds), "rounds/op")
-		}))
+				return r.Rounds, nil
+			},
+		})
 	}
 
 	// E3: truncated parallel multi-search (Theorem 3).
@@ -150,42 +147,190 @@ func buildReport(label string, quick bool) (*Report, error) {
 			tables[i][rng.IntN(size)] = true
 		}
 		beta := 8*float64(m)/size + 64
-		rep.Benchmarks = append(rep.Benchmarks, measure(fmt.Sprintf("E3MultiSearch/m=%d", m), func(b *testing.B) {
-			b.ReportAllocs()
-			var rounds int64
-			for i := 0; i < b.N; i++ {
-				nw, err := congest.NewNetwork(8)
+		base := xrand.New(uint64(m))
+		configs = append(configs, benchConfig{
+			name: fmt.Sprintf("E3MultiSearch/m=%d", m),
+			run: func(seed uint64) (int64, error) {
+				nw, err := congest.NewNetwork(size)
 				if err != nil {
-					b.Fatal(err)
+					return 0, err
 				}
 				res, err := qsearch.MultiSearch(nw, qsearch.Spec{
 					SpaceSize: size, Instances: m, Eval: qsearch.LocalEval(tables, 1), Beta: beta,
-				}, rng.SplitN("i", i))
+				}, base.SplitN("i", int(seed)))
 				if err != nil {
-					b.Fatal(err)
+					return 0, err
 				}
 				if !res.AllFound() {
-					b.Fatal("search failed")
+					return 0, fmt.Errorf("search failed")
 				}
-				rounds = nw.Rounds()
+				return nw.Rounds(), nil
+			},
+		})
+	}
+	return configs, nil
+}
+
+// measure records cfg's deterministic round count at the pinned seed plus
+// wall-clock/allocation statistics over varying seeds. The timing loop's
+// iteration i runs seed i, so iteration roundsSeed doubles as the pinned
+// rounds measurement — no separate warm-up run.
+func measure(cfg benchConfig) (Result, error) {
+	var rounds int64
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rr, err := cfg.run(uint64(i))
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
 			}
-			b.ReportMetric(float64(rounds), "rounds/op")
-		}))
+			if uint64(i) == roundsSeed {
+				rounds = rr
+			}
+		}
+	})
+	if benchErr != nil {
+		return Result{}, fmt.Errorf("%s: %w", cfg.name, benchErr)
+	}
+	return Result{
+		Name:        cfg.name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		RoundsPerOp: float64(rounds),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}, nil
+}
+
+func buildReport(label string, quick bool) (*Report, error) {
+	rep := &Report{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		RoundsSeed: roundsSeed,
+	}
+	configs, err := benchConfigs(quick)
+	if err != nil {
+		return nil, err
+	}
+	for _, cfg := range configs {
+		res, err := measure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
 	}
 	return rep, nil
+}
+
+// compareReports checks current against baseline: any rounds/op deviation
+// is a failure (rounds are deterministic), ns/op beyond maxSlowdown× is a
+// failure, baseline entries missing from the current run are a failure
+// unless partial (quick mode). It returns the failures and a human log of
+// every comparison.
+func compareReports(baseline, current *Report, maxSlowdown float64, partial bool) (failures, log []string) {
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	seen := make(map[string]bool, len(current.Benchmarks))
+	for _, cur := range current.Benchmarks {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok {
+			log = append(log, fmt.Sprintf("%-28s new benchmark, no baseline (regenerate with -out)", cur.Name))
+			continue
+		}
+		if cur.RoundsPerOp != b.RoundsPerOp {
+			failures = append(failures, fmt.Sprintf(
+				"%s: rounds/op %.0f != baseline %.0f — the simulated protocol changed; "+
+					"if intended, regenerate the baseline", cur.Name, cur.RoundsPerOp, b.RoundsPerOp))
+			continue
+		}
+		ratio := cur.NsPerOp / b.NsPerOp
+		if ratio > maxSlowdown {
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/op %.0f is %.2fx the baseline %.0f (limit %.2fx)",
+				cur.Name, cur.NsPerOp, ratio, b.NsPerOp, maxSlowdown))
+			continue
+		}
+		log = append(log, fmt.Sprintf("%-28s rounds %.0f ok, ns/op %.2fx baseline", cur.Name, cur.RoundsPerOp, ratio))
+	}
+	if !partial {
+		for _, b := range baseline.Benchmarks {
+			if !seen[b.Name] {
+				failures = append(failures, fmt.Sprintf("%s: in baseline but not measured (suite shrank?)", b.Name))
+			}
+		}
+	}
+	return failures, log
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in baseline", path)
+	}
+	if rep.RoundsSeed != roundsSeed {
+		return nil, fmt.Errorf("%s: baseline rounds measured at seed %d, this binary pins seed %d — regenerate the baseline",
+			path, rep.RoundsSeed, uint64(roundsSeed))
+	}
+	return &rep, nil
 }
 
 func main() {
 	out := flag.String("out", "", "write the JSON report to this path (default: stdout)")
 	label := flag.String("label", "dev", "label recorded in the report")
 	quick := flag.Bool("quick", false, "skip the slow large-n configurations")
+	check := flag.String("check", "", "compare against this baseline report and exit 1 on regression")
+	maxSlowdown := flag.Float64("max-slowdown", 2.5, "ns/op regression tolerance for -check")
 	flag.Parse()
+
+	// Load the baseline before the (multi-minute) measurement run so a
+	// bad path or stale format fails fast.
+	var baseline *Report
+	if *check != "" {
+		var err error
+		baseline, err = loadReport(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
 
 	rep, err := buildReport(*label, *quick)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+
+	if baseline != nil {
+		failures, log := compareReports(baseline, rep, *maxSlowdown, *quick)
+		for _, line := range log {
+			fmt.Println(line)
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "FAIL:", f)
+			}
+			fmt.Fprintf(os.Stderr, "bench: %d regression(s) against %s\n", len(failures), *check)
+			os.Exit(1)
+		}
+		fmt.Printf("bench: %d benchmarks match %s (rounds exact, ns/op within %.2fx)\n",
+			len(rep.Benchmarks), *check, *maxSlowdown)
+		return
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)

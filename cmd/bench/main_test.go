@@ -25,6 +25,90 @@ func TestE1SizesQuickSubset(t *testing.T) {
 	}
 }
 
+// TestRoundsDeterministic pins the gate's core premise: the same
+// configuration at the same seed yields the same simulated round count.
+func TestRoundsDeterministic(t *testing.T) {
+	configs, err := benchConfigs(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := configs[0]
+	a, err := cfg.run(roundsSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.run(roundsSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("%s: rounds %d then %d at the same seed", cfg.name, a, b)
+	}
+}
+
+func report(results ...Result) *Report {
+	return &Report{Label: "t", Benchmarks: results}
+}
+
+func TestCompareReportsPasses(t *testing.T) {
+	base := report(
+		Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500},
+		Result{Name: "E2/n=16", NsPerOp: 10, RoundsPerOp: 42},
+	)
+	cur := report(
+		Result{Name: "E1/n=8", NsPerOp: 220, RoundsPerOp: 500}, // 2.2x: inside tolerance
+		Result{Name: "E2/n=16", NsPerOp: 5, RoundsPerOp: 42},
+	)
+	failures, log := compareReports(base, cur, 2.5, false)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(log) != 2 {
+		t.Fatalf("log = %v, want 2 comparisons", log)
+	}
+}
+
+func TestCompareReportsFailsOnRoundsDeviation(t *testing.T) {
+	base := report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500})
+	cur := report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 501})
+	failures, _ := compareReports(base, cur, 2.5, false)
+	if len(failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the rounds deviation", failures)
+	}
+}
+
+func TestCompareReportsFailsOnSlowdown(t *testing.T) {
+	base := report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500})
+	cur := report(Result{Name: "E1/n=8", NsPerOp: 260, RoundsPerOp: 500})
+	failures, _ := compareReports(base, cur, 2.5, false)
+	if len(failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the ns/op regression", failures)
+	}
+}
+
+func TestCompareReportsMissingEntries(t *testing.T) {
+	base := report(
+		Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500},
+		Result{Name: "E1/n=64", NsPerOp: 1000, RoundsPerOp: 900},
+	)
+	cur := report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500})
+	if failures, _ := compareReports(base, cur, 2.5, false); len(failures) != 1 {
+		t.Fatalf("full mode must flag the missing baseline entry, got %v", failures)
+	}
+	if failures, _ := compareReports(base, cur, 2.5, true); len(failures) != 0 {
+		t.Fatalf("quick (partial) mode must tolerate the missing entry, got %v", failures)
+	}
+	// A new benchmark with no baseline is a note, not a failure.
+	cur2 := report(
+		Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500},
+		Result{Name: "E1/n=64", NsPerOp: 1000, RoundsPerOp: 900},
+		Result{Name: "E13/new", NsPerOp: 1, RoundsPerOp: 1},
+	)
+	if failures, _ := compareReports(base, cur2, 2.5, false); len(failures) != 0 {
+		t.Fatalf("new benchmarks must not fail the gate, got %v", failures)
+	}
+}
+
 func TestReportMarshals(t *testing.T) {
 	rep := &Report{
 		Label:      "test",

@@ -1,0 +1,137 @@
+package core
+
+// Multi-query projection out of one solved APSP result. ReconstructPath
+// answers a single (src,dst) query with an O(n²) tight-arc BFS; a serving
+// workload asks for hundreds of paths against the same distance matrix, so
+// PathOracle amortizes the per-destination work: one reverse BFS over the
+// tight subgraph per distinct destination yields a successor array that
+// answers every source for that destination in O(path length).
+
+import (
+	"fmt"
+	"sync"
+
+	"qclique/internal/graph"
+	"qclique/internal/matrix"
+)
+
+// PathOracle answers shortest-path queries against one solved distance
+// matrix, building and caching a per-destination successor array on first
+// use. It is safe for concurrent use; the graph and matrix must not be
+// mutated while the oracle is alive.
+type PathOracle struct {
+	g    *graph.Digraph
+	dist *matrix.Matrix
+
+	mu   sync.Mutex
+	succ map[int][]int // dst -> successor toward dst per vertex (-1 = none)
+}
+
+// NewPathOracle returns an oracle over g and its exact APSP solution dist
+// (as produced by Solve). Dimension mismatches are rejected.
+func NewPathOracle(g *graph.Digraph, dist *matrix.Matrix) (*PathOracle, error) {
+	if g == nil || dist == nil {
+		return nil, fmt.Errorf("core: nil graph or matrix")
+	}
+	if dist.N() != g.N() {
+		return nil, fmt.Errorf("core: distance matrix is %d×%d for an n=%d graph", dist.N(), dist.N(), g.N())
+	}
+	return &PathOracle{g: g, dist: dist}, nil
+}
+
+// Dist returns d(src, dst) from the underlying matrix (graph.Inf for
+// unreachable pairs).
+func (o *PathOracle) Dist(src, dst int) (int64, error) {
+	n := o.g.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return 0, fmt.Errorf("core: endpoints (%d,%d) out of range", src, dst)
+	}
+	return o.dist.At(src, dst), nil
+}
+
+// successors returns (building if needed) the successor array for dst: for
+// every vertex u that can reach dst, succ[u] is a neighbor k with
+// w(u,k) + d(k,dst) = d(u,dst), chosen hop-minimally by a reverse BFS from
+// dst over tight arcs. succ[dst] = dst.
+func (o *PathOracle) successors(dst int) []int {
+	o.mu.Lock()
+	if s, ok := o.succ[dst]; ok {
+		o.mu.Unlock()
+		return s
+	}
+	o.mu.Unlock()
+
+	// Build outside the lock: concurrent batch queries to distinct
+	// destinations must run their O(n²) BFS in parallel, not serialized
+	// on one mutex. A lost race costs a redundant (identical) build.
+	succ := o.buildSuccessors(dst)
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if s, ok := o.succ[dst]; ok {
+		return s
+	}
+	if o.succ == nil {
+		o.succ = make(map[int][]int)
+	}
+	o.succ[dst] = succ
+	return succ
+}
+
+func (o *PathOracle) buildSuccessors(dst int) []int {
+	n := o.g.N()
+	succ := make([]int, n)
+	for i := range succ {
+		succ[i] = -1
+	}
+	succ[dst] = dst
+	queue := []int{dst}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		dk := o.dist.At(k, dst)
+		for u := 0; u < n; u++ {
+			if succ[u] != -1 || u == k {
+				continue
+			}
+			w, ok := o.g.Weight(u, k)
+			if !ok {
+				continue
+			}
+			if graph.SaturatingAdd(w, dk) == o.dist.At(u, dst) {
+				succ[u] = k
+				queue = append(queue, u)
+			}
+		}
+	}
+	return succ
+}
+
+// Path returns one shortest path from src to dst (inclusive of both
+// endpoints). Unreachable pairs yield ErrNoPath; a matrix inconsistent
+// with the graph yields a descriptive error rather than a wrong path.
+func (o *PathOracle) Path(src, dst int) ([]int, error) {
+	n := o.g.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("core: endpoints (%d,%d) out of range", src, dst)
+	}
+	if o.dist.At(src, dst) >= graph.Inf {
+		return nil, ErrNoPath
+	}
+	if src == dst {
+		return []int{src}, nil
+	}
+	succ := o.successors(dst)
+	if succ[src] == -1 {
+		return nil, fmt.Errorf("core: destination unreachable through tight arcs; distance matrix inconsistent with graph")
+	}
+	path := []int{src}
+	for cur := src; cur != dst; {
+		cur = succ[cur]
+		path = append(path, cur)
+		if len(path) > n {
+			return nil, fmt.Errorf("core: successor cycle; distance matrix inconsistent with graph")
+		}
+	}
+	return path, nil
+}

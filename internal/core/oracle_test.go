@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"qclique/internal/graph"
+	"qclique/internal/matrix"
+	"qclique/internal/xrand"
+)
+
+func oracleFixture(t *testing.T, n int, seed uint64) (*graph.Digraph, *Result) {
+	t.Helper()
+	g, err := graph.RandomDigraph(n, graph.DigraphOpts{
+		ArcProb: 0.3, MinWeight: -5, MaxWeight: 9, NoNegativeCycles: true,
+	}, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, Config{Strategy: StrategyGossip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res
+}
+
+// TestPathOracleMatchesReconstructPath checks that for every pair the
+// oracle returns a valid shortest path (weight equal to the distance) and
+// agrees with ReconstructPath on reachability.
+func TestPathOracleMatchesReconstructPath(t *testing.T) {
+	g, res := oracleFixture(t, 14, 33)
+	o, err := NewPathOracle(g, res.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			path, err := o.Path(src, dst)
+			if res.Dist.At(src, dst) >= graph.Inf {
+				if !errors.Is(err, ErrNoPath) {
+					t.Fatalf("(%d,%d): err = %v, want ErrNoPath", src, dst, err)
+				}
+				if _, rerr := ReconstructPath(g, res.Dist, src, dst); !errors.Is(rerr, ErrNoPath) {
+					t.Fatalf("(%d,%d): ReconstructPath disagrees on reachability", src, dst)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("(%d,%d): %v", src, dst, err)
+			}
+			if path[0] != src || path[len(path)-1] != dst {
+				t.Fatalf("(%d,%d): path endpoints %v", src, dst, path)
+			}
+			w, err := PathWeight(g, path)
+			if err != nil {
+				t.Fatalf("(%d,%d): broken path %v: %v", src, dst, path, err)
+			}
+			if w != res.Dist.At(src, dst) {
+				t.Fatalf("(%d,%d): path weight %d, distance %d", src, dst, w, res.Dist.At(src, dst))
+			}
+		}
+	}
+}
+
+// TestPathOracleConcurrent exercises lazy successor construction under
+// concurrent queries; the race detector is the real assertion here.
+func TestPathOracleConcurrent(t *testing.T) {
+	g, res := oracleFixture(t, 12, 7)
+	o, err := NewPathOracle(g, res.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					path, err := o.Path(src, dst)
+					if errors.Is(err, ErrNoPath) {
+						continue
+					}
+					if err != nil {
+						t.Errorf("worker %d (%d,%d): %v", w, src, dst, err)
+						return
+					}
+					if path[0] != src || path[len(path)-1] != dst {
+						t.Errorf("worker %d (%d,%d): bad endpoints %v", w, src, dst, path)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPathOracleValidation(t *testing.T) {
+	g, res := oracleFixture(t, 6, 1)
+	if _, err := NewPathOracle(nil, res.Dist); err == nil {
+		t.Error("nil graph must fail")
+	}
+	if _, err := NewPathOracle(g, nil); err == nil {
+		t.Error("nil matrix must fail")
+	}
+	if _, err := NewPathOracle(g, matrix.New(4)); err == nil {
+		t.Error("dimension mismatch must fail")
+	}
+	o, err := NewPathOracle(g, res.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Path(-1, 0); err == nil {
+		t.Error("out-of-range src must fail")
+	}
+	if _, err := o.Path(0, 99); err == nil {
+		t.Error("out-of-range dst must fail")
+	}
+	if _, err := o.Dist(0, 99); err == nil {
+		t.Error("out-of-range Dist must fail")
+	}
+	p, err := o.Path(3, 3)
+	if err != nil || len(p) != 1 || p[0] != 3 {
+		t.Errorf("self path = %v, %v", p, err)
+	}
+}

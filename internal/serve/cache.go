@@ -1,0 +1,145 @@
+package serve
+
+// The solve cache: an LRU over fully-solved APSP results keyed by
+// (graph content hash, strategy, preset, seed) — everything that affects
+// the simulator's output; worker counts are excluded because results are
+// worker-invariant by construction. A singleflight layer in front of the
+// LRU collapses concurrent identical solves onto one simulator run.
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"qclique/internal/core"
+	"qclique/internal/graph"
+)
+
+// cacheKey is the full identity of a solve.
+type cacheKey struct {
+	hash     string
+	strategy core.Strategy
+	preset   Preset
+	seed     uint64
+}
+
+// entry is one cached solve: the private graph clone the simulator ran on,
+// its result, and the shared path oracle built over both. All fields are
+// read-only after construction.
+type entry struct {
+	g      *graph.Digraph
+	res    *core.Result
+	oracle *core.PathOracle
+}
+
+// lruMap is a mutex-guarded LRU map; it backs both the solve cache
+// (cacheKey → *entry) and the graph store (id → *graph.Digraph).
+type lruMap[K comparable, V any] struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *lruSlot[K, V]
+	items map[K]*list.Element
+}
+
+type lruSlot[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRUMap[K comparable, V any](max int) *lruMap[K, V] {
+	return &lruMap[K, V]{max: max, order: list.New(), items: make(map[K]*list.Element)}
+}
+
+// get returns the value for key, marking it most recently used.
+func (c *lruMap[K, V]) get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruSlot[K, V]).val, true
+}
+
+// add inserts (or refreshes) key, evicting least-recently-used slots
+// beyond the capacity.
+func (c *lruMap[K, V]) add(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruSlot[K, V]).val = val
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruSlot[K, V]{key: key, val: val})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		delete(c.items, back.Value.(*lruSlot[K, V]).key)
+		c.order.Remove(back)
+	}
+}
+
+func (c *lruMap[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func newLRUCache(max int) *lruMap[cacheKey, *entry] {
+	if max <= 0 {
+		max = defaultCacheSize
+	}
+	return newLRUMap[cacheKey, *entry](max)
+}
+
+// flightGroup deduplicates concurrent calls with the same key: the first
+// caller runs fn, the rest block and share its outcome. Outcomes are not
+// retained once the call completes — persistence is the LRU's job.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[cacheKey]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val *entry
+	err error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[cacheKey]*flightCall)}
+}
+
+// do returns fn's outcome for key, with shared=true when this caller
+// piggybacked on another caller's in-flight run. A panic in fn is
+// converted to an error (shared by all waiters) rather than wedging the
+// key — the daemon's HTTP layer recovers handler panics, so a poisoned
+// flight entry would otherwise block every future solve of that key.
+func (f *flightGroup) do(key cacheKey, fn func() (*entry, error)) (val *entry, shared bool, err error) {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.val, c.err = nil, fmt.Errorf("serve: solve panicked: %v", r)
+			}
+			c.wg.Done()
+			f.mu.Lock()
+			delete(f.calls, key)
+			f.mu.Unlock()
+		}()
+		c.val, c.err = fn()
+	}()
+	return c.val, false, c.err
+}

@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"qclique/internal/graph"
+)
+
+// HashDigraph returns the content identity of g: a SHA-256 over the vertex
+// count and the dense row-major weight matrix. Two graphs share an id iff
+// they have identical vertex labels and arc weights — isomorphic but
+// relabeled graphs hash differently on purpose, since APSP output is
+// label-addressed.
+func HashDigraph(g *graph.Digraph) string {
+	h := sha256.New()
+	n := g.N()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(n))
+	h.Write(hdr[:])
+	// One reused row buffer: this runs on every Solver call (content
+	// identity is recomputed per request), so per-row allocations would
+	// turn cache hits into O(n²) garbage.
+	buf := make([]byte, 8*n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			w, _ := g.Weight(u, v) // absent arcs hash as the NoEdge sentinel
+			binary.LittleEndian.PutUint64(buf[8*v:], uint64(w))
+		}
+		h.Write(buf)
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}

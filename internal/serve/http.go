@@ -1,0 +1,311 @@
+package serve
+
+// HTTP/JSON surface of the service, mounted by cmd/apspd and exercised
+// in-process by the e2e smoke tests. Distances use JSON null for
+// "unreachable" so clients never have to know the simulator's saturating
+// Inf sentinel.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"qclique/internal/core"
+	"qclique/internal/graph"
+)
+
+// ArcJSON is one weighted arc of an uploaded graph.
+type ArcJSON struct {
+	U int   `json:"u"`
+	V int   `json:"v"`
+	W int64 `json:"w"`
+}
+
+// GraphJSON is the PUT /graphs request body.
+type GraphJSON struct {
+	N    int       `json:"n"`
+	Arcs []ArcJSON `json:"arcs"`
+}
+
+// maxUploadVertices bounds n on uploads: the dense adjacency is n² int64s,
+// so an unbounded n would let one request allocate the daemon to death —
+// and the simulator is far from solving graphs this large anyway.
+const maxUploadVertices = 4096
+
+// maxUploadBytes bounds request bodies (a 4096² dense graph with every
+// arc listed fits comfortably).
+const maxUploadBytes = 1 << 29
+
+// Digraph materializes the uploaded graph.
+func (gj GraphJSON) Digraph() (*graph.Digraph, error) {
+	if gj.N < 0 {
+		return nil, fmt.Errorf("serve: negative vertex count %d", gj.N)
+	}
+	if gj.N > maxUploadVertices {
+		return nil, fmt.Errorf("serve: vertex count %d exceeds limit %d", gj.N, maxUploadVertices)
+	}
+	g := graph.NewDigraph(gj.N)
+	for _, a := range gj.Arcs {
+		if err := g.SetArc(a.U, a.V, a.W); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// solveParamsJSON selects a pipeline in solve-bearing request bodies.
+type solveParamsJSON struct {
+	Strategy string `json:"strategy,omitempty"`
+	Preset   string `json:"preset,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+}
+
+func (p solveParamsJSON) spec() (SolveSpec, error) {
+	strat, err := ParseStrategy(p.Strategy)
+	if err != nil {
+		return SolveSpec{}, err
+	}
+	preset, err := ParsePreset(p.Preset)
+	if err != nil {
+		return SolveSpec{}, err
+	}
+	return SolveSpec{Strategy: strat, Preset: preset, Seed: p.Seed}, nil
+}
+
+// SolveJSON is the solve response.
+type SolveJSON struct {
+	ID             string `json:"id"`
+	Strategy       string `json:"strategy"`
+	Preset         string `json:"preset"`
+	Seed           uint64 `json:"seed"`
+	Rounds         int64  `json:"rounds"`
+	Products       int    `json:"products"`
+	FindEdgesCalls int    `json:"find_edges_calls"`
+	Cached         bool   `json:"cached"`
+}
+
+// PathJSON is one answer in the paths:batch response.
+type PathJSON struct {
+	Src   int    `json:"src"`
+	Dst   int    `json:"dst"`
+	Dist  *int64 `json:"dist"` // null when unreachable
+	Path  []int  `json:"path,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// batchRequestJSON is the paths:batch request body.
+type batchRequestJSON struct {
+	solveParamsJSON
+	Queries []PathQuery `json:"queries"`
+}
+
+// NewHandler mounts the service's HTTP API:
+//
+//	PUT  /graphs                   upload a graph, returns its content id
+//	POST /graphs/{id}/solve        solve (cache-aware), returns round accounting
+//	GET  /graphs/{id}/dist         distances: full matrix, one row (?src=), or one pair (?src=&dst=)
+//	POST /graphs/{id}/paths:batch  many shortest-path queries against one solve
+//	GET  /metrics                  per-strategy cache/round accounting
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /graphs", func(w http.ResponseWriter, r *http.Request) {
+		var gj GraphJSON
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&gj); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		g, err := gj.Digraph()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := s.PutGraph(g)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "n": g.N(), "arcs": g.ArcCount()})
+	})
+
+	mux.HandleFunc("POST /graphs/{id}/solve", func(w http.ResponseWriter, r *http.Request) {
+		var body solveParamsJSON
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&body); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		spec, err := body.spec()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := s.Solve(r.PathValue("id"), spec)
+		if err != nil {
+			httpError(w, solveStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, solveResponse(res, spec))
+	})
+
+	mux.HandleFunc("GET /graphs/{id}/dist", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := solveParamsJSON{
+			Strategy: r.URL.Query().Get("strategy"),
+			Preset:   r.URL.Query().Get("preset"),
+		}.spec()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if v := r.URL.Query().Get("seed"); v != "" {
+			seed, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad seed: %w", err))
+				return
+			}
+			spec.Seed = seed
+		}
+		// Validate the query parameters against the stored graph BEFORE
+		// solving: a malformed request must cost a 400, not a full
+		// pipeline run charged to the metrics.
+		id := r.PathValue("id")
+		g, err := s.Graph(id)
+		if err != nil {
+			httpError(w, solveStatus(err), err)
+			return
+		}
+		n := g.N()
+		parseIdx := func(name string) (int, bool, error) {
+			v := r.URL.Query().Get(name)
+			if v == "" {
+				return 0, false, nil
+			}
+			i, err := strconv.Atoi(v)
+			if err != nil || i < 0 || i >= n {
+				return 0, true, fmt.Errorf("serve: %s=%q out of range [0,%d)", name, v, n)
+			}
+			return i, true, nil
+		}
+		src, haveSrc, err := parseIdx("src")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		dst, haveDst, err := parseIdx("dst")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if haveDst && !haveSrc {
+			httpError(w, http.StatusBadRequest, errors.New("serve: dst requires src"))
+			return
+		}
+		res, err := s.Solve(id, spec)
+		if err != nil {
+			httpError(w, solveStatus(err), err)
+			return
+		}
+		out := map[string]any{"id": res.GraphID, "n": n, "cached": res.Cached}
+		switch {
+		case haveSrc && haveDst:
+			out["src"], out["dst"] = src, dst
+			out["dist"] = distOrNull(res.Res.Dist.At(src, dst))
+		case haveSrc:
+			out["src"] = src
+			out["dist"] = rowJSON(res.Res.Dist.Row(src))
+		default:
+			rows := make([][]*int64, n)
+			for i := 0; i < n; i++ {
+				rows[i] = rowJSON(res.Res.Dist.Row(i))
+			}
+			out["dist"] = rows
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("POST /graphs/{id}/paths:batch", func(w http.ResponseWriter, r *http.Request) {
+		var body batchRequestJSON
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec, err := body.spec()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		answers, res, err := s.PathsBatch(r.PathValue("id"), spec, body.Queries)
+		if err != nil {
+			httpError(w, solveStatus(err), err)
+			return
+		}
+		out := make([]PathJSON, len(answers))
+		for i, a := range answers {
+			pj := PathJSON{Src: a.Src, Dst: a.Dst, Dist: distOrNull(a.Dist), Path: a.Path}
+			if a.Err != nil {
+				pj.Error = a.Err.Error()
+				pj.Dist = nil
+			}
+			out[i] = pj
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": res.GraphID, "cached": res.Cached, "results": out})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func solveResponse(res *SolveResult, spec SolveSpec) SolveJSON {
+	return SolveJSON{
+		ID:             res.GraphID,
+		Strategy:       spec.strategy().String(),
+		Preset:         spec.Preset.String(),
+		Seed:           spec.Seed,
+		Rounds:         res.Res.Rounds,
+		Products:       res.Res.Products,
+		FindEdgesCalls: res.Res.FindEdgesCalls,
+		Cached:         res.Cached,
+	}
+}
+
+// solveStatus maps solve errors to HTTP statuses: unknown graphs are 404,
+// undefined inputs (negative cycles) are 422, the rest 500.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrNegativeCycle):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrUnknownGraph):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func distOrNull(d int64) *int64 {
+	if d >= graph.Inf || d <= graph.NegInf {
+		return nil
+	}
+	return &d
+}
+
+func rowJSON(row []int64) []*int64 {
+	out := make([]*int64, len(row))
+	for i, d := range row {
+		out[i] = distOrNull(d)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,307 @@
+// Package serve is the APSP-as-a-service layer: a graph store with
+// content-hash identity, an LRU solve cache with singleflight deduplication
+// (concurrent identical solves run the simulator once), batched
+// SSSP/shortest-path query execution over one shared APSP result, and
+// per-strategy request/round accounting. cmd/apspd exposes it over
+// HTTP/JSON; the public qclique.Solver wraps it for library callers. The
+// point is amortization: every caller of a repeated or concurrent workload
+// pays the Õ(n^{1/4}·log W) pipeline at most once per distinct
+// (graph, strategy, preset, seed).
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"qclique/internal/core"
+	"qclique/internal/graph"
+	"qclique/internal/par"
+	"qclique/internal/triangles"
+)
+
+const (
+	defaultCacheSize = 64
+	defaultMaxGraphs = 1024
+)
+
+// Preset selects the protocol-constant preset by name; the zero value is
+// the paper's verbatim constants.
+type Preset int
+
+// Presets.
+const (
+	PresetPaper Preset = iota
+	PresetScaled
+)
+
+func (p Preset) String() string {
+	if p == PresetScaled {
+		return "scaled"
+	}
+	return "paper"
+}
+
+// ParsePreset parses "paper" and "scaled" (empty selects paper).
+func ParsePreset(s string) (Preset, error) {
+	switch s {
+	case "", "paper":
+		return PresetPaper, nil
+	case "scaled":
+		return PresetScaled, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown preset %q (want paper or scaled)", s)
+	}
+}
+
+// Params returns the protocol constants the preset selects; this is the
+// single place the preset→constants mapping lives.
+func (p Preset) Params() *triangles.Params {
+	var t triangles.Params
+	if p == PresetScaled {
+		t = triangles.BenchParams()
+	} else {
+		t = triangles.PaperParams()
+	}
+	return &t
+}
+
+// ParseStrategy parses a strategy name (empty selects quantum).
+func ParseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "", "quantum":
+		return core.StrategyQuantum, nil
+	case "classical-search":
+		return core.StrategyClassicalSearch, nil
+	case "dolev", "dolev-listing":
+		return core.StrategyDolev, nil
+	case "gossip":
+		return core.StrategyGossip, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown strategy %q", s)
+	}
+}
+
+// SolveSpec identifies one solve: everything that affects the simulator's
+// output. Workers is execution detail only (results are worker-invariant)
+// and is excluded from the cache identity.
+type SolveSpec struct {
+	Strategy core.Strategy // zero value selects quantum
+	Preset   Preset
+	Seed     uint64
+	Workers  int
+}
+
+func (s SolveSpec) strategy() core.Strategy {
+	if s.Strategy == 0 {
+		return core.StrategyQuantum
+	}
+	return s.Strategy
+}
+
+func (s SolveSpec) key(hash string) cacheKey {
+	return cacheKey{hash: hash, strategy: s.strategy(), preset: s.Preset, seed: s.Seed}
+}
+
+// Config configures a Service.
+type Config struct {
+	// CacheSize bounds the retained solve results (LRU; <= 0 selects 64).
+	CacheSize int
+	// MaxGraphs bounds the graph store (LRU; <= 0 selects 1024).
+	MaxGraphs int
+	// Workers is the default host-parallelism bound for solves and batch
+	// queries (<= 0 selects GOMAXPROCS).
+	Workers int
+}
+
+// Service is the solve layer. Safe for concurrent use.
+type Service struct {
+	cfg    Config
+	store  *graphStore
+	cache  *lruMap[cacheKey, *entry]
+	flight *flightGroup
+	stats  *statsCollector
+}
+
+// New returns a Service with the given configuration.
+func New(cfg Config) *Service {
+	return &Service{
+		cfg:    cfg,
+		store:  newGraphStore(cfg.MaxGraphs),
+		cache:  newLRUCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+		stats:  newStatsCollector(),
+	}
+}
+
+// SolveResult is the outcome of a service solve.
+type SolveResult struct {
+	// GraphID is the content hash of the solved graph.
+	GraphID string
+	// Res is the underlying solver result, shared across callers — treat
+	// as read-only.
+	Res *core.Result
+	// Oracle answers path queries against Res with per-destination reuse;
+	// shared and concurrency-safe.
+	Oracle *core.PathOracle
+	// Cached reports that this request ran zero simulator rounds: it was
+	// served from the cache or deduplicated onto a concurrent identical
+	// solve.
+	Cached bool
+}
+
+// PutGraph stores a private copy of g and returns its content id.
+func (s *Service) PutGraph(g *graph.Digraph) (string, error) {
+	if g == nil {
+		return "", errors.New("serve: nil graph")
+	}
+	return s.store.put(g), nil
+}
+
+// Graph returns the stored graph for id (shared reference; read-only).
+func (s *Service) Graph(id string) (*graph.Digraph, error) {
+	return s.store.get(id)
+}
+
+// Solve solves the stored graph id under spec, consulting the cache first.
+func (s *Service) Solve(id string, spec SolveSpec) (*SolveResult, error) {
+	g, err := s.store.get(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.solve(id, g, spec)
+}
+
+// SolveGraph solves g directly (library path, no store round-trip): the
+// graph is hashed for cache identity and cloned only when the simulator
+// actually runs.
+func (s *Service) SolveGraph(g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
+	if g == nil {
+		return nil, errors.New("serve: nil graph")
+	}
+	return s.solve(HashDigraph(g), g, spec)
+}
+
+func (s *Service) solve(id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
+	name := spec.strategy().String()
+	s.stats.request(name)
+	key := spec.key(id)
+	if e, ok := s.cache.get(key); ok {
+		s.stats.hit(name)
+		return &SolveResult{GraphID: id, Res: e.res, Oracle: e.oracle, Cached: true}, nil
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	var fromCache bool
+	e, shared, err := s.flight.do(key, func() (*entry, error) {
+		// Re-check under the flight: between this caller's cache miss and
+		// becoming leader, a previous leader may have completed and
+		// cached — re-running the full pipeline would duplicate the solve
+		// and its accounting.
+		if e, ok := s.cache.get(key); ok {
+			fromCache = true
+			return e, nil
+		}
+		// The entry keeps its own clone so later mutation of a
+		// caller-owned graph cannot desynchronize the cached result and
+		// its oracle.
+		gc := g.Clone()
+		res, err := core.Solve(gc, core.Config{
+			Strategy: spec.strategy(),
+			Params:   spec.Preset.Params(),
+			Seed:     spec.Seed,
+			Workers:  workers,
+		})
+		if err != nil {
+			s.stats.failed(name)
+			return nil, err
+		}
+		// Charge the rounds as soon as the simulator has run: even if the
+		// oracle construction below failed, the cost was paid.
+		s.stats.solved(name, res.Rounds)
+		oracle, err := core.NewPathOracle(gc, res.Dist)
+		if err != nil {
+			return nil, err
+		}
+		ent := &entry{g: gc, res: res, oracle: oracle}
+		s.cache.add(key, ent)
+		return ent, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case shared:
+		s.stats.deduped(name)
+	case fromCache:
+		s.stats.hit(name)
+	}
+	return &SolveResult{GraphID: id, Res: e.res, Oracle: e.oracle, Cached: shared || fromCache}, nil
+}
+
+// PathQuery is one (src, dst) shortest-path request.
+type PathQuery struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+// PathAnswer is the response to one PathQuery.
+type PathAnswer struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// Dist is the shortest distance (graph.Inf when unreachable).
+	Dist int64 `json:"dist"`
+	// Path is the vertex sequence src..dst; nil when Err is set.
+	Path []int `json:"path,omitempty"`
+	// Err reports a per-query failure (core.ErrNoPath for unreachable
+	// pairs) without failing the rest of the batch.
+	Err error `json:"-"`
+}
+
+// PathsBatch answers all queries against one solve of the stored graph id
+// (cached or fresh), fanning the per-query reconstruction across the
+// worker pool. Per-query failures land in the answer's Err; only
+// solve-level failures error the call.
+func (s *Service) PathsBatch(id string, spec SolveSpec, queries []PathQuery) ([]PathAnswer, *SolveResult, error) {
+	res, err := s.Solve(id, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.answerBatch(res, spec, queries), res, nil
+}
+
+// PathsBatchGraph is PathsBatch for a directly-held graph.
+func (s *Service) PathsBatchGraph(g *graph.Digraph, spec SolveSpec, queries []PathQuery) ([]PathAnswer, *SolveResult, error) {
+	res, err := s.SolveGraph(g, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.answerBatch(res, spec, queries), res, nil
+}
+
+func (s *Service) answerBatch(res *SolveResult, spec SolveSpec, queries []PathQuery) []PathAnswer {
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	answers := make([]PathAnswer, len(queries))
+	par.For(par.Workers(workers), len(queries), func(i int) {
+		q := queries[i]
+		a := PathAnswer{Src: q.Src, Dst: q.Dst}
+		if d, err := res.Oracle.Dist(q.Src, q.Dst); err != nil {
+			a.Err = err
+		} else {
+			a.Dist = d
+			a.Path, a.Err = res.Oracle.Path(q.Src, q.Dst)
+		}
+		answers[i] = a
+	})
+	s.stats.pathQueriesAdd(len(queries))
+	return answers
+}
+
+// Stats returns a point-in-time accounting snapshot.
+func (s *Service) Stats() Stats {
+	return s.stats.snapshot(s.store.len(), s.cache.len())
+}

@@ -1,0 +1,108 @@
+package serve
+
+import "sync"
+
+// StrategyStats is the per-strategy request accounting of a Service.
+type StrategyStats struct {
+	// Requests counts solve requests (library Solve calls plus daemon
+	// solve/dist/batch endpoints that needed a result).
+	Requests int64 `json:"requests"`
+	// CacheHits counts requests served from the LRU without running the
+	// simulator.
+	CacheHits int64 `json:"cache_hits"`
+	// Deduped counts requests that piggybacked on a concurrent identical
+	// solve (singleflight followers).
+	Deduped int64 `json:"deduped"`
+	// Solves counts actual simulator executions.
+	Solves int64 `json:"solves"`
+	// Errors counts failed executions (e.g. negative cycles).
+	Errors int64 `json:"errors"`
+	// RoundsCharged totals the simulated CONGEST-CLIQUE rounds across all
+	// executions; cache hits and deduped requests charge nothing here.
+	RoundsCharged int64 `json:"rounds_charged"`
+}
+
+// Stats is a point-in-time snapshot of a Service's accounting.
+type Stats struct {
+	// Graphs is the number of graphs in the store.
+	Graphs int `json:"graphs"`
+	// CachedResults is the number of solve results currently retained.
+	CachedResults int `json:"cached_results"`
+	// PathQueries counts individual path queries answered (batch members
+	// included).
+	PathQueries int64 `json:"path_queries"`
+	// Strategies maps strategy name to its accounting.
+	Strategies map[string]StrategyStats `json:"strategies"`
+}
+
+type statsCollector struct {
+	mu          sync.Mutex
+	pathQueries int64
+	byStrategy  map[string]*StrategyStats
+}
+
+func newStatsCollector() *statsCollector {
+	return &statsCollector{byStrategy: make(map[string]*StrategyStats)}
+}
+
+func (s *statsCollector) forStrategy(name string) *StrategyStats {
+	st, ok := s.byStrategy[name]
+	if !ok {
+		st = &StrategyStats{}
+		s.byStrategy[name] = st
+	}
+	return st
+}
+
+func (s *statsCollector) request(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forStrategy(name).Requests++
+}
+
+func (s *statsCollector) hit(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forStrategy(name).CacheHits++
+}
+
+func (s *statsCollector) deduped(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forStrategy(name).Deduped++
+}
+
+func (s *statsCollector) solved(name string, rounds int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.forStrategy(name)
+	st.Solves++
+	st.RoundsCharged += rounds
+}
+
+func (s *statsCollector) failed(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forStrategy(name).Errors++
+}
+
+func (s *statsCollector) pathQueriesAdd(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pathQueries += int64(n)
+}
+
+func (s *statsCollector) snapshot(graphs, cached int) Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Stats{
+		Graphs:        graphs,
+		CachedResults: cached,
+		PathQueries:   s.pathQueries,
+		Strategies:    make(map[string]StrategyStats, len(s.byStrategy)),
+	}
+	for name, st := range s.byStrategy {
+		out.Strategies[name] = *st
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"qclique/internal/graph"
+)
+
+// ErrUnknownGraph is returned when a graph id is not (or no longer) in the
+// store.
+var ErrUnknownGraph = errors.New("serve: unknown graph")
+
+// graphStore holds uploaded graphs by content hash, least-recently-used
+// capped so a long-running daemon cannot be grown without bound by unique
+// uploads. Graphs are cloned on the way in and handed out by reference —
+// stored graphs are never mutated.
+type graphStore struct {
+	m *lruMap[string, *graph.Digraph]
+}
+
+func newGraphStore(max int) *graphStore {
+	if max <= 0 {
+		max = defaultMaxGraphs
+	}
+	return &graphStore{m: newLRUMap[string, *graph.Digraph](max)}
+}
+
+// put stores a private clone of g and returns its content id. Re-uploading
+// an identical graph is idempotent (and refreshes its recency).
+func (s *graphStore) put(g *graph.Digraph) string {
+	id := HashDigraph(g)
+	if _, ok := s.m.get(id); ok {
+		return id
+	}
+	s.m.add(id, g.Clone())
+	return id
+}
+
+// get returns the stored graph for id.
+func (s *graphStore) get(id string) (*graph.Digraph, error) {
+	g, ok := s.m.get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	return g, nil
+}
+
+func (s *graphStore) len() int {
+	return s.m.len()
+}

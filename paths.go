@@ -14,7 +14,9 @@ var ErrNoPath = core.ErrNoPath
 // ShortestPath reconstructs one shortest path from src to dst out of an
 // APSP result (footnote 1 of the paper: lengths extend to paths via the
 // standard successor technique). The result must come from SolveAPSP on
-// the same graph.
+// the same graph. Reconstruction reads the solver's retained distance
+// matrix, not the exported res.Dist rows — editing res.Dist does not
+// change the paths returned here.
 func ShortestPath(g *Digraph, res *APSPResult, src, dst int) ([]int, error) {
 	if g == nil || res == nil {
 		return nil, errors.New("qclique: nil graph or result")
@@ -23,6 +25,21 @@ func ShortestPath(g *Digraph, res *APSPResult, src, dst int) ([]int, error) {
 	if len(res.Dist) != n {
 		return nil, fmt.Errorf("qclique: result is for n=%d, graph has n=%d", len(res.Dist), n)
 	}
+	dist, err := res.matrix()
+	if err != nil {
+		return nil, err
+	}
+	return core.ReconstructPath(g.g, dist, src, dst)
+}
+
+// matrix returns the retained distance matrix when the result came from a
+// solver, and otherwise rebuilds one from the exported rows (the slow path
+// for hand-assembled results).
+func (res *APSPResult) matrix() (*matrix.Matrix, error) {
+	if res.dist != nil {
+		return res.dist, nil
+	}
+	n := len(res.Dist)
 	dist := matrix.New(n)
 	for i := 0; i < n; i++ {
 		if len(res.Dist[i]) != n {
@@ -32,7 +49,7 @@ func ShortestPath(g *Digraph, res *APSPResult, src, dst int) ([]int, error) {
 			dist.Set(i, j, res.Dist[i][j])
 		}
 	}
-	return core.ReconstructPath(g.g, dist, src, dst)
+	return dist, nil
 }
 
 // SolveSSSP computes single-source shortest distances from src (the paper

@@ -31,6 +31,7 @@ import (
 	"qclique/internal/core"
 	"qclique/internal/graph"
 	"qclique/internal/matrix"
+	"qclique/internal/serve"
 	"qclique/internal/triangles"
 )
 
@@ -104,10 +105,11 @@ const (
 // options collects the functional options shared by the public entry
 // points.
 type options struct {
-	strategy Strategy
-	preset   ParamPreset
-	seed     uint64
-	workers  int
+	strategy  Strategy
+	preset    ParamPreset
+	seed      uint64
+	workers   int
+	cacheSize int
 }
 
 // Option configures SolveAPSP, FindNegativeTriangleEdges and
@@ -139,6 +141,13 @@ func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
+// WithCacheSize bounds the number of solved results a Solver retains
+// (least-recently-used eviction). It is read by NewSolver only; the
+// default (0) selects a small built-in capacity.
+func WithCacheSize(n int) Option {
+	return func(o *options) { o.cacheSize = n }
+}
+
 func buildOptions(opts []Option) options {
 	o := options{strategy: Quantum, preset: PaperConstants}
 	for _, fn := range opts {
@@ -147,14 +156,18 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
-func (o options) params() *triangles.Params {
-	var p triangles.Params
-	if o.preset == ScaledConstants {
-		p = triangles.BenchParams()
-	} else {
-		p = triangles.PaperParams()
+// servePreset maps the public preset to the serve-layer preset — the one
+// place the public names are translated; the preset→constants mapping
+// itself lives in serve.Preset.Params.
+func (p ParamPreset) servePreset() serve.Preset {
+	if p == ScaledConstants {
+		return serve.PresetScaled
 	}
-	return &p
+	return serve.PresetPaper
+}
+
+func (o options) params() *triangles.Params {
+	return o.preset.servePreset().Params()
 }
 
 // Digraph is a weighted directed graph on vertices 0..n-1, the input to
@@ -200,6 +213,9 @@ func (g *Graph) Weight(u, v int) (int64, bool) { return g.g.Weight(u, v) }
 // APSPResult reports an APSP solve.
 type APSPResult struct {
 	// Dist[i][j] is the shortest distance from i to j; Inf if unreachable.
+	// The rows are the caller's to keep (solver-produced results copy them
+	// out of the cache), but they are an export, not the source of truth:
+	// ShortestPath reconstructs against the solver's retained matrix.
 	Dist [][]int64
 	// Rounds is the simulated CONGEST-CLIQUE round count of the whole
 	// pipeline.
@@ -210,6 +226,15 @@ type APSPResult struct {
 	FindEdgesCalls int
 	// Strategy records which pipeline ran.
 	Strategy Strategy
+	// Cached reports whether this result was served from a Solver cache
+	// (or deduplicated onto a concurrent identical solve) instead of
+	// running the simulator; cached results charge zero new rounds.
+	Cached bool
+
+	// dist retains the solver's distance matrix so path reconstruction
+	// (ShortestPath, Solver batch queries) skips the O(n²) rebuild from
+	// the exported rows. Nil for hand-assembled results.
+	dist *matrix.Matrix
 }
 
 // SolveAPSP computes exact all-pairs shortest distances for g.
@@ -238,6 +263,7 @@ func SolveAPSP(g *Digraph, opts ...Option) (*APSPResult, error) {
 		Products:       res.Products,
 		FindEdgesCalls: res.FindEdgesCalls,
 		Strategy:       o.strategy,
+		dist:           res.Dist,
 	}, nil
 }
 

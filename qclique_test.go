@@ -9,6 +9,24 @@ import (
 	"qclique/internal/xrand"
 )
 
+// toPublicDigraph copies an internal graph through the public Digraph
+// constructor.
+func toPublicDigraph(tb testing.TB, inner *graph.Digraph) *Digraph {
+	tb.Helper()
+	n := inner.N()
+	d := NewDigraph(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if w, ok := inner.Weight(u, v); ok {
+				if err := d.SetArc(u, v, w); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+	}
+	return d
+}
+
 func buildRandomDigraph(t *testing.T, n int, seed uint64) *Digraph {
 	t.Helper()
 	rng := xrand.New(seed)
@@ -18,17 +36,7 @@ func buildRandomDigraph(t *testing.T, n int, seed uint64) *Digraph {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := NewDigraph(n)
-	for u := 0; u < n; u++ {
-		for v := 0; v < n; v++ {
-			if w, ok := inner.Weight(u, v); ok {
-				if err := d.SetArc(u, v, w); err != nil {
-					t.Fatal(err)
-				}
-			}
-		}
-	}
-	return d
+	return toPublicDigraph(t, inner)
 }
 
 func referenceDistances(t *testing.T, d *Digraph) [][]int64 {

@@ -1,0 +1,228 @@
+package qclique
+
+// Solver: the reusable handle that makes repeated and concurrent workloads
+// first-class. SolveAPSP charges the full Õ(n^{1/4}·log W) pipeline on
+// every call; a Solver owns an LRU cache keyed by graph content hash (plus
+// strategy, preset and seed), deduplicates concurrent identical solves
+// onto one simulator run, and answers batched path/SSSP queries against
+// one shared APSP result. cmd/apspd exposes the same layer over HTTP.
+
+import (
+	"errors"
+	"fmt"
+
+	"qclique/internal/serve"
+)
+
+// Solver is a reusable APSP solve handle with a result cache and a worker
+// pool. Safe for concurrent use; the zero value is not usable — construct
+// with NewSolver.
+type Solver struct {
+	defaults options
+	svc      *serve.Service
+}
+
+// NewSolver returns a Solver whose defaults are the given options; each
+// query method accepts further options that override the defaults for that
+// call. WithCacheSize bounds the retained results, WithWorkers bounds the
+// host-side parallelism shared by solves and batch queries.
+func NewSolver(opts ...Option) *Solver {
+	o := buildOptions(opts)
+	return &Solver{
+		defaults: o,
+		svc:      serve.New(serve.Config{CacheSize: o.cacheSize, Workers: o.workers}),
+	}
+}
+
+// merged applies per-call options over the solver defaults.
+func (s *Solver) merged(opts []Option) options {
+	o := s.defaults
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+func (o options) spec() serve.SolveSpec {
+	return serve.SolveSpec{
+		Strategy: o.strategy.toCore(),
+		Preset:   o.preset.servePreset(),
+		Seed:     o.seed,
+		Workers:  o.workers,
+	}
+}
+
+// resultFromServe exports a cache-owned result. The O(n²) row copy is
+// deliberate: returned rows are the caller's to mutate, and handing out
+// views of the shared cached matrix would let one caller corrupt every
+// other caller's result. At serviceable n this costs microseconds against
+// a pipeline run measured in seconds.
+func resultFromServe(sr *serve.SolveResult, strategy Strategy) *APSPResult {
+	n := sr.Res.Dist.N()
+	dist := make([][]int64, n)
+	for i := range dist {
+		dist[i] = sr.Res.Dist.Row(i)
+	}
+	return &APSPResult{
+		Dist:           dist,
+		Rounds:         sr.Res.Rounds,
+		Products:       sr.Res.Products,
+		FindEdgesCalls: sr.Res.FindEdgesCalls,
+		Strategy:       strategy,
+		Cached:         sr.Cached,
+		dist:           sr.Res.Dist,
+	}
+}
+
+// Solve computes (or serves from cache) exact APSP distances for g. A
+// cached or deduplicated call performs zero simulator rounds; the returned
+// result still reports the rounds the original solve charged.
+func (s *Solver) Solve(g *Digraph, opts ...Option) (*APSPResult, error) {
+	if s == nil || s.svc == nil {
+		return nil, errors.New("qclique: use NewSolver")
+	}
+	if g == nil {
+		return nil, errors.New("qclique: nil graph")
+	}
+	o := s.merged(opts)
+	sr, err := s.svc.SolveGraph(g.g, o.spec())
+	if err != nil {
+		return nil, err
+	}
+	return resultFromServe(sr, o.strategy), nil
+}
+
+// SSSP computes single-source shortest distances from src, sharing the
+// solver cache: any number of sources against one graph charge the
+// pipeline once.
+func (s *Solver) SSSP(g *Digraph, src int, opts ...Option) ([]int64, *APSPResult, error) {
+	if s == nil || s.svc == nil {
+		return nil, nil, errors.New("qclique: use NewSolver")
+	}
+	if g == nil {
+		return nil, nil, errors.New("qclique: nil graph")
+	}
+	if src < 0 || src >= g.N() {
+		return nil, nil, fmt.Errorf("qclique: source %d out of range", src)
+	}
+	o := s.merged(opts)
+	sr, err := s.svc.SolveGraph(g.g, o.spec())
+	if err != nil {
+		return nil, nil, err
+	}
+	return sr.Res.Dist.Row(src), resultFromServe(sr, o.strategy), nil
+}
+
+// ShortestPath returns one shortest path src→dst and its length, solving
+// (or reusing the cached solve of) g first. Unreachable pairs yield
+// ErrNoPath.
+func (s *Solver) ShortestPath(g *Digraph, src, dst int, opts ...Option) ([]int, int64, error) {
+	if s == nil || s.svc == nil {
+		return nil, 0, errors.New("qclique: use NewSolver")
+	}
+	if g == nil {
+		return nil, 0, errors.New("qclique: nil graph")
+	}
+	o := s.merged(opts)
+	sr, err := s.svc.SolveGraph(g.g, o.spec())
+	if err != nil {
+		return nil, 0, err
+	}
+	path, err := sr.Oracle.Path(src, dst)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, err := sr.Oracle.Dist(src, dst)
+	if err != nil {
+		return nil, 0, err
+	}
+	return path, d, nil
+}
+
+// PathQuery is one (src, dst) request in a PathsBatch call.
+type PathQuery struct {
+	Src, Dst int
+}
+
+// PathAnswer is the response to one PathQuery. Err carries per-query
+// failures (ErrNoPath for unreachable pairs) without failing the batch.
+type PathAnswer struct {
+	Src, Dst int
+	// Dist is the shortest distance; Inf when unreachable.
+	Dist int64
+	// Path is the vertex sequence src..dst; nil when Err is set.
+	Path []int
+	Err  error
+}
+
+// PathsBatch answers all queries against one (cached) APSP solve of g,
+// fanning the per-query reconstruction across the worker pool and reusing
+// per-destination successor structure across queries. The returned result
+// describes the shared solve.
+func (s *Solver) PathsBatch(g *Digraph, queries []PathQuery, opts ...Option) ([]PathAnswer, *APSPResult, error) {
+	if s == nil || s.svc == nil {
+		return nil, nil, errors.New("qclique: use NewSolver")
+	}
+	if g == nil {
+		return nil, nil, errors.New("qclique: nil graph")
+	}
+	o := s.merged(opts)
+	qs := make([]serve.PathQuery, len(queries))
+	for i, q := range queries {
+		qs[i] = serve.PathQuery{Src: q.Src, Dst: q.Dst}
+	}
+	answers, sr, err := s.svc.PathsBatchGraph(g.g, o.spec(), qs)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]PathAnswer, len(answers))
+	for i, a := range answers {
+		out[i] = PathAnswer{Src: a.Src, Dst: a.Dst, Dist: a.Dist, Path: a.Path, Err: a.Err}
+	}
+	return out, resultFromServe(sr, o.strategy), nil
+}
+
+// StrategyStats is the per-strategy accounting of a Solver.
+type StrategyStats struct {
+	// Requests counts solve requests routed through the cache.
+	Requests int64
+	// CacheHits counts requests served without running the simulator.
+	CacheHits int64
+	// Deduped counts requests that piggybacked on a concurrent identical
+	// solve.
+	Deduped int64
+	// Solves counts actual simulator executions.
+	Solves int64
+	// Errors counts failed executions.
+	Errors int64
+	// RoundsCharged totals simulated rounds across executions; cache hits
+	// charge nothing.
+	RoundsCharged int64
+}
+
+// SolverStats is a point-in-time snapshot of a Solver's accounting.
+type SolverStats struct {
+	// CachedResults is the number of solve results currently retained.
+	CachedResults int
+	// PathQueries counts individual path queries answered.
+	PathQueries int64
+	// Strategies maps strategy name (e.g. "quantum") to its accounting.
+	Strategies map[string]StrategyStats
+}
+
+// Stats returns the solver's accounting snapshot.
+func (s *Solver) Stats() SolverStats {
+	if s == nil || s.svc == nil {
+		return SolverStats{}
+	}
+	st := s.svc.Stats()
+	out := SolverStats{
+		CachedResults: st.CachedResults,
+		PathQueries:   st.PathQueries,
+		Strategies:    make(map[string]StrategyStats, len(st.Strategies)),
+	}
+	for name, v := range st.Strategies {
+		out.Strategies[name] = StrategyStats(v)
+	}
+	return out
+}
