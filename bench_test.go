@@ -50,11 +50,13 @@ func benchDigraph(b *testing.B, n int) *graph.Digraph {
 // BenchmarkE1APSPQuantum regenerates E1 (Theorem 1): the full quantum APSP
 // pipeline end to end. The n=32 and n=64 cases exist because the hot-path
 // overhaul (incremental tripartite reuse, flat link-load accounting,
-// parallel node-local phases) brought them into benchmarkable range; they
-// are what the scaling studies extrapolate from.
+// parallel node-local phases) brought them into benchmarkable range; n=128
+// was unlocked by the allocation-free solve pipeline (per-solve workspace,
+// pooled quantum state, zero-copy matrix ping-pong), which cut the memory
+// per solve by more than an order of magnitude.
 func BenchmarkE1APSPQuantum(b *testing.B) {
 	params := triangles.BenchParams()
-	for _, n := range []int{8, 16, 32, 64} {
+	for _, n := range []int{8, 16, 32, 64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			g := benchDigraph(b, n)
 			b.ReportAllocs()

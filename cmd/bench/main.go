@@ -14,8 +14,14 @@
 // -check re-measures every configuration and fails (exit 1) if any
 // rounds/op deviates from the committed baseline at all — rounds are
 // deterministic seed-for-seed, measured at a pinned seed, so any drift is
-// a semantic change to the simulated protocol — or if any ns/op regresses
-// by more than -max-slowdown (wall-clock noise tolerance, default 2.5x).
+// a semantic change to the simulated protocol — if any ns/op regresses by
+// more than -max-slowdown (wall-clock noise tolerance, default 2.5x), or
+// if any allocs/op grows beyond -max-alloc-growth (default 1.5x; the
+// allocation count is nearly deterministic, so growth means a pooling
+// regression on the solve path).
+//
+// -cpuprofile / -memprofile write pprof profiles of the measurement run so
+// perf PRs can ship evidence alongside the report.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -91,7 +98,7 @@ func e1Sizes(quick bool) []int {
 	if quick {
 		return []int{8, 16}
 	}
-	return []int{8, 16, 32, 64}
+	return []int{8, 16, 32, 64, 128}
 }
 
 // benchConfigs assembles the E1–E3 workload matrix.
@@ -115,6 +122,29 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 				return res.Rounds, nil
 			},
 		})
+	}
+
+	// E1 with host parallelism: the same pipeline at a fixed Workers > 1,
+	// so every report carries multi-worker evidence regardless of the
+	// host's core count (rounds are worker-invariant by construction — the
+	// gate checks that too).
+	if !quick {
+		for _, n := range []int{32, 64} {
+			g, err := benchDigraph(n)
+			if err != nil {
+				return nil, err
+			}
+			configs = append(configs, benchConfig{
+				name: fmt.Sprintf("E1APSPQuantum/n=%d/workers=4", n),
+				run: func(seed uint64) (int64, error) {
+					res, err := core.Solve(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Seed: seed, Workers: 4})
+					if err != nil {
+						return 0, err
+					}
+					return res.Rounds, nil
+				},
+			})
+		}
 	}
 
 	// E2: FindEdgesWithPromise sweep (Theorem 2).
@@ -228,10 +258,12 @@ func buildReport(label string, quick bool) (*Report, error) {
 
 // compareReports checks current against baseline: any rounds/op deviation
 // is a failure (rounds are deterministic), ns/op beyond maxSlowdown× is a
-// failure, baseline entries missing from the current run are a failure
-// unless partial (quick mode). It returns the failures and a human log of
-// every comparison.
-func compareReports(baseline, current *Report, maxSlowdown float64, partial bool) (failures, log []string) {
+// failure, allocs/op beyond maxAllocGrowth× is a failure (the allocation
+// profile is nearly deterministic, so growth means a pooling regression),
+// and baseline entries missing from the current run are a failure unless
+// partial (quick mode). It returns the failures and a human log of every
+// comparison.
+func compareReports(baseline, current *Report, maxSlowdown, maxAllocGrowth float64, partial bool) (failures, log []string) {
 	base := make(map[string]Result, len(baseline.Benchmarks))
 	for _, r := range baseline.Benchmarks {
 		base[r.Name] = r
@@ -257,7 +289,17 @@ func compareReports(baseline, current *Report, maxSlowdown float64, partial bool
 				cur.Name, cur.NsPerOp, ratio, b.NsPerOp, maxSlowdown))
 			continue
 		}
-		log = append(log, fmt.Sprintf("%-28s rounds %.0f ok, ns/op %.2fx baseline", cur.Name, cur.RoundsPerOp, ratio))
+		if b.AllocsPerOp > 0 {
+			allocRatio := float64(cur.AllocsPerOp) / float64(b.AllocsPerOp)
+			if allocRatio > maxAllocGrowth {
+				failures = append(failures, fmt.Sprintf(
+					"%s: allocs/op %d is %.2fx the baseline %d (limit %.2fx) — a solve-path buffer stopped being pooled",
+					cur.Name, cur.AllocsPerOp, allocRatio, b.AllocsPerOp, maxAllocGrowth))
+				continue
+			}
+		}
+		log = append(log, fmt.Sprintf("%-28s rounds %.0f ok, ns/op %.2fx, allocs/op %d vs %d baseline",
+			cur.Name, cur.RoundsPerOp, ratio, cur.AllocsPerOp, b.AllocsPerOp))
 	}
 	if !partial {
 		for _, b := range baseline.Benchmarks {
@@ -294,6 +336,9 @@ func main() {
 	quick := flag.Bool("quick", false, "skip the slow large-n configurations")
 	check := flag.String("check", "", "compare against this baseline report and exit 1 on regression")
 	maxSlowdown := flag.Float64("max-slowdown", 2.5, "ns/op regression tolerance for -check")
+	maxAllocGrowth := flag.Float64("max-alloc-growth", 1.5, "allocs/op regression tolerance for -check")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measurement run to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this path")
 	flag.Parse()
 
 	// Load the baseline before the (multi-minute) measurement run so a
@@ -308,14 +353,65 @@ func main() {
 		}
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	rep, err := buildReport(*label, *quick)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	// Write the measured report first (when requested) so that even a
+	// failing gate run leaves the evidence behind — CI uploads it as a
+	// workflow artifact.
+	if *out != "" || baseline == nil {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			os.Stdout.Write(data)
+		} else {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+		}
+	}
+
 	if baseline != nil {
-		failures, log := compareReports(baseline, rep, *maxSlowdown, *quick)
+		failures, log := compareReports(baseline, rep, *maxSlowdown, *maxAllocGrowth, *quick)
 		for _, line := range log {
 			fmt.Println(line)
 		}
@@ -326,24 +422,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench: %d regression(s) against %s\n", len(failures), *check)
 			os.Exit(1)
 		}
-		fmt.Printf("bench: %d benchmarks match %s (rounds exact, ns/op within %.2fx)\n",
-			len(rep.Benchmarks), *check, *maxSlowdown)
-		return
+		fmt.Printf("bench: %d benchmarks match %s (rounds exact, ns/op within %.2fx, allocs/op within %.2fx)\n",
+			len(rep.Benchmarks), *check, *maxSlowdown, *maxAllocGrowth)
 	}
-
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 }

@@ -59,7 +59,7 @@ func TestCompareReportsPasses(t *testing.T) {
 		Result{Name: "E1/n=8", NsPerOp: 220, RoundsPerOp: 500}, // 2.2x: inside tolerance
 		Result{Name: "E2/n=16", NsPerOp: 5, RoundsPerOp: 42},
 	)
-	failures, log := compareReports(base, cur, 2.5, false)
+	failures, log := compareReports(base, cur, 2.5, 1.5, false)
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v", failures)
 	}
@@ -71,16 +71,30 @@ func TestCompareReportsPasses(t *testing.T) {
 func TestCompareReportsFailsOnRoundsDeviation(t *testing.T) {
 	base := report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500})
 	cur := report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 501})
-	failures, _ := compareReports(base, cur, 2.5, false)
+	failures, _ := compareReports(base, cur, 2.5, 1.5, false)
 	if len(failures) != 1 {
 		t.Fatalf("failures = %v, want exactly the rounds deviation", failures)
+	}
+}
+
+func TestCompareReportsFailsOnAllocGrowth(t *testing.T) {
+	base := report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500, AllocsPerOp: 1000})
+	cur := report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500, AllocsPerOp: 1600})
+	failures, _ := compareReports(base, cur, 2.5, 1.5, false)
+	if len(failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the allocs/op regression", failures)
+	}
+	// Improvements and within-tolerance jitter pass.
+	cur = report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500, AllocsPerOp: 400})
+	if failures, _ := compareReports(base, cur, 2.5, 1.5, false); len(failures) != 0 {
+		t.Fatalf("alloc improvement must pass, got %v", failures)
 	}
 }
 
 func TestCompareReportsFailsOnSlowdown(t *testing.T) {
 	base := report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500})
 	cur := report(Result{Name: "E1/n=8", NsPerOp: 260, RoundsPerOp: 500})
-	failures, _ := compareReports(base, cur, 2.5, false)
+	failures, _ := compareReports(base, cur, 2.5, 1.5, false)
 	if len(failures) != 1 {
 		t.Fatalf("failures = %v, want exactly the ns/op regression", failures)
 	}
@@ -92,10 +106,10 @@ func TestCompareReportsMissingEntries(t *testing.T) {
 		Result{Name: "E1/n=64", NsPerOp: 1000, RoundsPerOp: 900},
 	)
 	cur := report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500})
-	if failures, _ := compareReports(base, cur, 2.5, false); len(failures) != 1 {
+	if failures, _ := compareReports(base, cur, 2.5, 1.5, false); len(failures) != 1 {
 		t.Fatalf("full mode must flag the missing baseline entry, got %v", failures)
 	}
-	if failures, _ := compareReports(base, cur, 2.5, true); len(failures) != 0 {
+	if failures, _ := compareReports(base, cur, 2.5, 1.5, true); len(failures) != 0 {
 		t.Fatalf("quick (partial) mode must tolerate the missing entry, got %v", failures)
 	}
 	// A new benchmark with no baseline is a note, not a failure.
@@ -104,7 +118,7 @@ func TestCompareReportsMissingEntries(t *testing.T) {
 		Result{Name: "E1/n=64", NsPerOp: 1000, RoundsPerOp: 900},
 		Result{Name: "E13/new", NsPerOp: 1, RoundsPerOp: 1},
 	)
-	if failures, _ := compareReports(base, cur2, 2.5, false); len(failures) != 0 {
+	if failures, _ := compareReports(base, cur2, 2.5, 1.5, false); len(failures) != 0 {
 		t.Fatalf("new benchmarks must not fail the gate, got %v", failures)
 	}
 }

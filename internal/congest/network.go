@@ -20,6 +20,23 @@
 // large-n scaling benches). Protocols in this repository are written so
 // that every piece of cross-node information flows through an Exchange or
 // is charged through ChargeDirect/ChargeBalanced.
+//
+// # Memory model of the simulator
+//
+// The network owns three classes of reusable storage so that a steady-state
+// protocol run charges phases without heap allocation. (1) Accounting: the
+// per-phase link/node word counters live in flat epoch-stamped arrays
+// (linkScratch) — beginning a phase bumps the epoch instead of clearing,
+// so cost is proportional to the links actually touched. (2) Inboxes: the
+// per-destination delivery slices returned by ExchangeDirect/
+// ExchangeBalanced are borrowed from the network and recycled at the next
+// Exchange call. (3) Payloads: Message.Data slices can be carved from the
+// network's two-generation payload arena via AcquirePayload; each Exchange
+// flips the generation, so payloads follow exactly the inbox borrow
+// contract — valid until the next Exchange on this network — and the arena
+// is recycled at its high-water mark instead of reallocated. Protocol
+// layers add their own scratch on top (see internal/triangles.Scratch);
+// together these make a steady-state Solve allocation-free.
 package congest
 
 import (
@@ -148,6 +165,65 @@ type Network struct {
 	// ExchangeDirect/ExchangeBalanced; see those methods for the borrow
 	// contract.
 	inboxes [][]Message
+
+	// payloads is the two-generation word arena behind AcquirePayload;
+	// payGen indexes the generation currently being carved. Each deliver
+	// flips the generation and recycles the other one, giving payloads the
+	// same lifetime as the inboxes that reference them.
+	payloads [2]payloadArena
+	payGen   int
+}
+
+// payloadBlockWords is the minimum block size the payload arena grows by;
+// large single acquisitions get a dedicated block.
+const payloadBlockWords = 1 << 14
+
+// payloadArena is one generation of pooled Message.Data storage: a list of
+// retained backing blocks carved sequentially. Blocks are never moved or
+// grown in place, so previously returned slices stay valid for the whole
+// generation.
+type payloadArena struct {
+	blocks [][]Word
+	bi     int // block currently being carved
+	off    int // words used within blocks[bi]
+}
+
+func (a *payloadArena) reset() { a.bi, a.off = 0, 0 }
+
+// alloc carves a zero-length slice with capacity n.
+func (a *payloadArena) alloc(n int) []Word {
+	for {
+		if a.bi < len(a.blocks) {
+			b := a.blocks[a.bi]
+			if len(b)-a.off >= n {
+				s := b[a.off : a.off : a.off+n]
+				a.off += n
+				return s
+			}
+			a.bi++
+			a.off = 0
+			continue
+		}
+		size := n
+		if size < payloadBlockWords {
+			size = payloadBlockWords
+		}
+		a.blocks = append(a.blocks, make([]Word, size))
+	}
+}
+
+// AcquirePayload returns a zero-length word slice with capacity words,
+// carved from the network's payload arena, for callers assembling
+// Message.Data by append. The slice follows the inbox borrow contract: it
+// is recycled by the second-next Exchange call on this network (the
+// generation flip at each delivery keeps the payloads referenced by the
+// current inboxes intact), so senders build payloads, exchange, and let
+// receivers read them — but must copy anything they need to keep.
+func (nw *Network) AcquirePayload(words int) []Word {
+	if words < 0 {
+		words = 0
+	}
+	return nw.payloads[nw.payGen].alloc(words)
 }
 
 // linkScratch is the reusable flat accounting state for one phase: per-link
@@ -403,6 +479,11 @@ func balancedRounds(srcLoad, dstLoad, n int64) int64 {
 // per-destination slices are pooled on the network and recycled by the next
 // deliver call.
 func (nw *Network) deliver(msgs []Message) [][]Message {
+	// Flip the payload generations: slices acquired since the previous
+	// Exchange are now referenced by the inboxes being built, so the
+	// generation recycled here is the one the previous inboxes pointed at.
+	nw.payGen ^= 1
+	nw.payloads[nw.payGen].reset()
 	if nw.inboxes == nil {
 		nw.inboxes = make([][]Message, nw.n)
 	}

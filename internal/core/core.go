@@ -70,6 +70,31 @@ type Config struct {
 	// work); <= 0 selects GOMAXPROCS. Dist and Rounds are identical for
 	// every setting — parallelism only changes wall-clock time.
 	Workers int
+	// Workspace optionally supplies reusable solve state so repeated solves
+	// (the serving layer's cache-miss path) skip the cold-start
+	// allocations. When nil, Solve builds a private workspace — the
+	// steady state *within* the solve is identical, only cross-solve reuse
+	// is lost. Results are bit-identical with any workspace. Not safe for
+	// concurrent use.
+	Workspace *Workspace
+}
+
+// Workspace aggregates the reusable state of a solve: the matrix freelist
+// the squaring chain ping-pongs through, and the distance-product workspace
+// (tripartite instance, binary-search buffers, triangles/qsearch scratch).
+// A steady-state Solve through a warm Workspace performs near-zero heap
+// allocation; the only storage that intentionally escapes is the returned
+// distance matrix, which the workspace permanently forgets (so cached
+// results never alias pooled buffers).
+type Workspace struct {
+	mx matrix.Workspace
+	dp *distprod.Workspace
+}
+
+// NewWorkspace returns an empty Workspace; buffers grow to their high-water
+// mark over the first solve.
+func NewWorkspace() *Workspace {
+	return &Workspace{dp: distprod.NewWorkspace()}
 }
 
 func (c Config) strategy() Strategy {
@@ -114,6 +139,10 @@ func Solve(g *graph.Digraph, cfg Config) (*Result, error) {
 		res.Dist = matrix.New(0)
 		return res, nil
 	}
+	ws := cfg.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	ag := matrix.FromDigraph(g)
 
 	switch cfg.strategy() {
@@ -128,10 +157,10 @@ func Solve(g *graph.Digraph, cfg Config) (*Result, error) {
 		if err := net.BroadcastAll("gossip/rows", int64(n)); err != nil {
 			return nil, err
 		}
-		prod := func(a, b *matrix.Matrix) (*matrix.Matrix, error) {
-			return matrix.DistanceProductPar(a, b, cfg.Workers)
+		prod := func(dst, a, b *matrix.Matrix) error {
+			return matrix.MulMinPlusInto(dst, a, b, cfg.Workers)
 		}
-		dist, sq, err := matrix.APSPBySquaring(ag, prod)
+		dist, sq, err := matrix.APSPBySquaringInto(ag, prod, &ws.mx)
 		if err != nil {
 			return nil, err
 		}
@@ -159,21 +188,22 @@ func Solve(g *graph.Digraph, cfg Config) (*Result, error) {
 		}
 		rng := xrand.New(cfg.Seed)
 		calls := 0
-		prod := func(a, b *matrix.Matrix) (*matrix.Matrix, error) {
-			c, stats, err := distprod.Product(a, b, distprod.Options{
-				Solver:  solver,
-				Params:  cfg.Params,
-				Seed:    rng.SplitN("product", res.Products+calls).Seed(),
-				Net:     net,
-				Workers: cfg.Workers,
+		prod := func(dst, a, b *matrix.Matrix) error {
+			stats, err := distprod.ProductInto(dst, a, b, distprod.Options{
+				Solver:    solver,
+				Params:    cfg.Params,
+				Seed:      rng.SplitN("product", res.Products+calls).Seed(),
+				Net:       net,
+				Workers:   cfg.Workers,
+				Workspace: ws.dp,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			calls += stats.BinarySearchSteps
-			return c, nil
+			return nil
 		}
-		dist, sq, err := matrix.APSPBySquaring(ag, prod)
+		dist, sq, err := matrix.APSPBySquaringInto(ag, prod, &ws.mx)
 		if err != nil {
 			return nil, err
 		}

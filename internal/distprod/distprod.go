@@ -70,6 +70,71 @@ type Options struct {
 	// paths are bit-identical (the regression tests assert it); the flag
 	// exists so the equivalence stays testable and measurable.
 	DisableIncremental bool
+	// Workspace optionally supplies reusable solve state spanning Product
+	// calls (the squaring chain makes ⌈log₂ n⌉ of them): the tripartite
+	// reduction instance, the binary-search buffers, and the triangles-layer
+	// scratch. When nil each call builds private state — identical results,
+	// more allocation. Not safe for concurrent use.
+	Workspace *Workspace
+}
+
+// Workspace is the reusable state of repeated Product calls. The static
+// legs of the tripartite instance change between squaring iterations (the
+// input matrices do), but the 3n-vertex graph, the pair set S, and every
+// binary-search buffer are shape-identical across the whole chain, so they
+// are rebuilt in place rather than reallocated.
+type Workspace struct {
+	inst    *tripartiteInstance
+	d       *matrix.Matrix
+	finite  []bool
+	lo, hi  []int64
+	scratch *triangles.Scratch
+}
+
+// NewWorkspace returns an empty Workspace; state is built on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Scratch returns the triangles-layer scratch this workspace threads into
+// its FindEdges calls, creating it on first use.
+func (ws *Workspace) Scratch() *triangles.Scratch {
+	if ws.scratch == nil {
+		ws.scratch = triangles.NewScratch()
+	}
+	return ws.scratch
+}
+
+// instance returns the reduction instance for (a, b), rebuilding the static
+// legs in place when the cached instance has the right shape.
+func (ws *Workspace) instance(a, b *matrix.Matrix) (*tripartiteInstance, error) {
+	if ws.inst != nil && ws.inst.n == a.N() {
+		if err := ws.inst.resetStaticLegs(a, b); err != nil {
+			return nil, err
+		}
+		return ws.inst, nil
+	}
+	inst, err := newTripartite(a, b)
+	if err != nil {
+		return nil, err
+	}
+	ws.inst = inst
+	return inst, nil
+}
+
+// searchBuffers returns the threshold matrix and per-entry binary-search
+// state for an n×n product, reused across calls. finite is cleared; lo and
+// hi carry stale values but are only read where finite is set.
+func (ws *Workspace) searchBuffers(n int) (d *matrix.Matrix, finite []bool, lo, hi []int64) {
+	if ws.d == nil || ws.d.N() != n {
+		ws.d = matrix.New(n)
+	}
+	if cap(ws.finite) < n*n {
+		ws.finite = make([]bool, n*n)
+		ws.lo = make([]int64, n*n)
+		ws.hi = make([]int64, n*n)
+	}
+	finite = ws.finite[:n*n]
+	clear(finite)
+	return ws.d, finite, ws.lo[:n*n], ws.hi[:n*n]
 }
 
 // Stats reports the cost drivers of one product.
@@ -115,29 +180,51 @@ type tripartiteInstance struct {
 // before the instance is handed to a solver.
 func newTripartite(a, b *matrix.Matrix) (*tripartiteInstance, error) {
 	n := a.N()
-	g := graph.NewUndirected(3 * n)
-	s := make(map[graph.Pair]bool, n*n)
+	inst := &tripartiteInstance{
+		n:   n,
+		g:   graph.NewUndirected(3 * n),
+		s:   make(map[graph.Pair]bool, n*n),
+		neg: make([]int64, n*n),
+	}
+	if err := inst.setStaticLegs(a, b); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			inst.s[graph.MakePair(i, n+j)] = true
+		}
+	}
+	return inst, nil
+}
+
+// setStaticLegs installs the A-leg (I–K) and B-leg (J–K) edges.
+func (t *tripartiteInstance) setStaticLegs(a, b *matrix.Matrix) error {
+	n := t.n
 	for i := 0; i < n; i++ {
 		for k := 0; k < n; k++ {
 			if v := a.At(i, k); graph.IsFinite(v) {
-				if err := g.SetEdge(i, 2*n+k, v); err != nil {
-					return nil, err
+				if err := t.g.SetEdge(i, 2*n+k, v); err != nil {
+					return err
 				}
 			}
 			if v := b.At(k, i); graph.IsFinite(v) {
 				// f(j,k) = B[k,j] with j = i here.
-				if err := g.SetEdge(n+i, 2*n+k, v); err != nil {
-					return nil, err
+				if err := t.g.SetEdge(n+i, 2*n+k, v); err != nil {
+					return err
 				}
 			}
 		}
 	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			s[graph.MakePair(i, n+j)] = true
-		}
-	}
-	return &tripartiteInstance{n: n, g: g, s: s, neg: make([]int64, n*n)}, nil
+	return nil
+}
+
+// resetStaticLegs rebuilds the instance in place for new input matrices of
+// the same dimension: every edge (including the threshold leg, which the
+// binary search reinstalls before any solve) is cleared and the A/B legs
+// are re-set. The pair set S depends only on n and is kept.
+func (t *tripartiteInstance) resetStaticLegs(a, b *matrix.Matrix) error {
+	t.g.Clear()
+	return t.setStaticLegs(a, b)
 }
 
 // ResetThresholdLeg rewrites the I–J edges to f(i,j) = -D[i,j] in place,
@@ -168,12 +255,17 @@ func solveFindEdges(inst triangles.Instance, opts Options, seed uint64) (map[gra
 		if opts.Solver == SolverClassicalScan {
 			mode = triangles.SearchClassicalScan
 		}
+		var sc *triangles.Scratch
+		if opts.Workspace != nil {
+			sc = opts.Workspace.Scratch()
+		}
 		rep, err := triangles.FindEdges(inst, triangles.Options{
 			Params:  opts.Params,
 			Mode:    mode,
 			Seed:    seed,
 			Net:     opts.Net,
 			Workers: opts.Workers,
+			Scratch: sc,
 		})
 		if err != nil {
 			return nil, err
@@ -187,26 +279,46 @@ func solveFindEdges(inst triangles.Instance, opts Options, seed uint64) (map[gra
 // Product computes A ⋆ B through the Proposition 2 binary search. Inputs
 // must be free of −Inf entries (+Inf is allowed and means "no path").
 func Product(a, b *matrix.Matrix, opts Options) (*matrix.Matrix, *Stats, error) {
+	c := matrix.New(a.N())
+	stats, err := ProductInto(c, a, b, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, stats, nil
+}
+
+// ProductInto is Product writing into a caller-provided (workspace) matrix,
+// which is overwritten entirely; the repeated-squaring driver ping-pongs
+// two such matrices through the whole chain.
+func ProductInto(c *matrix.Matrix, a, b *matrix.Matrix, opts Options) (*Stats, error) {
 	if a.N() != b.N() {
-		return nil, nil, fmt.Errorf("distprod: dimension mismatch %d vs %d", a.N(), b.N())
+		return nil, fmt.Errorf("distprod: dimension mismatch %d vs %d", a.N(), b.N())
 	}
 	n := a.N()
+	if c.N() != n {
+		return nil, fmt.Errorf("distprod: destination is %d×%d, want %d×%d", c.N(), c.N(), n, n)
+	}
 	if n == 0 {
-		return matrix.New(0), &Stats{}, nil
+		return &Stats{}, nil
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if a.At(i, j) <= graph.NegInf || b.At(i, j) <= graph.NegInf {
-				return nil, nil, errors.New("distprod: -Inf entries unsupported")
+				return nil, errors.New("distprod: -Inf entries unsupported")
 			}
 		}
+	}
+	ws := opts.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+		opts.Workspace = ws
 	}
 	net := opts.Net
 	var err error
 	if net == nil {
 		net, err = congest.NewNetwork(3 * n)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		opts.Net = net
 	}
@@ -216,13 +328,14 @@ func Product(a, b *matrix.Matrix, opts Options) (*matrix.Matrix, *Stats, error) 
 	m := a.MaxAbsFinite() + b.MaxAbsFinite() // bound on |C[i,j]| for finite entries
 	stats := &Stats{MaxAbs: m}
 
-	// Build the reduction instance once: the A/B legs never change across
-	// the binary search, only the threshold leg is rewritten per step.
+	// Build (or rebuild in place) the reduction instance once: the A/B legs
+	// never change across the binary search, only the threshold leg is
+	// rewritten per step.
 	var inst *tripartiteInstance
 	if !opts.DisableIncremental {
-		inst, err = newTripartite(a, b)
+		inst, err = ws.instance(a, b)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	// refresh installs D into the instance, rebuilding from scratch when
@@ -242,26 +355,23 @@ func Product(a, b *matrix.Matrix, opts Options) (*matrix.Matrix, *Stats, error) 
 	}
 
 	// Infinity probe: with D ≡ m+1, any pair NOT in a negative triangle
-	// has C[i,j] ≥ m+1, i.e. C[i,j] = +Inf.
-	d := matrix.New(n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			d.Set(i, j, m+1)
-		}
-	}
+	// has C[i,j] ≥ m+1, i.e. C[i,j] = +Inf. The threshold matrix and the
+	// per-entry search state live on the workspace, reused across steps,
+	// products, and squaring iterations.
+	d, finite, lo, hi := ws.searchBuffers(n)
+	d.Fill(m + 1)
 	ti, err := refresh(d)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	edges, err := solveFindEdges(ti, opts, rng.SplitN("step", 0).Seed())
 	if err != nil {
-		return nil, nil, fmt.Errorf("distprod: infinity probe: %w", err)
+		return nil, fmt.Errorf("distprod: infinity probe: %w", err)
 	}
 	stats.BinarySearchSteps++
 
-	finite := make([]bool, n*n)
-	lo := make([]int64, n*n) // invariant: C[i,j] ∈ [lo, hi] for finite entries
-	hi := make([]int64, n*n)
+	// Invariant: C[i,j] ∈ [lo, hi] for finite entries (lo/hi hold stale
+	// values elsewhere and are only read under the finite mask).
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if edges[graph.MakePair(i, n+j)] {
@@ -300,11 +410,11 @@ func Product(a, b *matrix.Matrix, opts Options) (*matrix.Matrix, *Stats, error) 
 		}
 		ti, err := refresh(d)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		edges, err = solveFindEdges(ti, opts, rng.SplitN("step", step).Seed())
 		if err != nil {
-			return nil, nil, fmt.Errorf("distprod: step %d: %w", step, err)
+			return nil, fmt.Errorf("distprod: step %d: %w", step, err)
 		}
 		stats.BinarySearchSteps++
 		for i := 0; i < n; i++ {
@@ -324,7 +434,7 @@ func Product(a, b *matrix.Matrix, opts Options) (*matrix.Matrix, *Stats, error) 
 		}
 	}
 
-	c := matrix.New(n)
+	c.Fill(graph.Inf)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			idx := i*n + j
@@ -334,7 +444,7 @@ func Product(a, b *matrix.Matrix, opts Options) (*matrix.Matrix, *Stats, error) 
 		}
 	}
 	stats.Rounds = net.DeltaSince(baseline).Rounds
-	return c, stats, nil
+	return stats, nil
 }
 
 func floorMid(lo, hi int64) int64 {

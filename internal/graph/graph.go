@@ -233,6 +233,15 @@ func (g *Undirected) SetBipartiteBlock(u0, nu, v0, nv int, w []int64) error {
 	return nil
 }
 
+// Clear removes every edge, recycling the adjacency storage: the
+// incremental reduction instances rebuild their static legs in place across
+// repeated distance products instead of allocating a fresh graph.
+func (g *Undirected) Clear() {
+	for i := range g.w {
+		g.w[i] = NoEdge
+	}
+}
+
 // RemoveEdge deletes edge {u,v} if present.
 func (g *Undirected) RemoveEdge(u, v int) error {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
@@ -302,15 +311,34 @@ func (g *Undirected) Clone() *Undirected {
 // keep(u,v) is true (u < v).
 func (g *Undirected) Subgraph(keep func(u, v int) bool) *Undirected {
 	sub := NewUndirected(g.n)
+	g.subgraphInto(sub, keep)
+	return sub
+}
+
+// SubgraphInto writes the subgraph into dst (which must have the same
+// vertex count), overwriting it entirely — including deleting edges the
+// predicate rejects — so a workspace graph can be reused across repeated
+// subgraph extractions without clearing.
+func (g *Undirected) SubgraphInto(dst *Undirected, keep func(u, v int) bool) error {
+	if dst.n != g.n {
+		return fmt.Errorf("graph: SubgraphInto destination has %d vertices, want %d", dst.n, g.n)
+	}
+	for i := range dst.w {
+		dst.w[i] = NoEdge
+	}
+	g.subgraphInto(dst, keep)
+	return nil
+}
+
+func (g *Undirected) subgraphInto(dst *Undirected, keep func(u, v int) bool) {
 	for u := 0; u < g.n; u++ {
 		for v := u + 1; v < g.n; v++ {
 			if w := g.w[u*g.n+v]; w != NoEdge && keep(u, v) {
-				sub.w[u*g.n+v] = w
-				sub.w[v*g.n+u] = w
+				dst.w[u*g.n+v] = w
+				dst.w[v*g.n+u] = w
 			}
 		}
 	}
-	return sub
 }
 
 // Pair is an unordered vertex pair {U,V}, always normalized to U < V. It is

@@ -88,11 +88,45 @@ func (m *Matrix) Row(i int) []int64 {
 	return out
 }
 
+// RowView returns row i as a slice aliasing the matrix's backing storage:
+// writes through the view mutate the matrix, and the view is invalidated by
+// anything that replaces the storage. It is the allocation-free companion of
+// Row for internal hot paths; public results should keep using Row, whose
+// copy detaches the caller from cached/pooled matrices.
+func (m *Matrix) RowView(i int) []int64 {
+	m.bounds(i, 0)
+	return m.a[i*m.n : (i+1)*m.n : (i+1)*m.n]
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	a := make([]int64, len(m.a))
 	copy(a, m.a)
 	return &Matrix{n: m.n, a: a}
+}
+
+// CloneInto copies m's entries into dst, which must have the same
+// dimension. It is Clone without the allocation, for workspace-backed
+// ping-pong buffers.
+func (m *Matrix) CloneInto(dst *Matrix) error {
+	if dst.n != m.n {
+		return fmt.Errorf("matrix: CloneInto dimension mismatch %d vs %d", dst.n, m.n)
+	}
+	copy(dst.a, m.a)
+	return nil
+}
+
+// Fill sets every entry to v (clamped into [−∞, +∞]).
+func (m *Matrix) Fill(v int64) {
+	if v > graph.Inf {
+		v = graph.Inf
+	}
+	if v < graph.NegInf {
+		v = graph.NegInf
+	}
+	for i := range m.a {
+		m.a[i] = v
+	}
 }
 
 // Equal reports whether two matrices have the same dimension and entries.
@@ -169,13 +203,35 @@ func DistanceProduct(a, b *Matrix) (*Matrix, error) {
 // the output, so the result is bit-identical for every worker count;
 // workers <= 0 selects GOMAXPROCS.
 func DistanceProductPar(a, b *Matrix, workers int) (*Matrix, error) {
+	c := New(a.n)
+	if err := MulMinPlusInto(c, a, b, workers); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MulMinPlusInto computes dst = A ⋆ B in place: dst is overwritten entirely
+// (every entry reset to +∞ before accumulation), so a workspace matrix can
+// be reused across repeated squaring iterations without clearing. dst must
+// not alias a or b (rows of dst are rewritten while rows of a and b are
+// still being read). The row loop runs on the bounded worker pool; the
+// result is bit-identical for every worker count.
+func MulMinPlusInto(dst, a, b *Matrix, workers int) error {
 	if a.n != b.n {
-		return nil, fmt.Errorf("matrix: dimension mismatch %d vs %d", a.n, b.n)
+		return fmt.Errorf("matrix: dimension mismatch %d vs %d", a.n, b.n)
+	}
+	if dst.n != a.n {
+		return fmt.Errorf("matrix: destination is %d×%d, want %d×%d", dst.n, dst.n, a.n, a.n)
+	}
+	if dst == a || dst == b {
+		return fmt.Errorf("matrix: MulMinPlusInto destination aliases an input")
 	}
 	n := a.n
-	c := New(n)
 	par.For(par.Workers(workers), n, func(i int) {
-		rowC := c.a[i*n : (i+1)*n]
+		rowC := dst.a[i*n : (i+1)*n]
+		for j := range rowC {
+			rowC[j] = graph.Inf
+		}
 		for k := 0; k < n; k++ {
 			aik := a.a[i*n+k]
 			if aik >= graph.Inf {
@@ -189,7 +245,7 @@ func DistanceProductPar(a, b *Matrix, workers int) (*Matrix, error) {
 			}
 		}
 	})
-	return c, nil
+	return nil
 }
 
 // FromDigraph encodes a directed graph as the matrix A_G of Section 3:
@@ -246,6 +302,41 @@ func APSPBySquaring(ag *Matrix, prod Product) (*Matrix, SquaringStats, error) {
 		stats.Products++
 		cur = next
 	}
+	return cur, stats, nil
+}
+
+// ProductInto is the in-place counterpart of Product: implementations write
+// A ⋆ B into dst (overwriting it entirely) instead of allocating a result.
+type ProductInto func(dst, a, b *Matrix) error
+
+// APSPBySquaringInto is APSPBySquaring over an in-place product: the chain
+// ping-pongs between two workspace matrices, so a steady-state solve
+// performs ⌈log₂ n⌉ squarings with zero per-iteration matrix allocation.
+// The returned matrix is one of the two workspace buffers and is therefore
+// owned by the caller: it must not be handed back to ws while the result is
+// alive (the companion buffer is returned automatically).
+func APSPBySquaringInto(ag *Matrix, prod ProductInto, ws *Workspace) (*Matrix, SquaringStats, error) {
+	var stats SquaringStats
+	n := ag.n
+	cur := ws.Get(n)
+	if err := ag.CloneInto(cur); err != nil {
+		ws.Put(cur)
+		return nil, stats, err
+	}
+	if n <= 1 {
+		return cur, stats, nil
+	}
+	next := ws.Get(n)
+	for length := 1; length < n; length *= 2 {
+		if err := prod(next, cur, cur); err != nil {
+			ws.Put(cur)
+			ws.Put(next)
+			return nil, stats, fmt.Errorf("squaring %d: %w", stats.Products, err)
+		}
+		stats.Products++
+		cur, next = next, cur
+	}
+	ws.Put(next)
 	return cur, stats, nil
 }
 

@@ -1,0 +1,41 @@
+package matrix
+
+// Workspace is a freelist of matrices keyed by dimension, the matrix half
+// of the solve pipeline's reusable scratch: repeated squaring ping-pongs
+// between two workspace matrices, and the distance-product binary search
+// borrows its threshold matrix from the same pool, so a steady-state solve
+// allocates no matrix storage at all.
+//
+// A Workspace is not safe for concurrent use; give each concurrent solve
+// its own (internal/serve pools whole per-solve workspaces for exactly this
+// reason). Matrices returned by Get carry arbitrary stale entries — every
+// consumer in this repository overwrites its buffer entirely (CloneInto,
+// MulMinPlusInto, Fill) before reading, which is also what keeps pooled and
+// fresh runs bit-identical.
+type Workspace struct {
+	free map[int][]*Matrix
+}
+
+// Get returns an n×n matrix with unspecified contents: a recycled buffer
+// when one of the right dimension is free, a fresh allocation otherwise.
+func (w *Workspace) Get(n int) *Matrix {
+	if l := w.free[n]; len(l) > 0 {
+		m := l[len(l)-1]
+		w.free[n] = l[:len(l)-1]
+		return m
+	}
+	return &Matrix{n: n, a: make([]int64, n*n)}
+}
+
+// Put returns m to the freelist. The caller must not use m afterwards; in
+// particular a matrix that escaped into a retained result (the solve's Dist)
+// must never be Put back.
+func (w *Workspace) Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	if w.free == nil {
+		w.free = make(map[int][]*Matrix)
+	}
+	w.free[m.n] = append(w.free[m.n], m)
+}

@@ -1,0 +1,154 @@
+package matrix
+
+import (
+	"testing"
+
+	"qclique/internal/graph"
+	"qclique/internal/xrand"
+)
+
+func wsRandomMatrix(n int, seed uint64) *Matrix {
+	rng := xrand.New(seed)
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Bool(0.25) {
+				continue // leave +Inf
+			}
+			m.Set(i, j, rng.Int64N(41)-20)
+		}
+	}
+	return m
+}
+
+func TestWorkspaceGetPutReuse(t *testing.T) {
+	var ws Workspace
+	a := ws.Get(5)
+	ws.Put(a)
+	if b := ws.Get(5); b != a {
+		t.Fatal("Get after Put did not recycle the matrix")
+	}
+	if c := ws.Get(5); c == a {
+		t.Fatal("second Get handed out the same matrix twice")
+	}
+	if d := ws.Get(7); d.N() != 7 {
+		t.Fatalf("Get(7) returned n=%d", d.N())
+	}
+}
+
+func TestMulMinPlusIntoMatchesDistanceProduct(t *testing.T) {
+	for _, n := range []int{0, 1, 4, 9} {
+		a := wsRandomMatrix(n, uint64(n)+1)
+		b := wsRandomMatrix(n, uint64(n)+100)
+		want, err := DistanceProduct(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := New(n)
+		dst.Fill(-3) // stale contents must be fully overwritten
+		if err := MulMinPlusInto(dst, a, b, 3); err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(dst) {
+			t.Fatalf("n=%d: MulMinPlusInto differs from DistanceProduct", n)
+		}
+	}
+}
+
+func TestMulMinPlusIntoRejectsAliasing(t *testing.T) {
+	a := wsRandomMatrix(4, 1)
+	if err := MulMinPlusInto(a, a, a, 1); err == nil {
+		t.Fatal("aliased destination accepted")
+	}
+}
+
+func TestAPSPBySquaringIntoMatchesAllocating(t *testing.T) {
+	var ws Workspace
+	for _, n := range []int{1, 2, 7, 12} {
+		ag := Identity(n)
+		rng := xrand.New(uint64(n))
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Bool(0.5) {
+					ag.Set(i, j, rng.Int64N(9)+1)
+				}
+			}
+		}
+		prod := func(a, b *Matrix) (*Matrix, error) { return DistanceProduct(a, b) }
+		want, wantStats, err := APSPBySquaring(ag, prod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prodInto := func(dst, a, b *Matrix) error { return MulMinPlusInto(dst, a, b, 1) }
+		got, gotStats, err := APSPBySquaringInto(ag, prodInto, &ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("n=%d: in-place squaring differs", n)
+		}
+		if wantStats.Products != gotStats.Products {
+			t.Fatalf("n=%d: products %d != %d", n, gotStats.Products, wantStats.Products)
+		}
+	}
+}
+
+// TestAPSPBySquaringIntoResultEscapes asserts the ownership contract: the
+// returned matrix must not be handed back to the workspace by the driver,
+// so further workspace use cannot corrupt it.
+func TestAPSPBySquaringIntoResultEscapes(t *testing.T) {
+	var ws Workspace
+	ag := Identity(6)
+	ag.Set(0, 1, 2)
+	ag.Set(1, 2, 3)
+	prodInto := func(dst, a, b *Matrix) error { return MulMinPlusInto(dst, a, b, 1) }
+	got, _, err := APSPBySquaringInto(ag, prodInto, &ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := got.Clone()
+	for i := 0; i < 4; i++ {
+		m := ws.Get(6)
+		m.Fill(graph.NegInf)
+		ws.Put(m)
+		if _, _, err := APSPBySquaringInto(ag, prodInto, &ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !got.Equal(snap) {
+		t.Fatal("squaring result was recycled into the workspace")
+	}
+}
+
+func TestRowViewAliases(t *testing.T) {
+	m := New(3)
+	m.Set(1, 2, 42)
+	v := m.RowView(1)
+	if v[2] != 42 {
+		t.Fatalf("RowView read %d, want 42", v[2])
+	}
+	v[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("write through RowView did not reach the matrix")
+	}
+	r := m.Row(1)
+	r[1] = 99
+	if m.At(1, 1) == 99 {
+		t.Fatal("Row must copy, not alias")
+	}
+}
+
+func TestCloneInto(t *testing.T) {
+	a := wsRandomMatrix(5, 9)
+	dst := New(5)
+	dst.Fill(0)
+	if err := a.CloneInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(dst) {
+		t.Fatal("CloneInto mismatch")
+	}
+	if err := a.CloneInto(New(4)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}

@@ -24,6 +24,18 @@ func Workers(requested int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Grow returns a slice of exactly n entries with unspecified contents,
+// reusing buf's backing array when it is large enough and allocating
+// otherwise. It is the shared grow-or-reuse primitive of the scratch
+// workspaces; callers must fully initialize (or mask) the entries they
+// read, which is what keeps pooled and fresh runs identical.
+func Grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
 // For runs fn(i) for every i in [0, n), using at most workers goroutines.
 // With workers <= 1 (or n <= 1) it runs inline on the calling goroutine —
 // the serial fast path costs no synchronization, so GOMAXPROCS=1 hosts pay

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"qclique/internal/congest"
 	"qclique/internal/par"
@@ -66,6 +67,58 @@ type Spec struct {
 	// its own pre-derived random stream, so results are identical for every
 	// worker count.
 	Workers int
+	// Scratch optionally supplies reusable search state (per-worker Grover
+	// amplitude buffers, probe merge slots, and the Result's Found/Witness
+	// backing). When set, the returned Result aliases the scratch and is
+	// valid only until the scratch's next MultiSearch; when nil, internal
+	// buffers still come from a package pool but Found/Witness are freshly
+	// allocated. Results are bit-identical either way.
+	Scratch *Scratch
+}
+
+// Scratch is the reusable state of a MultiSearch invocation. A Scratch is
+// not safe for concurrent use; the protocol layers keep one per solve.
+// Every buffer is fully (re)initialized before it is read, which is what
+// keeps pooled and fresh runs bit-identical.
+type Scratch struct {
+	found    []bool
+	witness  []int
+	feasible []int32
+	active   []int32
+	probeX   []int32
+	probeHit []bool
+	bufs     [][]float64
+	rngs     []*xrand.Source
+}
+
+// scratchPool recycles the internal-only buffers for callers that do not
+// thread their own Scratch (Found/Witness still escape to the Result, so
+// those stay freshly allocated on this path).
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// workerState returns per-worker amplitude buffers of length space and
+// reseedable scratch sources, growing the retained slices as needed.
+func (s *Scratch) workerState(workers, space int) ([][]float64, []*xrand.Source) {
+	if cap(s.bufs) < workers {
+		s.bufs = append(s.bufs[:cap(s.bufs)], make([][]float64, workers-cap(s.bufs))...)
+	}
+	s.bufs = s.bufs[:workers]
+	for w := range s.bufs {
+		if cap(s.bufs[w]) < space {
+			s.bufs[w] = make([]float64, space)
+		}
+		s.bufs[w] = s.bufs[w][:space]
+	}
+	if cap(s.rngs) < workers {
+		s.rngs = append(s.rngs[:cap(s.rngs)], make([]*xrand.Source, workers-cap(s.rngs))...)
+	}
+	s.rngs = s.rngs[:workers]
+	for w := range s.rngs {
+		if s.rngs[w] == nil {
+			s.rngs[w] = xrand.New(0)
+		}
+	}
+	return s.bufs, s.rngs
 }
 
 // Result reports the outcome of a (multi-)search.
@@ -158,9 +211,33 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 		}
 	}
 
+	// Buffer provenance: a caller-supplied Scratch backs everything
+	// including the Result's Found/Witness; otherwise the internal-only
+	// buffers come from the package pool and Found/Witness are fresh
+	// (they escape to the caller).
+	sc := spec.Scratch
+	var found []bool
+	var witness []int
+	if sc == nil {
+		sc = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(sc)
+		found = make([]bool, spec.Instances)
+		witness = make([]int, spec.Instances)
+	} else {
+		sc.found = par.Grow(sc.found, spec.Instances)
+		clear(sc.found)
+		found = sc.found
+		sc.witness = sc.witness[:0]
+		if cap(sc.witness) < spec.Instances {
+			sc.witness = make([]int, spec.Instances)
+		}
+		witness = sc.witness[:spec.Instances]
+		sc.witness = witness
+	}
+
 	res := &Result{
-		Found:      make([]bool, spec.Instances),
-		Witness:    make([]int, spec.Instances),
+		Found:      found,
+		Witness:    witness,
 		EvalRounds: evalCost.Rounds,
 	}
 	for i := range res.Witness {
@@ -183,7 +260,7 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 	// Feasible instances are kept as a compact index list so the per-round
 	// scheduling work scales with the (typically small) feasible count,
 	// not the instance count.
-	feasibleIdx := make([]int32, 0, 16)
+	feasibleIdx := sc.feasible[:0]
 	for i, tab := range tables {
 		for _, v := range tab {
 			if v {
@@ -192,6 +269,7 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 			}
 		}
 	}
+	sc.feasible = feasibleIdx
 	remaining := len(feasibleIdx)
 
 	// Per-node state-vector evolution is embarrassingly parallel across
@@ -200,7 +278,7 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 	// outcome is identical for every worker count. Workers keep one
 	// amplitude buffer each, making probes allocation-free.
 	// More workers than feasible instances would never be scheduled, so
-	// cap before allocating the per-worker scratch (amplitude buffers and
+	// cap before sizing the per-worker scratch (amplitude buffers and
 	// reseedable RNGs).
 	workers := par.Workers(spec.Workers)
 	if workers > len(feasibleIdx) {
@@ -209,15 +287,15 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 	if workers < 1 {
 		workers = 1
 	}
-	active := make([]int32, 0, len(feasibleIdx))
-	probeX := make([]int32, spec.Instances)
-	probeHit := make([]bool, spec.Instances)
-	bufs := make([][]float64, workers)
-	scratchRng := make([]*xrand.Source, workers)
-	for w := range bufs {
-		bufs[w] = make([]float64, spec.SpaceSize)
-		scratchRng[w] = xrand.New(0)
+	if cap(sc.active) < len(feasibleIdx) {
+		sc.active = make([]int32, 0, len(feasibleIdx))
 	}
+	active := sc.active[:0]
+	probeX := par.Grow(sc.probeX, spec.Instances)
+	sc.probeX = probeX
+	probeHit := par.Grow(sc.probeHit, spec.Instances)
+	sc.probeHit = probeHit
+	bufs, scratchRng := sc.workerState(workers, spec.SpaceSize)
 
 	for pass := 0; pass < passes; pass++ {
 		res.Passes++

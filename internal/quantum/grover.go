@@ -151,11 +151,14 @@ func Search(n int, g Oracle, rng *xrand.Source) SearchResult {
 }
 
 // searchMarked runs the BBHT schedule against a materialized truth table,
-// accumulating costs into res.
+// accumulating costs into res. One amplitude buffer is reused across the
+// schedule's rounds (each probe restarts from the uniform state, so the
+// refill fully overwrites it).
 func searchMarked(n int, marked []bool, rng *xrand.Source, res *SearchResult) SearchResult {
 	sqrtN := math.Sqrt(float64(n))
 	m := 1.0
 	const lambda = 6.0 / 5.0
+	amps := make([]float64, n)
 	// After O(log n) rounds m saturates at √n; a few more rounds at the
 	// saturated value drive the failure probability for nonempty oracles
 	// below 2^-Ω(rounds). 4+3·log₂ n rounds bounds total iterations by
@@ -163,14 +166,10 @@ func searchMarked(n int, marked []bool, rng *xrand.Source, res *SearchResult) Se
 	maxRounds := 4 + 3*int(math.Ceil(math.Log2(float64(n+1))))
 	for round := 0; round < maxRounds; round++ {
 		j := rng.IntN(int(math.Ceil(m)) + 1)
-		amps := Uniform(n)
-		for it := 0; it < j; it++ {
-			Iterate(amps, marked)
-		}
 		res.Iterations += int64(j)
-		x := Measure(amps, rng)
+		x, hit := FixedScheduleProbeBuf(amps, marked, j, rng)
 		res.Verifications++
-		if marked[x] {
+		if hit {
 			res.Found = true
 			res.X = x
 			return *res

@@ -214,11 +214,11 @@ func NewHandler(s *Service) http.Handler {
 			out["dist"] = distOrNull(res.Res.Dist.At(src, dst))
 		case haveSrc:
 			out["src"] = src
-			out["dist"] = rowJSON(res.Res.Dist.Row(src))
+			out["dist"] = rowJSON(res.Res.Dist.RowView(src))
 		default:
 			rows := make([][]*int64, n)
 			for i := 0; i < n; i++ {
-				rows[i] = rowJSON(res.Res.Dist.Row(i))
+				rows[i] = rowJSON(res.Res.Dist.RowView(i))
 			}
 			out["dist"] = rows
 		}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"qclique/internal/core"
+	"qclique/internal/graph"
+	"qclique/internal/xrand"
+)
+
+// TestConcurrentPooledSolves drives many concurrent cache-miss solves
+// through one Service so the workspace pool hands out and recycles
+// workspaces under the race detector (the CI race job runs this package).
+// Distinct graphs and seeds force every request down the simulator path;
+// each answer is cross-checked against an independent fresh solve.
+func TestConcurrentPooledSolves(t *testing.T) {
+	s := New(Config{})
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				n := 6 + (w+i)%4
+				g, err := graph.RandomDigraph(n, graph.DigraphOpts{
+					ArcProb: 0.5, MinWeight: -4, MaxWeight: 9, NoNegativeCycles: true,
+				}, xrand.New(uint64(100*w+i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				spec := SolveSpec{Preset: PresetScaled, Seed: uint64(w)}
+				got, err := s.SolveGraph(g, spec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want, err := core.Solve(g.Clone(), core.Config{
+					Params: spec.Preset.Params(), Seed: spec.Seed,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !got.Res.Dist.Equal(want.Dist) {
+					errs <- fmt.Errorf("worker %d iter %d: pooled service solve differs from fresh", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -12,12 +12,22 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"qclique/internal/core"
 	"qclique/internal/graph"
 	"qclique/internal/par"
 	"qclique/internal/triangles"
 )
+
+// workspacePool recycles per-solve workspaces across the daemon's
+// cache-miss solves: concurrent solves each borrow their own workspace
+// (core.Workspace is single-solve state), and a returned workspace carries
+// its high-water buffers to the next miss, so a warm daemon's solve path
+// stops cold-allocating. Returned distance matrices are permanently
+// forgotten by their workspace, so cached results never alias pooled
+// storage.
+var workspacePool = sync.Pool{New: func() any { return core.NewWorkspace() }}
 
 const (
 	defaultCacheSize = 64
@@ -207,12 +217,15 @@ func (s *Service) solve(id string, g *graph.Digraph, spec SolveSpec) (*SolveResu
 		// caller-owned graph cannot desynchronize the cached result and
 		// its oracle.
 		gc := g.Clone()
+		ws := workspacePool.Get().(*core.Workspace)
 		res, err := core.Solve(gc, core.Config{
-			Strategy: spec.strategy(),
-			Params:   spec.Preset.Params(),
-			Seed:     spec.Seed,
-			Workers:  workers,
+			Strategy:  spec.strategy(),
+			Params:    spec.Preset.Params(),
+			Seed:      spec.Seed,
+			Workers:   workers,
+			Workspace: ws,
 		})
+		workspacePool.Put(ws)
 		if err != nil {
 			s.stats.failed(name)
 			return nil, err

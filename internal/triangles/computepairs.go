@@ -43,14 +43,20 @@ func (in *Instance) legs() *graph.Undirected {
 }
 
 // buildSMask materializes the flat S snapshot; a nil S means "all pairs"
-// and needs no mask.
-func (in *Instance) buildSMask() {
+// and needs no mask. The mask is carved from the scratch and valid until
+// the scratch's next promise call.
+func (in *Instance) buildSMask(sc *Scratch) {
 	if in.S == nil {
 		in.sMask = nil
 		return
 	}
 	n := in.G.N()
-	m := make([]bool, n*n)
+	if cap(sc.sMask) < n*n {
+		sc.sMask = make([]bool, n*n)
+	}
+	m := sc.sMask[:n*n]
+	clear(m)
+	sc.sMask = m
 	for p, ok := range in.S {
 		if ok {
 			m[p.U*n+p.V] = true
@@ -121,6 +127,10 @@ type Options struct {
 	// asymptotic bound saturates and would make every run fail, so
 	// injection is opt-in.
 	InjectTruncationFailures bool
+	// Scratch optionally supplies the reusable per-solve workspace; when
+	// nil every call builds a private one (identical results, more
+	// allocation). Not safe for concurrent use across calls.
+	Scratch *Scratch
 }
 
 func (o Options) params() Params {
@@ -198,8 +208,12 @@ func FindEdgesWithPromise(inst Instance, opts Options) (*Report, error) {
 		return nil, errors.New("triangles: nil graph")
 	}
 	n := inst.G.N()
-	inst.buildSMask()
-	pt, err := NewPartitions(n)
+	sc := opts.Scratch
+	if sc == nil {
+		sc = NewScratch()
+	}
+	inst.buildSMask(sc)
+	pt, err := sc.partitions(n)
 	if err != nil {
 		return nil, err
 	}
@@ -215,14 +229,14 @@ func FindEdgesWithPromise(inst Instance, opts Options) (*Report, error) {
 
 	// Step 1 (deterministic): charged once; aborts below restart only the
 	// randomized steps, which is what fresh randomness re-draws.
-	pl, err := runPlacement(net, pt, inst.legs(), opts.data())
+	pl, err := runPlacement(net, pt, inst.legs(), opts.data(), sc)
 	if err != nil {
 		return nil, err
 	}
 
 	var lastErr error
 	for attempt := 0; attempt <= params.MaxRetries; attempt++ {
-		rep, err := computePairsAttempt(net, pt, &inst, pl, params, opts, rng.SplitN("attempt", attempt))
+		rep, err := computePairsAttempt(net, pt, &inst, pl, params, opts, sc, rng.SplitN("attempt", attempt))
 		if err == nil {
 			rep.Retries = attempt
 			rep.Rounds = net.Rounds()
@@ -239,15 +253,15 @@ func FindEdgesWithPromise(inst Instance, opts Options) (*Report, error) {
 }
 
 // computePairsAttempt runs Steps 2–3 of ComputePairs once.
-func computePairsAttempt(net *congest.Network, pt *Partitions, inst *Instance, pl *placement, params Params, opts Options, rng *xrand.Source) (*Report, error) {
+func computePairsAttempt(net *congest.Network, pt *Partitions, inst *Instance, pl *placement, params Params, opts Options, sc *Scratch, rng *xrand.Source) (*Report, error) {
 	// Step 3.1 (run before the searches; Figure 3): classify the triples.
-	cls, err := runIdentifyClass(net, pt, inst, pl, params, rng.Split("identify"))
+	cls, err := runIdentifyClass(net, pt, inst, pl, params, sc, rng.Split("identify"))
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 2: coverings.
-	st, err := runCoverings(net, pt, inst, params, rng.Split("cover"))
+	st, err := runCoverings(net, pt, inst, params, sc, rng.Split("cover"))
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +272,7 @@ func computePairsAttempt(net *congest.Network, pt *Partitions, inst *Instance, p
 	// (S empty or disjoint from the coverings) there is nothing to search
 	// and the output is empty.
 	for alpha := 0; len(st.instances) > 0 && alpha <= cls.maxClass; alpha++ {
-		b := newEvalBuilder(pt, pl, st, cls, params, alpha, rng.SplitN("eval", alpha))
+		b := newEvalBuilder(pt, pl, st, cls, params, alpha, sc, rng.SplitN("eval", alpha))
 		b.workers = opts.Workers
 		if b.spaceSize == 0 {
 			continue
@@ -283,6 +297,7 @@ func computePairsAttempt(net *congest.Network, pt *Partitions, inst *Instance, p
 				Instances: len(st.instances),
 				Eval:      b.evalFunc(),
 				Workers:   opts.Workers,
+				Scratch:   &sc.qs,
 			}, rng.SplitN("search", alpha))
 			if err != nil {
 				return nil, err

@@ -58,27 +58,46 @@ type searchState struct {
 // samples its covering Λx(u,v), then loads the pair weights from the pair
 // owners and keeps the pairs that are in S and present in G. Aborts with
 // NotWellBalancedError when Lemma 2's balance condition fails.
-func runCoverings(net *congest.Network, pt *Partitions, inst *Instance, params Params, rng *xrand.Source) (*searchState, error) {
-	st := &searchState{pt: pt, coverings: make([]Covering, pt.NumSearchLabels())}
+func runCoverings(net *congest.Network, pt *Partitions, inst *Instance, params Params, sc *Scratch, rng *xrand.Source) (*searchState, error) {
+	numLabels := pt.NumSearchLabels()
+	if cap(sc.covs) < numLabels {
+		sc.covs = make([]Covering, numLabels)
+	}
+	// Every entry of the covering slice is assigned below before the state
+	// is read, so the scratch-backed slice needs no clearing.
+	st := &searchState{pt: pt, coverings: sc.covs[:numLabels]}
 	// Pre-size everything from the expected covering mass (|P(u,v)|·prob
 	// summed over labels): Step 2 runs once per promise call on the
 	// full-pipeline hot loop and buffer regrowth here dominated the
 	// allocation profile. The kept pairs and weights are carved out of two
-	// shared arenas; the sampling scratch is reused across labels; the
-	// load list is pooled across calls.
+	// scratch arenas reused across promise calls; the sampling scratch is
+	// reused across labels; the load list is pooled across calls.
 	expected := pt.expectedCoveringPairs(params)
 	loadsBuf := getLoadBuf(2*expected + 64)
 	defer putLoadBuf(loadsBuf)
 	loads := *loadsBuf
-	pairsArena := make([]graph.Pair, 0, expected+64)
-	weightsArena := make([]int64, 0, expected+64)
-	var sampleBuf []graph.Pair
-	perVertex := make([]int32, pt.N())
-	ownerCount := make([]int32, pt.N())
-	ownerTouched := make([]int32, 0, pt.N())
-	for li := 0; li < pt.NumSearchLabels(); li++ {
+	if cap(sc.pairsArena) < expected+64 {
+		sc.pairsArena = make([]graph.Pair, 0, expected+64)
+	}
+	if cap(sc.weightsArena) < expected+64 {
+		sc.weightsArena = make([]int64, 0, expected+64)
+	}
+	pairsArena := sc.pairsArena[:0]
+	weightsArena := sc.weightsArena[:0]
+	sampleBuf := sc.sampleBuf
+	perVertex := par.Grow(sc.perVertex, pt.N())
+	sc.perVertex = perVertex
+	clear(perVertex)
+	ownerCount := par.Grow(sc.ownerCount, pt.N())
+	sc.ownerCount = ownerCount
+	clear(ownerCount)
+	if cap(sc.ownerTouched) < pt.N() {
+		sc.ownerTouched = make([]int32, 0, pt.N())
+	}
+	ownerTouched := sc.ownerTouched
+	for li := 0; li < numLabels; li++ {
 		label := pt.SearchFromIndex(li)
-		pairs, err := pt.sampleCoveringBuf(label, params, rng.SplitN("covering", li), sampleBuf, perVertex)
+		pairs, err := pt.sampleCoveringBuf(label, params, rng.SplitNInto(sc.sampleRng(), "covering", li), sampleBuf, perVertex)
 		if err != nil {
 			_ = net.Broadcast("computepairs/step2-abort", pt.SearchNode(label), 1)
 			return nil, err
@@ -121,6 +140,10 @@ func runCoverings(net *congest.Network, pt *Partitions, inst *Instance, params P
 		st.coverings[li] = cov
 	}
 	*loadsBuf = loads // retain grown capacity in the pool
+	// Retain the grown scratch buffers for the next promise call.
+	sc.pairsArena = pairsArena
+	sc.weightsArena = weightsArena
+	sc.sampleBuf = sampleBuf
 	if err := net.ChargeBalanced("computepairs/step2-covering", loads); err != nil {
 		return nil, err
 	}
@@ -128,13 +151,25 @@ func runCoverings(net *congest.Network, pt *Partitions, inst *Instance, params P
 	for _, cov := range st.coverings {
 		total += len(cov.Pairs)
 	}
-	st.instances = make([]instanceRef, 0, total)
+	if cap(sc.instances) < total {
+		sc.instances = make([]instanceRef, 0, total)
+	}
+	st.instances = sc.instances[:0]
 	for li, cov := range st.coverings {
 		for pi, pr := range cov.Pairs {
 			st.instances = append(st.instances, instanceRef{label: li, pair: pr, weight: cov.Weights[pi]})
 		}
 	}
+	sc.instances = st.instances
 	return st, nil
+}
+
+// rowJob is one unique truth-table row to compute: a (group, pair) with its
+// pair weight.
+type rowJob struct {
+	group  int
+	pair   graph.Pair
+	weight int64
 }
 
 // evalBuilder assembles the class-α evaluation procedure.
@@ -147,22 +182,32 @@ type evalBuilder struct {
 	spaceSize  int     // padded: max |T_α[u,v]| over groups
 	classLists [][]int // per group u*q+v: T_α[u,v]
 	rng        *xrand.Source
+	sc         *Scratch
 	validate   bool
 	workers    int // host-side parallelism for truth-table assembly
 }
 
-func newEvalBuilder(pt *Partitions, pl *placement, st *searchState, cls *classification, params Params, alpha int, rng *xrand.Source) *evalBuilder {
+func newEvalBuilder(pt *Partitions, pl *placement, st *searchState, cls *classification, params Params, alpha int, sc *Scratch, rng *xrand.Source) *evalBuilder {
 	q := pt.NumCoarse()
-	lists := make([][]int, q*q)
+	// The class lists of the previous α are dead once this builder exists,
+	// so both the list headers and the flat index arena are reused.
+	if cap(sc.classLists) < q*q {
+		sc.classLists = make([][]int, q*q)
+	}
+	lists := sc.classLists[:q*q]
+	arena := sc.classArena[:0]
 	size := 0
 	for u := 0; u < q; u++ {
 		for v := 0; v < q; v++ {
-			lists[u*q+v] = cls.classesFor(u, v, alpha)
+			start := len(arena)
+			arena = cls.appendClassesFor(arena, u, v, alpha)
+			lists[u*q+v] = arena[start:len(arena):len(arena)]
 			if len(lists[u*q+v]) > size {
 				size = len(lists[u*q+v])
 			}
 		}
 	}
+	sc.classArena = arena
 	return &evalBuilder{
 		pt:         pt,
 		pl:         pl,
@@ -172,6 +217,7 @@ func newEvalBuilder(pt *Partitions, pl *placement, st *searchState, cls *classif
 		spaceSize:  size,
 		classLists: lists,
 		rng:        rng,
+		sc:         sc,
 	}
 }
 
@@ -194,7 +240,9 @@ func (b *evalBuilder) truthRow(group int, pr graph.Pair, weight int64) []bool {
 }
 
 // truthRowInto writes the oracle row into a caller-provided slice of
-// length spaceSize (arena-backed in the evaluation procedure).
+// length spaceSize (arena-backed in the evaluation procedure). The padding
+// tail beyond this group's class list is cleared explicitly — the arena is
+// recycled across evaluations, so stale marks must not survive.
 func (b *evalBuilder) truthRowInto(row []bool, group int, pr graph.Pair, weight int64) {
 	q := b.pt.NumCoarse()
 	u, v := group/q, group%q
@@ -202,9 +250,11 @@ func (b *evalBuilder) truthRowInto(row []bool, group int, pr graph.Pair, weight 
 	if b.pt.CoarseOf(a) != u {
 		a, bb = bb, a
 	}
-	for i, w := range b.classLists[group] {
+	list := b.classLists[group]
+	for i, w := range list {
 		row[i] = b.pl.minLegSum(u, v, w, a, bb) < -weight
 	}
+	clear(row[len(list):])
 }
 
 // evalFunc returns the qsearch evaluation procedure for this class.
@@ -257,7 +307,11 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 		listCountBuf := getZeroedInt32(b.pt.NumSearchLabels() * numFine)
 		defer putInt32(listCountBuf)
 		listCount := *listCountBuf
-		touched := make([]int32, 0, len(b.st.instances))
+		if cap(b.sc.evalTouch) < len(b.st.instances) {
+			b.sc.evalTouch = make([]int32, 0, len(b.st.instances))
+		}
+		touched := b.sc.evalTouch[:0]
+		b.sc.evalTouch = touched
 		for _, ins := range b.st.instances {
 			g := b.groupOf(ins.label)
 			list := b.classLists[g]
@@ -325,13 +379,9 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 		rowOfBuf := getZeroedInt32(2 * n * n)
 		defer putInt32(rowOfBuf)
 		rowOf := *rowOfBuf // (orient*n + U)*n + V → row index + 1; 0 = unset
-		type rowJob struct {
-			group  int
-			pair   graph.Pair
-			weight int64
-		}
-		var jobs []rowJob
-		assign := make([]int32, len(b.st.instances))
+		jobs := b.sc.jobs[:0]
+		assign := par.Grow(b.sc.assign, len(b.st.instances))
+		b.sc.assign = assign
 		for i, ins := range b.st.instances {
 			g := b.groupOf(ins.label)
 			orient := 0
@@ -347,14 +397,27 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 			}
 			assign[i] = ri - 1
 		}
-		rows := make([][]bool, len(jobs))
-		rowArena := make([]bool, len(jobs)*b.spaceSize)
+		b.sc.jobs = jobs
+		// The previous evaluation's tables are dead once this one runs (the
+		// multi-search consuming them has returned), so the row and table
+		// arenas are reused across classes and promise calls.
+		if cap(b.sc.rows) < len(jobs) {
+			b.sc.rows = make([][]bool, len(jobs))
+		}
+		rows := b.sc.rows[:len(jobs)]
+		if cap(b.sc.rowArena) < len(jobs)*b.spaceSize {
+			b.sc.rowArena = make([]bool, len(jobs)*b.spaceSize)
+		}
+		rowArena := b.sc.rowArena[:len(jobs)*b.spaceSize]
 		par.For(par.Workers(b.workers), len(jobs), func(j int) {
 			row := rowArena[j*b.spaceSize : (j+1)*b.spaceSize]
 			b.truthRowInto(row, jobs[j].group, jobs[j].pair, jobs[j].weight)
 			rows[j] = row
 		})
-		tables := make([][]bool, len(b.st.instances))
+		if cap(b.sc.tables) < len(b.st.instances) {
+			b.sc.tables = make([][]bool, len(b.st.instances))
+		}
+		tables := b.sc.tables[:len(b.st.instances)]
 		for i, ri := range assign {
 			tables[i] = rows[ri]
 		}

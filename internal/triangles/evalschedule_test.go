@@ -26,19 +26,19 @@ func buildEval(t *testing.T, n int, seed uint64, params Params, alpha int) (*con
 		t.Fatal(err)
 	}
 	inst := &Instance{G: g}
-	pl, err := runPlacement(net, pt, inst.legs(), DataDirect)
+	pl, err := runPlacement(net, pt, inst.legs(), DataDirect, NewScratch())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cls, err := runIdentifyClass(net, pt, inst, pl, params, rng.Split("identify"))
+	cls, err := runIdentifyClass(net, pt, inst, pl, params, NewScratch(), rng.Split("identify"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := runCoverings(net, pt, inst, params, rng.Split("cover"))
+	st, err := runCoverings(net, pt, inst, params, NewScratch(), rng.Split("cover"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return net, newEvalBuilder(pt, pl, st, cls, params, alpha, rng.Split("eval")), st
+	return net, newEvalBuilder(pt, pl, st, cls, params, alpha, NewScratch(), rng.Split("eval")), st
 }
 
 func TestEvalFuncTruthTablesMatchBruteForce(t *testing.T) {
@@ -182,7 +182,7 @@ func TestRunCoveringsKeepsOnlySEdges(t *testing.T) {
 		t.Fatal(err)
 	}
 	inst := &Instance{G: g, S: map[graph.Pair]bool{graph.MakePair(0, 1): true}}
-	st, err := runCoverings(net, pt, inst, PaperParams(), xrand.New(1))
+	st, err := runCoverings(net, pt, inst, PaperParams(), NewScratch(), xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -104,11 +104,12 @@ func IdentifyClassTrial(g *graph.Undirected, params Params, seed uint64) (*Class
 		return nil, err
 	}
 	inst := &Instance{G: g}
-	pl, err := runPlacement(net, pt, inst.legs(), DataDirect)
+	sc := NewScratch()
+	pl, err := runPlacement(net, pt, inst.legs(), DataDirect, sc)
 	if err != nil {
 		return nil, err
 	}
-	cls, err := runIdentifyClass(net, pt, inst, pl, params, xrand.New(seed))
+	cls, err := runIdentifyClass(net, pt, inst, pl, params, sc, xrand.New(seed))
 	if err != nil {
 		var ia *IdentifyAbortError
 		if errors.As(err, &ia) {
@@ -164,19 +165,20 @@ func CongestionTrial(g *graph.Undirected, params Params, seed uint64) (*Congesti
 	}
 	rng := xrand.New(seed)
 	inst := &Instance{G: g}
-	pl, err := runPlacement(net, pt, inst.legs(), DataDirect)
+	sc := NewScratch()
+	pl, err := runPlacement(net, pt, inst.legs(), DataDirect, sc)
 	if err != nil {
 		return nil, err
 	}
-	cls, err := runIdentifyClass(net, pt, inst, pl, params, rng.Split("identify"))
+	cls, err := runIdentifyClass(net, pt, inst, pl, params, sc, rng.Split("identify"))
 	if err != nil {
 		return nil, err
 	}
-	st, err := runCoverings(net, pt, inst, params, rng.Split("cover"))
+	st, err := runCoverings(net, pt, inst, params, sc, rng.Split("cover"))
 	if err != nil {
 		return nil, err
 	}
-	b := newEvalBuilder(pt, pl, st, cls, params, 0, rng.Split("eval"))
+	b := newEvalBuilder(pt, pl, st, cls, params, 0, sc, rng.Split("eval"))
 	if b.spaceSize == 0 {
 		return nil, errors.New("triangles: class 0 empty; workload too sparse")
 	}

@@ -45,15 +45,20 @@ type classification struct {
 
 // classesFor returns T_α[u,v]: the fine-block indices w with c_uvw = α.
 func (c *classification) classesFor(u, v, alpha int) []int {
-	var out []int
+	return c.appendClassesFor(nil, u, v, alpha)
+}
+
+// appendClassesFor appends T_α[u,v] to dst, the arena-friendly form used by
+// the evaluation builder.
+func (c *classification) appendClassesFor(dst []int, u, v, alpha int) []int {
 	s := c.pt.NumFine()
 	for w := 0; w < s; w++ {
 		ti := c.pt.TripleIndex(TripleLabel{U: u, V: v, W: w})
 		if c.classOf[ti] == alpha {
-			out = append(out, w)
+			dst = append(dst, w)
 		}
 	}
-	return out
+	return dst
 }
 
 // maxClassSize returns max over (u,v) of |T_α[u,v]|, the padded search
@@ -73,16 +78,19 @@ func (c *classification) maxClassSize(alpha int) int {
 
 // runIdentifyClass executes Figure 2 on the network. inst supplies S and
 // the pair weights; pl supplies the Step 1 leg tables.
-func runIdentifyClass(net *congest.Network, pt *Partitions, inst *Instance, pl *placement, params Params, rng *xrand.Source) (*classification, error) {
+func runIdentifyClass(net *congest.Network, pt *Partitions, inst *Instance, pl *placement, params Params, sc *Scratch, rng *xrand.Source) (*classification, error) {
 	n := pt.N()
 	prob := params.classSampleProb(n)
 	abortBound := params.classAbortBound(n)
 
-	// Step 1: each node u samples Λ(u) ⊆ {v : {u,v} ∈ S}.
-	var r []rPair
+	// Step 1: each node u samples Λ(u) ⊆ {v : {u,v} ∈ S}. The sample list
+	// and per-node streams come from the scratch — this loop used to be the
+	// pipeline's dominant object-allocation site (one PCG source per node
+	// per promise call).
+	r := sc.idPairs[:0]
 	maxWords := int64(0)
 	for u := 0; u < n; u++ {
-		nodeRng := rng.SplitN("identify-sample", u)
+		nodeRng := rng.SplitNInto(sc.sampleRng(), "identify-sample", u)
 		count := 0
 		var words int64
 		for v := 0; v < n; v++ {
@@ -112,17 +120,29 @@ func runIdentifyClass(net *congest.Network, pt *Partitions, inst *Instance, pl *
 			maxWords = words
 		}
 	}
+	sc.idPairs = r
 	// All nodes broadcast their Λ(u) (with weights) simultaneously; the
 	// phase costs the maximum per-node word count, Θ(log n).
 	if err := net.BroadcastAll("identifyclass/broadcast-R", maxWords); err != nil {
 		return nil, err
 	}
 
-	// Step 2: local counting at every triple node.
-	cls := &classification{pt: pt, classOf: make([]int, pt.NumTriples())}
+	// Step 2: local counting at every triple node. The class array is
+	// scratch-backed (every triple's entry is assigned below); the buckets
+	// keep their grown capacity across calls.
+	if cap(sc.classOf) < pt.NumTriples() {
+		sc.classOf = make([]int, pt.NumTriples())
+	}
+	cls := &classification{pt: pt, classOf: sc.classOf[:pt.NumTriples()]}
 	// Bucket R by (u,v) group to avoid rescanning all of R per triple.
 	q := pt.NumCoarse()
-	buckets := make([][]rPair, q*q)
+	if cap(sc.idBuckets) < q*q {
+		sc.idBuckets = make([][]rPair, q*q)
+	}
+	buckets := sc.idBuckets[:q*q]
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
 	for _, rp := range r {
 		bu := pt.CoarseOf(rp.a)
 		bv := pt.CoarseOf(rp.b)
@@ -153,7 +173,9 @@ func runIdentifyClass(net *congest.Network, pt *Partitions, inst *Instance, pl *
 
 	// Triple nodes announce their class to the √n search nodes of their
 	// (u,v) group: one word per (triple, x) pair, Lemma-1 balanced.
-	var loads []congest.Load
+	loadsBuf := getLoadBuf(pt.NumTriples() * s)
+	defer putLoadBuf(loadsBuf)
+	loads := *loadsBuf
 	for ti := range cls.classOf {
 		t := pt.TripleFromIndex(ti)
 		src := pt.TripleNode(t)
@@ -165,6 +187,7 @@ func runIdentifyClass(net *congest.Network, pt *Partitions, inst *Instance, pl *
 			loads = append(loads, congest.Load{Src: src, Dst: dst, Words: 1})
 		}
 	}
+	*loadsBuf = loads
 	if err := net.ChargeBalanced("identifyclass/announce-classes", loads); err != nil {
 		return nil, err
 	}

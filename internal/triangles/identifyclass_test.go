@@ -26,7 +26,7 @@ func identifySetup(t *testing.T, n int, seed uint64, edgeProb float64) (*congest
 		t.Fatal(err)
 	}
 	inst := &Instance{G: g}
-	pl, err := runPlacement(net, pt, inst.legs(), DataDirect)
+	pl, err := runPlacement(net, pt, inst.legs(), DataDirect, NewScratch())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func identifySetup(t *testing.T, n int, seed uint64, edgeProb float64) (*congest
 
 func TestIdentifyClassProducesClasses(t *testing.T) {
 	net, pt, inst, pl := identifySetup(t, 81, 3, 0.5)
-	cls, err := runIdentifyClass(net, pt, inst, pl, PaperParams(), xrand.New(1))
+	cls, err := runIdentifyClass(net, pt, inst, pl, PaperParams(), NewScratch(), xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestIdentifyClassAccuracyAgainstDelta(t *testing.T) {
 	// experiment harness uses.
 	net, pt, inst, pl := identifySetup(t, 81, 9, 0.55)
 	_ = net
-	cls, err := runIdentifyClass(congestMust(t, 81), pt, inst, pl, PaperParams(), xrand.New(4))
+	cls, err := runIdentifyClass(congestMust(t, 81), pt, inst, pl, PaperParams(), NewScratch(), xrand.New(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestIdentifyClassAbort(t *testing.T) {
 	params := PaperParams()
 	params.ClassSample = 1e9 // select everything
 	params.ClassAbort = 1e-9 // abort immediately
-	_, err := runIdentifyClass(net, pt, inst, pl, params, xrand.New(2))
+	_, err := runIdentifyClass(net, pt, inst, pl, params, NewScratch(), xrand.New(2))
 	var ia *IdentifyAbortError
 	if !errors.As(err, &ia) {
 		t.Fatalf("err = %v, want IdentifyAbortError", err)
@@ -134,7 +134,7 @@ func TestIdentifyClassAbort(t *testing.T) {
 func TestIdentifyClassEmptyS(t *testing.T) {
 	net, pt, inst, pl := identifySetup(t, 16, 6, 0.5)
 	inst.S = map[graph.Pair]bool{} // empty S: nothing sampled, all class 0
-	cls, err := runIdentifyClass(net, pt, inst, pl, PaperParams(), xrand.New(3))
+	cls, err := runIdentifyClass(net, pt, inst, pl, PaperParams(), NewScratch(), xrand.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestDeltaSizeMatchesGamma(t *testing.T) {
 	}
 	net := congestMust(t, 16)
 	inst := &Instance{G: g}
-	pl, err := runPlacement(net, pt, inst.legs(), DataDirect)
+	pl, err := runPlacement(net, pt, inst.legs(), DataDirect, NewScratch())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,23 +49,35 @@ const (
 	sideWV congest.Word = 2
 )
 
-// runPlacement executes (or charges) Step 1 on the network.
-func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, mode DataMode) (*placement, error) {
+// runPlacement executes (or charges) Step 1 on the network. The weight
+// tables, message headers and payload words all come from reusable storage
+// (the scratch and the network's payload arena): Step 1 runs once per
+// promise call, and its buffers were the largest single-phase allocations
+// of the pipeline.
+func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, mode DataMode, sc *Scratch) (*placement, error) {
 	pl := &placement{pt: pt, mode: mode, legs: legs}
 	q := pt.NumCoarse()
 	s := pt.NumFine()
 
 	if mode == DataFull {
 		// Carve every triple's weight tables out of one NoEdge-filled
-		// arena: two allocations for the whole step instead of two per
-		// triple label.
-		pl.data = make([]tripleData, pt.NumTriples())
+		// arena, both retained on the scratch across promise calls.
+		if cap(sc.plData) < pt.NumTriples() {
+			sc.plData = make([]tripleData, pt.NumTriples())
+		}
+		pl.data = sc.plData[:pt.NumTriples()]
 		totalCells := 0
 		for ti := range pl.data {
 			t := pt.TripleFromIndex(ti)
 			totalCells += len(pt.Coarse[t.U])*len(pt.Fine[t.W]) + len(pt.Fine[t.W])*len(pt.Coarse[t.V])
 		}
-		cells := newNoEdge(totalCells)
+		if cap(sc.plCells) < totalCells {
+			sc.plCells = make([]int64, totalCells)
+		}
+		cells := sc.plCells[:totalCells]
+		for i := range cells {
+			cells[i] = graph.NoEdge
+		}
 		for ti := range pl.data {
 			t := pt.TripleFromIndex(ti)
 			uw := len(pt.Coarse[t.U]) * len(pt.Fine[t.W])
@@ -115,7 +127,9 @@ func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, 
 
 	// Pre-size one word arena for every payload of the phase: the message
 	// count and sizes depend only on the partition shapes, so a single
-	// allocation replaces one slice per message.
+	// acquisition covers every slice. The words come from the network's
+	// epoch-stamped payload arena (recycled with the inboxes); the message
+	// headers are scratch-retained.
 	totalMsgs, totalWords := 0, 0
 	for u := 0; u < q; u++ {
 		for v := 0; v < q; v++ {
@@ -126,8 +140,11 @@ func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, 
 			}
 		}
 	}
-	arena := make([]congest.Word, 0, totalWords)
-	msgs := make([]congest.Message, 0, totalMsgs)
+	arena := net.AcquirePayload(totalWords)
+	if cap(sc.plMsgs) < totalMsgs {
+		sc.plMsgs = make([]congest.Message, 0, totalMsgs)
+	}
+	msgs := sc.plMsgs[:0]
 	emit := func(src, dst congest.NodeID, data []congest.Word) {
 		if src == dst {
 			// Local hand-off: the sender hosts the triple label itself.
@@ -165,6 +182,7 @@ func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, 
 		}
 	}
 
+	sc.plMsgs = msgs[:0]
 	inboxes, err := net.ExchangeBalanced("computepairs/step1-placement", msgs)
 	if err != nil {
 		return nil, fmt.Errorf("placement: %w", err)
@@ -177,14 +195,6 @@ func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, 
 		}
 	}
 	return pl, nil
-}
-
-func newNoEdge(n int) []int64 {
-	w := make([]int64, n)
-	for i := range w {
-		w[i] = graph.NoEdge
-	}
-	return w
 }
 
 func weightOrNoEdge(g *graph.Undirected, a, b int) int64 {

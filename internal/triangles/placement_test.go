@@ -51,7 +51,7 @@ func TestPlacementFullMatchesDirect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := runPlacement(netFull, pt, g, DataFull)
+		full, err := runPlacement(netFull, pt, g, DataFull, NewScratch())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func TestPlacementFullMatchesDirect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		direct, err := runPlacement(netDirect, pt, g, DataDirect)
+		direct, err := runPlacement(netDirect, pt, g, DataDirect, NewScratch())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +99,7 @@ func TestPlacementRoundsScaleAsQuarterPower(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := runPlacement(net, pt, g, DataDirect); err != nil {
+		if _, err := runPlacement(net, pt, g, DataDirect, NewScratch()); err != nil {
 			t.Fatal(err)
 		}
 		return net.Rounds()
@@ -117,7 +117,7 @@ func TestPlacementShortMessage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl, err := runPlacement(net, pt, g, DataFull)
+	pl, err := runPlacement(net, pt, g, DataFull, NewScratch())
 	if err != nil {
 		t.Fatal(err)
 	}

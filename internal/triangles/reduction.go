@@ -63,10 +63,20 @@ func FindEdges(inst Instance, opts Options) (*FindEdgesReport, error) {
 	}
 	params := opts.params()
 	rng := xrand.New(opts.Seed)
+	sc := opts.Scratch
+	if sc == nil {
+		sc = NewScratch()
+	}
+	opts.Scratch = sc // the promise calls below share the same workspace
 
 	// Working copy of S: nil means all pairs; materialize it so pairs can
-	// be removed as they are resolved.
-	s := make(map[graph.Pair]bool)
+	// be removed as they are resolved. The map is scratch-retained: cleared
+	// here, it keeps its bucket storage across the solve's FindEdges calls.
+	if sc.sWork == nil {
+		sc.sWork = make(map[graph.Pair]bool)
+	}
+	s := sc.sWork
+	clear(s)
 	if inst.S == nil {
 		for u := 0; u < n; u++ {
 			for v := u + 1; v < n; v++ {
@@ -106,12 +116,20 @@ func FindEdges(inst Instance, opts Options) (*FindEdgesReport, error) {
 		return nil
 	}
 
-	// Step 2: the while loop over sampling levels.
+	// Step 2: the while loop over sampling levels. One scratch-retained
+	// subgraph buffer backs every level's sampled legs: each level fully
+	// rewrites it, and the promise call consuming it completes before the
+	// next level samples.
 	for i := 0; params.reductionLoopActive(n, i); i++ {
 		prob := params.reductionProb(n, i)
 		legRng := rng.SplitN("legs", i)
-		legs := inst.G.Subgraph(func(u, v int) bool { return legRng.Bool(prob) })
-		if err := callPromise(legs, i); err != nil {
+		if sc.legs == nil || sc.legs.N() != n {
+			sc.legs = graph.NewUndirected(n)
+		}
+		if err := inst.G.SubgraphInto(sc.legs, func(u, v int) bool { return legRng.Bool(prob) }); err != nil {
+			return nil, err
+		}
+		if err := callPromise(sc.legs, i); err != nil {
 			return nil, err
 		}
 	}

@@ -4,7 +4,100 @@ import (
 	"sync"
 
 	"qclique/internal/congest"
+	"qclique/internal/graph"
+	"qclique/internal/qsearch"
+	"qclique/internal/xrand"
 )
+
+// Scratch is the reusable per-solve workspace of the triangles layer. The
+// full APSP pipeline makes hundreds of FindEdges calls per solve, and every
+// phase of ComputePairs used to rebuild its buffers per call — the covering
+// arenas, placement tables, truth-table rows and per-node RNG streams
+// dominated the solve's allocation profile. A Scratch threaded through
+// Options.Scratch retains all of them at their high-water mark, making the
+// steady-state promise call allocation-free.
+//
+// A Scratch is not safe for concurrent use: it mirrors the Network's
+// single-goroutine protocol contract (give each concurrent solve its own).
+// Every buffer is fully reinitialized before it is read, so runs with a
+// shared, a fresh, or no Scratch are bit-identical — the determinism tests
+// assert this.
+type Scratch struct {
+	// partitions cache: the same n recurs for every promise call of a solve.
+	parts *Partitions
+
+	// FindEdges (reduction.go): working pair set and sampled-legs subgraph.
+	sWork map[graph.Pair]bool
+	legs  *graph.Undirected
+
+	// Instance.sMask snapshot.
+	sMask []bool
+
+	// Step 1 placement: per-triple weight tables (DataFull) and the
+	// outgoing message headers.
+	plData  []tripleData
+	plCells []int64
+	plMsgs  []congest.Message
+
+	// IdentifyClass: broadcast sample, per-group buckets, class array, and
+	// the reseedable per-node sample stream.
+	idPairs   []rPair
+	idBuckets [][]rPair
+	classOf   []int
+	rngSample *xrand.Source
+
+	// Step 2 coverings: kept pairs/weights arenas, covering headers, the
+	// flattened instance list, and the sampler scratch.
+	covs         []Covering
+	pairsArena   []graph.Pair
+	weightsArena []int64
+	sampleBuf    []graph.Pair
+	perVertex    []int32
+	ownerCount   []int32
+	ownerTouched []int32
+	instances    []instanceRef
+
+	// Step 3 evaluation: class lists, row dedup jobs, and truth-table
+	// arenas.
+	classLists [][]int
+	classArena []int
+	jobs       []rowJob
+	assign     []int32
+	evalTouch  []int32
+	rows       [][]bool
+	rowArena   []bool
+	tables     [][]bool
+
+	// qs is the multi-search scratch handed to qsearch.MultiSearch.
+	qs qsearch.Scratch
+}
+
+// NewScratch returns an empty Scratch; buffers grow to their high-water
+// mark on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// partitions returns the Section 5.1 partitions for n, cached across calls
+// (a solve's promise calls all share one n).
+func (sc *Scratch) partitions(n int) (*Partitions, error) {
+	if sc.parts != nil && sc.parts.N() == n {
+		return sc.parts, nil
+	}
+	pt, err := NewPartitions(n)
+	if err != nil {
+		return nil, err
+	}
+	sc.parts = pt
+	return pt, nil
+}
+
+// sampleRng returns the reseedable scratch stream for per-node sampling
+// splits.
+func (sc *Scratch) sampleRng() *xrand.Source {
+	if sc.rngSample == nil {
+		sc.rngSample = xrand.New(0)
+	}
+	return sc.rngSample
+}
 
 // The protocol stack rebuilds its phase-local buffers once per promise call
 // — and the full APSP pipeline makes hundreds of promise calls, so those

@@ -354,7 +354,9 @@ func DistanceProduct(a, b [][]int64, opts ...Option) (*ProductResult, error) {
 	n := c.N()
 	rows := make([][]int64, n)
 	for i := range rows {
-		rows[i] = c.Row(i)
+		// c is local to this call, so handing out aliasing views transfers
+		// ownership of its backing storage to the result.
+		rows[i] = c.RowView(i)
 	}
 	return &ProductResult{C: rows, Rounds: rounds}, nil
 }
