@@ -1,0 +1,103 @@
+package qclique
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestApproxPublicAPI drives both approximate strategies through the
+// public façade and the cached Solver, checking the stretch contract and
+// that epsilon participates in the solver's cache identity.
+func TestApproxPublicAPI(t *testing.T) {
+	const n = 10
+	g := NewDigraph(n)
+	for i := 0; i < n; i++ {
+		w := int64(1 + i%4)
+		if err := g.SetArc(i, (i+1)%n, w); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.SetArc((i+1)%n, i, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	exact, err := SolveAPSP(g, WithParams(ScaledConstants), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.GuaranteedStretch != 1 || exact.ObservedStretch != 1 || exact.Epsilon != 0 {
+		t.Errorf("exact solve stretch fields: %+v", exact)
+	}
+
+	for _, strat := range []Strategy{ApproxQuantum, ApproxSkeleton} {
+		res, err := SolveAPSP(g, WithStrategy(strat), WithParams(ScaledConstants), WithSeed(1), WithEpsilon(0.5))
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if res.ObservedStretch < 1 || res.ObservedStretch > res.GuaranteedStretch {
+			t.Errorf("%v: observed %v outside [1, %v]", strat, res.ObservedStretch, res.GuaranteedStretch)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if res.Dist[i][j] < exact.Dist[i][j] {
+					t.Fatalf("%v: d(%d,%d) = %d undercuts exact %d", strat, i, j, res.Dist[i][j], exact.Dist[i][j])
+				}
+			}
+		}
+	}
+
+	if _, err := SolveAPSP(g, WithStrategy(ApproxQuantum)); err == nil {
+		t.Error("approx strategy without WithEpsilon must fail")
+	}
+	if _, err := SolveAPSP(g, WithEpsilon(0.5)); err == nil {
+		t.Error("WithEpsilon on the exact default must fail")
+	}
+
+	solver := NewSolver(WithStrategy(ApproxQuantum), WithParams(ScaledConstants), WithEpsilon(0.5))
+	r1, err := solver.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Error("first solver call reported cached")
+	}
+	r2, err := solver.Solve(g, WithEpsilon(0.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cached {
+		t.Error("different epsilon must not share a cache entry")
+	}
+	r3, err := solver.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Cached {
+		t.Error("same epsilon must hit the cache")
+	}
+
+	// Path reconstruction refuses approximate results with a dedicated
+	// error rather than walking snapped distances into a wrong path.
+	if _, _, err := solver.ShortestPath(g, 0, 3); !errors.Is(err, ErrApproxPaths) {
+		t.Errorf("Solver.ShortestPath under approx strategy: err = %v, want ErrApproxPaths", err)
+	}
+	if _, err := ShortestPath(g, r3, 0, 3); !errors.Is(err, ErrApproxPaths) {
+		t.Errorf("ShortestPath on approx result: err = %v, want ErrApproxPaths", err)
+	}
+}
+
+// TestUndefinedDistanceExported pins the public error value against a
+// hand-assembled result carrying a −∞ region.
+func TestUndefinedDistanceExported(t *testing.T) {
+	g := NewDigraph(2)
+	if err := g.SetArc(0, 1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetArc(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := &APSPResult{Dist: [][]int64{{-Inf, -Inf}, {-Inf, -Inf}}}
+	if _, err := ShortestPath(g, res, 0, 1); !errors.Is(err, ErrUndefinedDistance) {
+		t.Errorf("ShortestPath over a −∞ region: err = %v, want ErrUndefinedDistance", err)
+	}
+}

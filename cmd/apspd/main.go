@@ -11,6 +11,14 @@
 //	POST /graphs/{id}/paths:batch  {"queries":[{"src":0,"dst":3},…]}
 //	GET  /metrics                  per-strategy cache and round accounting
 //
+// Solve-bearing requests additionally accept "epsilon" with the
+// approximate strategies ("approx-quantum" for 1+ε, "approx-skeleton" for
+// 2+ε); their responses carry the guaranteed and observed stretch.
+// Distances use null for unreachable pairs and an explicit "undefined"
+// marker for −∞ (negative-cycle) entries; graphs a strategy cannot answer
+// (negative cycles, or negative/asymmetric weights under an approximate
+// strategy) solve to 422.
+//
 // Identical graphs hash to the same id, so a re-upload plus re-solve of an
 // unchanged graph performs zero simulator rounds. -selftest starts the
 // daemon on an ephemeral port, drives the full client flow against it and
@@ -235,7 +243,107 @@ func selftest(cfg serve.Config) error {
 		}
 	}
 
-	// 5. Metrics: the whole flow must have run the simulator exactly once.
+	// 5. Approximate solve: upload a nonnegative variant, solve with the
+	// (1+ε) chain, and check the contract — stretch fields present,
+	// observed within the guarantee, distances bounding the exact answers
+	// from above.
+	gApprox := qclique.NewDigraph(n)
+	var approxArcs []map[string]any
+	for i := 0; i < n; i++ {
+		w := int64(2 + i%5)
+		if err := gApprox.SetArc(i, (i+1)%n, w); err != nil {
+			return err
+		}
+		approxArcs = append(approxArcs, map[string]any{"u": i, "v": (i + 1) % n, "w": w})
+	}
+	wantApprox, err := qclique.SolveAPSP(gApprox,
+		qclique.WithParams(qclique.ScaledConstants),
+		qclique.WithSeed(seed))
+	if err != nil {
+		return fmt.Errorf("approx reference solve: %w", err)
+	}
+	var putApprox struct {
+		ID string `json:"id"`
+	}
+	if err := call(http.MethodPut, "/graphs", map[string]any{"n": n, "arcs": approxArcs}, &putApprox); err != nil {
+		return err
+	}
+	const eps = 0.5
+	var approxSolve struct {
+		Epsilon           float64 `json:"epsilon"`
+		GuaranteedStretch float64 `json:"guaranteed_stretch"`
+		ObservedStretch   float64 `json:"observed_stretch"`
+	}
+	approxBody := map[string]any{"strategy": "approx-quantum", "preset": "scaled", "seed": seed, "epsilon": eps}
+	if err := call(http.MethodPost, "/graphs/"+putApprox.ID+"/solve", approxBody, &approxSolve); err != nil {
+		return err
+	}
+	if approxSolve.Epsilon != eps || approxSolve.GuaranteedStretch != 1+eps {
+		return fmt.Errorf("approx solve echoed epsilon=%v guarantee=%v, want %v and %v",
+			approxSolve.Epsilon, approxSolve.GuaranteedStretch, eps, 1+eps)
+	}
+	if approxSolve.ObservedStretch < 1 || approxSolve.ObservedStretch > approxSolve.GuaranteedStretch {
+		return fmt.Errorf("observed stretch %v outside [1, %v]", approxSolve.ObservedStretch, approxSolve.GuaranteedStretch)
+	}
+	var approxDist struct {
+		Dist [][]*int64 `json:"dist"`
+	}
+	q = fmt.Sprintf("/graphs/%s/dist?strategy=approx-quantum&preset=scaled&seed=%d&epsilon=%v", putApprox.ID, seed, eps)
+	if err := call(http.MethodGet, q, nil, &approxDist); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w := wantApprox.Dist[i][j]
+			got := approxDist.Dist[i][j]
+			switch {
+			case w >= qclique.Inf:
+				if got != nil {
+					return fmt.Errorf("approx d(%d,%d) = %d, want null", i, j, *got)
+				}
+			case got == nil:
+				return fmt.Errorf("approx d(%d,%d) = null, want ≤ %v", i, j, float64(w)*(1+eps))
+			case *got < w || float64(*got) > float64(w)*(1+eps):
+				return fmt.Errorf("approx d(%d,%d) = %d outside [%d, %v]", i, j, *got, w, float64(w)*(1+eps))
+			}
+		}
+	}
+
+	// 6. Undefined inputs: a negative 2-cycle must solve to 422 at every
+	// solve-bearing endpoint, not to fabricated numbers.
+	cyc := map[string]any{"n": 2, "arcs": []map[string]any{
+		{"u": 0, "v": 1, "w": -1}, {"u": 1, "v": 0, "w": 0},
+	}}
+	var putCyc struct {
+		ID string `json:"id"`
+	}
+	if err := call(http.MethodPut, "/graphs", cyc, &putCyc); err != nil {
+		return err
+	}
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodPost, "/graphs/" + putCyc.ID + "/solve"},
+		{http.MethodPost, "/graphs/" + putCyc.ID + "/paths:batch"},
+	} {
+		var buf bytes.Buffer
+		body := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed}
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+		req, err := http.NewRequest(probe.method, base+probe.path, &buf)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			return fmt.Errorf("%s on a negative cycle: status %d, want 422", probe.path, resp.StatusCode)
+		}
+	}
+
+	// 7. Metrics: the main flow must have run the exact simulator exactly once.
 	var stats struct {
 		Strategies map[string]struct {
 			Solves        int64 `json:"solves"`

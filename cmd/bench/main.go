@@ -1,7 +1,9 @@
-// Command bench runs the E1–E3 benchmark workloads (the paper's headline
+// Command bench runs the E1–E4 benchmark workloads (the paper's headline
 // measurements: full quantum APSP pipeline, FindEdgesWithPromise sweep,
-// truncated multi-search) and emits a machine-readable JSON report with
-// ns/op, rounds/op and allocation counts per configuration, so the
+// truncated multi-search, and the approximate-APSP frontier comparing the
+// (1+ε) chain and (2+ε) skeleton against the exact pipeline on shared
+// graphs) and emits a machine-readable JSON report with ns/op, rounds/op,
+// observed stretch and allocation counts per configuration, so the
 // performance trajectory is tracked across PRs:
 //
 //	go run ./cmd/bench -label "PR 2" -out BENCH_1.json
@@ -47,14 +49,18 @@ import (
 // not.
 const roundsSeed = 0
 
-// Result is one benchmark configuration's measurement.
+// Result is one benchmark configuration's measurement. StretchPerOp is the
+// accuracy column of the approximate configurations: the observed max
+// stretch against the exact reference at the pinned seed (0 for exact
+// workloads, where accuracy is not a variable).
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	RoundsPerOp float64 `json:"rounds_per_op,omitempty"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	RoundsPerOp  float64 `json:"rounds_per_op,omitempty"`
+	StretchPerOp float64 `json:"stretch_per_op,omitempty"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
 }
 
 // Report is the emitted document.
@@ -68,11 +74,12 @@ type Report struct {
 }
 
 // benchConfig is one measurable configuration: run executes the workload
-// once under a seed and returns the simulated round count, which is
-// deterministic seed-for-seed.
+// once under a seed and returns the simulated round count plus the
+// observed stretch (0 for exact workloads); both are deterministic
+// seed-for-seed.
 type benchConfig struct {
 	name string
-	run  func(seed uint64) (int64, error)
+	run  func(seed uint64) (rounds int64, stretch float64, err error)
 }
 
 func benchDigraph(n int) (*graph.Digraph, error) {
@@ -91,6 +98,23 @@ func benchTriangleGraph(n int) (*graph.Undirected, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// benchNonnegDigraph is the E4 workload: the E1 density with nonnegative
+// weights, the input class the approximate strategies accept, so exact and
+// approximate pipelines can be compared on the same graph.
+func benchNonnegDigraph(n int) (*graph.Digraph, error) {
+	return graph.RandomDigraph(n, graph.DigraphOpts{
+		ArcProb: 0.4, MinWeight: 0, MaxWeight: 8,
+	}, xrand.New(uint64(n)))
+}
+
+// benchSymmetricDigraph is the skeleton-strategy workload: sparse,
+// weight-symmetric, nonnegative.
+func benchSymmetricDigraph(n int) (*graph.Digraph, error) {
+	return graph.RandomSymmetricDigraph(n, graph.DigraphOpts{
+		ArcProb: 0.15, MinWeight: 1, MaxWeight: 20,
+	}, xrand.New(uint64(n)))
 }
 
 // e1Sizes mirrors BenchmarkE1APSPQuantum; quick mode drops the slow tail.
@@ -114,12 +138,12 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 		}
 		configs = append(configs, benchConfig{
 			name: fmt.Sprintf("E1APSPQuantum/n=%d", n),
-			run: func(seed uint64) (int64, error) {
+			run: func(seed uint64) (int64, float64, error) {
 				res, err := core.Solve(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Seed: seed})
 				if err != nil {
-					return 0, err
+					return 0, 0, err
 				}
-				return res.Rounds, nil
+				return res.Rounds, 0, nil
 			},
 		})
 	}
@@ -136,12 +160,12 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 			}
 			configs = append(configs, benchConfig{
 				name: fmt.Sprintf("E1APSPQuantum/n=%d/workers=4", n),
-				run: func(seed uint64) (int64, error) {
+				run: func(seed uint64) (int64, float64, error) {
 					res, err := core.Solve(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Seed: seed, Workers: 4})
 					if err != nil {
-						return 0, err
+						return 0, 0, err
 					}
-					return res.Rounds, nil
+					return res.Rounds, 0, nil
 				},
 			})
 		}
@@ -155,14 +179,67 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 		}
 		configs = append(configs, benchConfig{
 			name: fmt.Sprintf("E2FindEdgesPromise/n=%d", n),
-			run: func(seed uint64) (int64, error) {
+			run: func(seed uint64) (int64, float64, error) {
 				r, err := triangles.FindEdgesWithPromise(triangles.Instance{G: g}, triangles.Options{
 					Seed: seed, Params: &params, Data: triangles.DataDirect,
 				})
 				if err != nil {
-					return 0, err
+					return 0, 0, err
 				}
-				return r.Rounds, nil
+				return r.Rounds, 0, nil
+			},
+		})
+	}
+
+	// E4: the approximate-APSP frontier. Exact quantum and the (1+ε)
+	// approximate chain run on the same nonnegative graph so rounds/op is
+	// an apples-to-apples comparison (the gate additionally requires the
+	// approximate chain to win — see approxWinFailures); the (2+ε)
+	// skeleton runs on its symmetric workload. ε = 0.5 throughout.
+	const e4Epsilon = 0.5
+	e4Sizes := []int{32, 64, 128}
+	if quick {
+		e4Sizes = []int{32}
+	}
+	for _, n := range e4Sizes {
+		g, err := benchNonnegDigraph(n)
+		if err != nil {
+			return nil, err
+		}
+		configs = append(configs,
+			benchConfig{
+				name: fmt.Sprintf("E4APSPQuantumNonneg/n=%d", n),
+				run: func(seed uint64) (int64, float64, error) {
+					res, err := core.Solve(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Seed: seed})
+					if err != nil {
+						return 0, 0, err
+					}
+					return res.Rounds, 0, nil
+				},
+			},
+			benchConfig{
+				name: fmt.Sprintf("E4APSPApproxQuantum/n=%d/eps=0.5", n),
+				run: func(seed uint64) (int64, float64, error) {
+					res, err := core.Solve(g, core.Config{Strategy: core.StrategyApproxQuantum, Params: &params, Seed: seed, Epsilon: e4Epsilon})
+					if err != nil {
+						return 0, 0, err
+					}
+					return res.Rounds, res.ObservedStretch, nil
+				},
+			},
+		)
+		gs, err := benchSymmetricDigraph(n)
+		if err != nil {
+			return nil, err
+		}
+		configs = append(configs, benchConfig{
+			name: fmt.Sprintf("E4APSPApproxSkeleton/n=%d/eps=0.5", n),
+			run: func(seed uint64) (int64, float64, error) {
+				res, err := core.Solve(gs, core.Config{Strategy: core.StrategyApproxSkeleton, Seed: seed, Epsilon: e4Epsilon})
+				if err != nil {
+					return 0, 0, err
+				}
+				return res.Rounds, res.ObservedStretch, nil
 			},
 		})
 	}
@@ -180,21 +257,21 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 		base := xrand.New(uint64(m))
 		configs = append(configs, benchConfig{
 			name: fmt.Sprintf("E3MultiSearch/m=%d", m),
-			run: func(seed uint64) (int64, error) {
+			run: func(seed uint64) (int64, float64, error) {
 				nw, err := congest.NewNetwork(size)
 				if err != nil {
-					return 0, err
+					return 0, 0, err
 				}
 				res, err := qsearch.MultiSearch(nw, qsearch.Spec{
 					SpaceSize: size, Instances: m, Eval: qsearch.LocalEval(tables, 1), Beta: beta,
 				}, base.SplitN("i", int(seed)))
 				if err != nil {
-					return 0, err
+					return 0, 0, err
 				}
 				if !res.AllFound() {
-					return 0, fmt.Errorf("search failed")
+					return 0, 0, fmt.Errorf("search failed")
 				}
-				return nw.Rounds(), nil
+				return nw.Rounds(), 0, nil
 			},
 		})
 	}
@@ -207,17 +284,19 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 // rounds measurement — no separate warm-up run.
 func measure(cfg benchConfig) (Result, error) {
 	var rounds int64
+	var stretch float64
 	var benchErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			rr, err := cfg.run(uint64(i))
+			rr, st, err := cfg.run(uint64(i))
 			if err != nil {
 				benchErr = err
 				b.Fatal(err)
 			}
 			if uint64(i) == roundsSeed {
 				rounds = rr
+				stretch = st
 			}
 		}
 	})
@@ -225,12 +304,13 @@ func measure(cfg benchConfig) (Result, error) {
 		return Result{}, fmt.Errorf("%s: %w", cfg.name, benchErr)
 	}
 	return Result{
-		Name:        cfg.name,
-		Iterations:  r.N,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		RoundsPerOp: float64(rounds),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
+		Name:         cfg.name,
+		Iterations:   r.N,
+		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+		RoundsPerOp:  float64(rounds),
+		StretchPerOp: stretch,
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		AllocsPerOp:  r.AllocsPerOp(),
 	}, nil
 }
 
@@ -282,6 +362,12 @@ func compareReports(baseline, current *Report, maxSlowdown, maxAllocGrowth float
 					"if intended, regenerate the baseline", cur.Name, cur.RoundsPerOp, b.RoundsPerOp))
 			continue
 		}
+		if cur.StretchPerOp != b.StretchPerOp {
+			failures = append(failures, fmt.Sprintf(
+				"%s: stretch/op %v != baseline %v — the approximate pipeline's accuracy changed; "+
+					"if intended, regenerate the baseline", cur.Name, cur.StretchPerOp, b.StretchPerOp))
+			continue
+		}
 		ratio := cur.NsPerOp / b.NsPerOp
 		if ratio > maxSlowdown {
 			failures = append(failures, fmt.Sprintf(
@@ -309,6 +395,36 @@ func compareReports(baseline, current *Report, maxSlowdown, maxAllocGrowth float
 		}
 	}
 	return failures, log
+}
+
+// approxWinFailures enforces the approximate-frontier invariant on a
+// measured report: wherever an E4 exact/approx pair was measured on the
+// same graph, the (1+ε) chain must charge strictly fewer rounds than the
+// exact pipeline — the round-count win is the point of the strategy, so
+// losing it is a regression even if every pinned number still matches.
+func approxWinFailures(rep *Report) []string {
+	rounds := make(map[string]float64, len(rep.Benchmarks))
+	for _, r := range rep.Benchmarks {
+		rounds[r.Name] = r.RoundsPerOp
+	}
+	var failures []string
+	for name, exact := range rounds {
+		var n int
+		if _, err := fmt.Sscanf(name, "E4APSPQuantumNonneg/n=%d", &n); err != nil {
+			continue
+		}
+		approxName := fmt.Sprintf("E4APSPApproxQuantum/n=%d/eps=0.5", n)
+		approx, ok := rounds[approxName]
+		if !ok {
+			continue
+		}
+		if approx >= exact {
+			failures = append(failures, fmt.Sprintf(
+				"%s: rounds/op %.0f is not strictly below the exact pipeline's %.0f (%s) — the approximate chain lost its round win",
+				approxName, approx, exact, name))
+		}
+	}
+	return failures
 }
 
 func loadReport(path string) (*Report, error) {
@@ -410,6 +526,17 @@ func main() {
 		}
 	}
 
+	// The approximate-frontier invariant holds on every measured report —
+	// including plain -out runs, so a baseline that lost the round win can
+	// never be committed in the first place.
+	if failures := approxWinFailures(rep); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		fmt.Fprintf(os.Stderr, "bench: %d approximate-frontier regression(s)\n", len(failures))
+		os.Exit(1)
+	}
+
 	if baseline != nil {
 		failures, log := compareReports(baseline, rep, *maxSlowdown, *maxAllocGrowth, *quick)
 		for _, line := range log {
@@ -422,7 +549,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench: %d regression(s) against %s\n", len(failures), *check)
 			os.Exit(1)
 		}
-		fmt.Printf("bench: %d benchmarks match %s (rounds exact, ns/op within %.2fx, allocs/op within %.2fx)\n",
+		fmt.Printf("bench: %d benchmarks match %s (rounds exact, stretch exact, ns/op within %.2fx, allocs/op within %.2fx)\n",
 			len(rep.Benchmarks), *check, *maxSlowdown, *maxAllocGrowth)
 	}
 }

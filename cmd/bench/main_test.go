@@ -33,16 +33,16 @@ func TestRoundsDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := configs[0]
-	a, err := cfg.run(roundsSeed)
+	a, sa, err := cfg.run(roundsSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := cfg.run(roundsSeed)
+	b, sb, err := cfg.run(roundsSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
-		t.Fatalf("%s: rounds %d then %d at the same seed", cfg.name, a, b)
+	if a != b || sa != sb {
+		t.Fatalf("%s: (rounds, stretch) = (%d, %v) then (%d, %v) at the same seed", cfg.name, a, sa, b, sb)
 	}
 }
 
@@ -120,6 +120,54 @@ func TestCompareReportsMissingEntries(t *testing.T) {
 	)
 	if failures, _ := compareReports(base, cur2, 2.5, 1.5, false); len(failures) != 0 {
 		t.Fatalf("new benchmarks must not fail the gate, got %v", failures)
+	}
+}
+
+func TestCompareReportsFailsOnStretchDeviation(t *testing.T) {
+	base := report(Result{Name: "E4APSPApproxQuantum/n=32/eps=0.5", NsPerOp: 100, RoundsPerOp: 500, StretchPerOp: 1.05})
+	cur := report(Result{Name: "E4APSPApproxQuantum/n=32/eps=0.5", NsPerOp: 100, RoundsPerOp: 500, StretchPerOp: 1.06})
+	failures, _ := compareReports(base, cur, 2.5, 1.5, false)
+	if len(failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the stretch deviation", failures)
+	}
+}
+
+func TestApproxWinFailures(t *testing.T) {
+	winning := report(
+		Result{Name: "E4APSPQuantumNonneg/n=64", RoundsPerOp: 500},
+		Result{Name: "E4APSPApproxQuantum/n=64/eps=0.5", RoundsPerOp: 400},
+	)
+	if failures := approxWinFailures(winning); len(failures) != 0 {
+		t.Fatalf("winning report flagged: %v", failures)
+	}
+	losing := report(
+		Result{Name: "E4APSPQuantumNonneg/n=64", RoundsPerOp: 500},
+		Result{Name: "E4APSPApproxQuantum/n=64/eps=0.5", RoundsPerOp: 500},
+	)
+	if failures := approxWinFailures(losing); len(failures) != 1 {
+		t.Fatalf("losing report not flagged: %v", failures)
+	}
+	// Unpaired entries are not an error (quick mode measures a subset).
+	unpaired := report(Result{Name: "E4APSPApproxQuantum/n=128/eps=0.5", RoundsPerOp: 9})
+	if failures := approxWinFailures(unpaired); len(failures) != 0 {
+		t.Fatalf("unpaired entry flagged: %v", failures)
+	}
+}
+
+func TestE4WorkloadConstructors(t *testing.T) {
+	g, err := benchNonnegDigraph(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasNegativeArc() {
+		t.Error("E4 workload must be nonnegative")
+	}
+	gs, err := benchSymmetricDigraph(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gs.IsSymmetric() || gs.HasNegativeArc() {
+		t.Error("E4 skeleton workload must be symmetric and nonnegative")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"qclique/internal/approx"
 	"qclique/internal/congest"
 	"qclique/internal/distprod"
 	"qclique/internal/graph"
@@ -37,6 +38,18 @@ const (
 	// StrategyGossip is the naive baseline: every node broadcasts its row
 	// (O(n) rounds) and solves locally.
 	StrategyGossip
+	// StrategyApproxQuantum is the (1+ε)-approximate squaring chain: the
+	// quantum pipeline with every distance product snapped onto a geometric
+	// value ladder, cutting the per-product binary-search depth from
+	// ⌈log₂(4M+2)⌉ to ⌈log₂(ladder length)⌉ FindEdges calls. Requires
+	// nonnegative weights and Config.Epsilon > 0.
+	StrategyApproxQuantum
+	// StrategyApproxSkeleton is the (2+ε) skeleton strategy in the spirit
+	// of Censor-Hillel et al. (arXiv:1903.05956): exact k-nearest balls, a
+	// sampled-and-patched skeleton solved on the (1+ε/2) ladder, estimates
+	// combined through skeleton hubs. Requires a weight-symmetric
+	// nonnegative graph and Config.Epsilon > 0.
+	StrategyApproxSkeleton
 )
 
 func (s Strategy) String() string {
@@ -49,9 +62,19 @@ func (s Strategy) String() string {
 		return "dolev"
 	case StrategyGossip:
 		return "gossip"
+	case StrategyApproxQuantum:
+		return "approx-quantum"
+	case StrategyApproxSkeleton:
+		return "approx-skeleton"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
+}
+
+// IsApproximate reports whether the strategy trades exactness for rounds
+// (and therefore requires Config.Epsilon > 0).
+func (s Strategy) IsApproximate() bool {
+	return s == StrategyApproxQuantum || s == StrategyApproxSkeleton
 }
 
 // ErrNegativeCycle mirrors graph.ErrNegativeCycle at the solver level.
@@ -70,6 +93,12 @@ type Config struct {
 	// work); <= 0 selects GOMAXPROCS. Dist and Rounds are identical for
 	// every setting — parallelism only changes wall-clock time.
 	Workers int
+	// Epsilon is the multiplicative stretch budget of the approximate
+	// strategies: StrategyApproxQuantum guarantees 1+ε, StrategyApproxSkeleton
+	// 2+ε. It must be > 0 for those strategies and 0 (unset) for the exact
+	// ones — epsilon is part of a result's identity, so silently ignoring
+	// it would alias distinct solves.
+	Epsilon float64
 	// Workspace optionally supplies reusable solve state so repeated solves
 	// (the serving layer's cache-miss path) skip the cold-start
 	// allocations. When nil, Solve builds a private workspace — the
@@ -123,6 +152,18 @@ type Result struct {
 	Strategy Strategy
 	// W is the input weight bound observed.
 	W int64
+	// Epsilon echoes Config.Epsilon (0 for exact strategies).
+	Epsilon float64
+	// GuaranteedStretch is the multiplicative stretch bound the strategy
+	// guarantees: 1 for the exact pipelines, 1+ε for StrategyApproxQuantum,
+	// 2+ε for StrategyApproxSkeleton.
+	GuaranteedStretch float64
+	// ObservedStretch is the measured maximum ratio of the returned
+	// distances over the centralized exact reference (1 for exact
+	// strategies, where the pipelines are validated elsewhere). Approximate
+	// solves always pay the O(n³) central reference run; it is the
+	// simulation's accuracy instrument, not a serving-path cost.
+	ObservedStretch float64
 }
 
 // Solve computes exact APSP distances for g. Graphs containing a negative
@@ -133,8 +174,27 @@ func Solve(g *graph.Digraph, cfg Config) (*Result, error) {
 	if g == nil {
 		return nil, errors.New("core: nil graph")
 	}
+	if cfg.strategy().IsApproximate() {
+		if !approx.ValidEpsilon(cfg.Epsilon) {
+			return nil, fmt.Errorf("core: strategy %v: %w (got %v)", cfg.strategy(), approx.ErrBadEpsilon, cfg.Epsilon)
+		}
+	} else if cfg.Epsilon != 0 {
+		return nil, fmt.Errorf("core: Epsilon is only valid for approximate strategies (got %v with %v)", cfg.Epsilon, cfg.strategy())
+	}
 	n := g.N()
-	res := &Result{Strategy: cfg.strategy(), W: g.MaxAbsWeight()}
+	res := &Result{
+		Strategy:          cfg.strategy(),
+		W:                 g.MaxAbsWeight(),
+		Epsilon:           cfg.Epsilon,
+		GuaranteedStretch: 1,
+		ObservedStretch:   1,
+	}
+	switch cfg.strategy() {
+	case StrategyApproxQuantum:
+		res.GuaranteedStretch = 1 + cfg.Epsilon
+	case StrategyApproxSkeleton:
+		res.GuaranteedStretch = 2 + cfg.Epsilon
+	}
 	if n == 0 {
 		res.Dist = matrix.New(0)
 		return res, nil
@@ -212,6 +272,58 @@ func Solve(g *graph.Digraph, cfg Config) (*Result, error) {
 		res.FindEdgesCalls = calls
 		res.Rounds = net.Rounds()
 		res.Metrics = net.Metrics()
+
+	case StrategyApproxQuantum:
+		if g.HasNegativeArc() {
+			return nil, approx.ErrNegativeWeight
+		}
+		// Same 3n-clique reduction substrate as the exact quantum pipeline;
+		// only the per-product search is ladder-indexed.
+		net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096))
+		if err != nil {
+			return nil, err
+		}
+		dist, st, err := approx.Chain(ag, approx.ChainOptions{
+			Epsilon: cfg.Epsilon,
+			Solver:  distprod.SolverQuantum,
+			Params:  cfg.Params,
+			Seed:    cfg.Seed,
+			Net:     net,
+			Workers: cfg.Workers,
+			DP:      ws.dp,
+			MX:      &ws.mx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Dist = dist
+		res.Products = st.Products
+		res.FindEdgesCalls = st.FindEdgesCalls
+		res.Rounds = net.Rounds()
+		res.Metrics = net.Metrics()
+		if res.ObservedStretch, err = approx.MeasureStretch(g, dist); err != nil {
+			return nil, err
+		}
+
+	case StrategyApproxSkeleton:
+		net, err := congest.NewNetwork(n)
+		if err != nil {
+			return nil, err
+		}
+		dist, _, err := approx.Skeleton(g, approx.SkeletonOptions{
+			Epsilon: cfg.Epsilon,
+			Seed:    cfg.Seed,
+			Net:     net,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Dist = dist
+		res.Rounds = net.Rounds()
+		res.Metrics = net.Metrics()
+		if res.ObservedStretch, err = approx.MeasureStretch(g, dist); err != nil {
+			return nil, err
+		}
 
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)

@@ -40,13 +40,19 @@ func NewPathOracle(g *graph.Digraph, dist *matrix.Matrix) (*PathOracle, error) {
 }
 
 // Dist returns d(src, dst) from the underlying matrix (graph.Inf for
-// unreachable pairs).
+// unreachable pairs). A −∞ entry — the negative-cycle region, where no
+// shortest distance exists — yields ErrUndefinedDistance rather than the
+// sentinel, so serving layers cannot mistake "undefined" for a number.
 func (o *PathOracle) Dist(src, dst int) (int64, error) {
 	n := o.g.N()
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return 0, fmt.Errorf("core: endpoints (%d,%d) out of range", src, dst)
 	}
-	return o.dist.At(src, dst), nil
+	d := o.dist.At(src, dst)
+	if d <= graph.NegInf {
+		return 0, ErrUndefinedDistance
+	}
+	return d, nil
 }
 
 // successors returns (building if needed) the successor array for dst: for
@@ -108,8 +114,9 @@ func (o *PathOracle) buildSuccessors(dst int) []int {
 }
 
 // Path returns one shortest path from src to dst (inclusive of both
-// endpoints). Unreachable pairs yield ErrNoPath; a matrix inconsistent
-// with the graph yields a descriptive error rather than a wrong path.
+// endpoints). Unreachable pairs yield ErrNoPath, pairs in the −∞ region
+// yield ErrUndefinedDistance; a matrix inconsistent with the graph yields
+// a descriptive error rather than a wrong path.
 func (o *PathOracle) Path(src, dst int) ([]int, error) {
 	n := o.g.N()
 	if src < 0 || src >= n || dst < 0 || dst >= n {
@@ -117,6 +124,12 @@ func (o *PathOracle) Path(src, dst int) ([]int, error) {
 	}
 	if o.dist.At(src, dst) >= graph.Inf {
 		return nil, ErrNoPath
+	}
+	if o.dist.At(src, dst) <= graph.NegInf {
+		// SaturatingAdd(w, −∞) == −∞ makes every arc into the −∞ region
+		// "tight": without this guard the successor walk would fabricate a
+		// path for a pair whose distance is undefined.
+		return nil, ErrUndefinedDistance
 	}
 	if src == dst {
 		return []int{src}, nil

@@ -20,6 +20,14 @@ import (
 // ErrNoPath is returned by ReconstructPath for unreachable pairs.
 var ErrNoPath = errors.New("core: no path")
 
+// ErrUndefinedDistance is returned for pairs whose distance is −∞ (the
+// negative-cycle region of a distance matrix): no shortest path exists, so
+// returning any vertex sequence would be fabrication. The guard matters
+// because SaturatingAdd(w, −∞) == −∞ makes every arc into the −∞ region
+// look "tight" — without it, path reconstruction happily walks into the
+// region and returns a bogus path.
+var ErrUndefinedDistance = errors.New("core: distance undefined (negative-cycle region)")
+
 // ReconstructPath returns one shortest path from src to dst as a vertex
 // sequence (inclusive of both endpoints), using the solved distance matrix
 // dist and the input graph g. It requires dist to be the exact APSP
@@ -35,6 +43,9 @@ func ReconstructPath(g *graph.Digraph, dist *matrix.Matrix, src, dst int) ([]int
 	}
 	if dist.At(src, dst) >= graph.Inf {
 		return nil, ErrNoPath
+	}
+	if dist.At(src, dst) <= graph.NegInf {
+		return nil, ErrUndefinedDistance
 	}
 	// An arc (u,k) is "tight" for destination dst when
 	// w(u,k) + d(k,dst) = d(u,dst); every shortest path consists solely of

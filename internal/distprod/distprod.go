@@ -15,6 +15,7 @@ package distprod
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"qclique/internal/congest"
 	"qclique/internal/graph"
@@ -76,6 +77,17 @@ type Options struct {
 	// scratch. When nil each call builds private state — identical results,
 	// more allocation. Not safe for concurrent use.
 	Workspace *Workspace
+	// Grid, when non-nil, switches the per-entry binary search from the
+	// exact value range [-M, M] to the given candidate ladder: each output
+	// entry is the smallest grid value >= the exact product entry (the
+	// (1+ε)-approximate product when the grid is a geometric ladder). The
+	// search then takes ⌈log₂ |grid ∩ [0,M]|⌉+1 FindEdges calls instead of
+	// ⌈log₂(4M+2)⌉+1 — the round-count win of the approximate pipeline.
+	// The grid must be sorted in strictly increasing order, start at a
+	// nonnegative value, and its last value must be >= the product's weight
+	// bound M; grid mode also requires nonnegative inputs (the rounding
+	// semantics are multiplicative).
+	Grid []int64
 }
 
 // Workspace is the reusable state of repeated Product calls. The static
@@ -301,10 +313,24 @@ func ProductInto(c *matrix.Matrix, a, b *matrix.Matrix, opts Options) (*Stats, e
 	if n == 0 {
 		return &Stats{}, nil
 	}
+	grid := opts.Grid
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if a.At(i, j) <= graph.NegInf || b.At(i, j) <= graph.NegInf {
 				return nil, errors.New("distprod: -Inf entries unsupported")
+			}
+			if grid != nil && (a.At(i, j) < 0 || b.At(i, j) < 0) {
+				return nil, errors.New("distprod: grid mode requires nonnegative inputs")
+			}
+		}
+	}
+	if grid != nil {
+		if len(grid) == 0 || grid[0] < 0 {
+			return nil, errors.New("distprod: grid must be nonempty and nonnegative")
+		}
+		for t := 1; t < len(grid); t++ {
+			if grid[t] <= grid[t-1] {
+				return nil, fmt.Errorf("distprod: grid not strictly increasing at index %d", t)
 			}
 		}
 	}
@@ -327,6 +353,33 @@ func ProductInto(c *matrix.Matrix, a, b *matrix.Matrix, opts Options) (*Stats, e
 
 	m := a.MaxAbsFinite() + b.MaxAbsFinite() // bound on |C[i,j]| for finite entries
 	stats := &Stats{MaxAbs: m}
+
+	// Grid mode searches candidate indices instead of values: gridTop is the
+	// first ladder index covering the weight bound, so every finite product
+	// entry has its snap-up target inside grid[0..gridTop].
+	var gridTop int64
+	var zeroDiag bool
+	if grid != nil {
+		idx := len(grid) - 1
+		if grid[idx] < m {
+			return nil, fmt.Errorf("distprod: grid top %d does not cover weight bound %d", grid[idx], m)
+		}
+		gridTop = int64(gridIdxAtLeast(grid, m))
+		// Squaring-chain monotonicity: when both inputs have a zero
+		// diagonal, C[i,j] ≤ A[i,j] + B[j,j] = A[i,j] (and likewise B[i,j]),
+		// so each entry's search can start capped at its current value.
+		// Beyond halving depth for converged entries, this keeps the probe
+		// thresholds at or below the current distances — and the FindEdges
+		// cost of a probe tracks how many pairs sit under its threshold, so
+		// low probes are the cheap ones.
+		zeroDiag = true
+		for i := 0; i < n; i++ {
+			if a.At(i, i) != 0 || b.At(i, i) != 0 {
+				zeroDiag = false
+				break
+			}
+		}
+	}
 
 	// Build (or rebuild in place) the reduction instance once: the A/B legs
 	// never change across the binary search, only the threshold leg is
@@ -371,13 +424,26 @@ func ProductInto(c *matrix.Matrix, a, b *matrix.Matrix, opts Options) (*Stats, e
 	stats.BinarySearchSteps++
 
 	// Invariant: C[i,j] ∈ [lo, hi] for finite entries (lo/hi hold stale
-	// values elsewhere and are only read under the finite mask).
+	// values elsewhere and are only read under the finite mask). In grid
+	// mode lo/hi hold ladder *indices* and the invariant is that the
+	// snap-up target grid index lies in [lo, hi].
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if edges[graph.MakePair(i, n+j)] {
 				finite[i*n+j] = true
-				lo[i*n+j] = -m
-				hi[i*n+j] = m
+				if grid != nil {
+					top := gridTop
+					if zeroDiag {
+						if bound := min(a.At(i, j), b.At(i, j)); bound < m {
+							top = int64(gridIdxAtLeast(grid, bound))
+						}
+					}
+					lo[i*n+j] = 0
+					hi[i*n+j] = top
+				} else {
+					lo[i*n+j] = -m
+					hi[i*n+j] = m
+				}
 			}
 		}
 	}
@@ -405,7 +471,12 @@ func ProductInto(c *matrix.Matrix, a, b *matrix.Matrix, opts Options) (*Stats, e
 					continue
 				}
 				mid := floorMid(lo[idx], hi[idx])
-				d.Set(i, j, mid+1)
+				if grid != nil {
+					// Probe "C ≤ grid[mid]", i.e. C < grid[mid]+1.
+					d.Set(i, j, grid[mid]+1)
+				} else {
+					d.Set(i, j, mid+1)
+				}
 			}
 		}
 		ti, err := refresh(d)
@@ -439,12 +510,22 @@ func ProductInto(c *matrix.Matrix, a, b *matrix.Matrix, opts Options) (*Stats, e
 		for j := 0; j < n; j++ {
 			idx := i*n + j
 			if finite[idx] {
-				c.Set(i, j, lo[idx])
+				if grid != nil {
+					c.Set(i, j, grid[lo[idx]])
+				} else {
+					c.Set(i, j, lo[idx])
+				}
 			}
 		}
 	}
 	stats.Rounds = net.DeltaSince(baseline).Rounds
 	return stats, nil
+}
+
+// gridIdxAtLeast returns the smallest index with grid[idx] >= v; the caller
+// guarantees the grid top covers v.
+func gridIdxAtLeast(grid []int64, v int64) int {
+	return sort.Search(len(grid), func(i int) bool { return grid[i] >= v })
 }
 
 func floorMid(lo, hi int64) int64 {

@@ -1,0 +1,146 @@
+package distprod
+
+// The grid-mode regression contract: a product computed over a candidate
+// ladder equals the exact product with every entry snapped up to the
+// ladder — bit for bit, for every solver, with and without zero diagonals
+// (the zero-diagonal case additionally exercises the per-entry upper-bound
+// capping of the index search).
+
+import (
+	"math"
+	"testing"
+
+	"qclique/internal/matrix"
+	"qclique/internal/xrand"
+)
+
+// testLadder builds {0} ∪ {⌊(1+eps)^t⌋} up to at least bound, the same
+// shape internal/approx feeds the product (duplicated here to keep the
+// package dependency-free).
+func testLadder(eps float64, bound int64) []int64 {
+	ladder := []int64{0}
+	last := int64(0)
+	for x := 1.0; last < bound; x *= 1 + eps {
+		if v := int64(math.Floor(x)); v > last {
+			ladder = append(ladder, v)
+			last = v
+		}
+	}
+	return ladder
+}
+
+func snapUp(v int64, ladder []int64) int64 {
+	lo, hi := 0, len(ladder)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ladder[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return ladder[lo]
+}
+
+// randomNonnegMatrix mirrors randomMatrix with nonnegative finite entries
+// and an optional zero diagonal.
+func randomNonnegMatrix(n int, maxW int64, infProb float64, zeroDiag bool, rng *xrand.Source) *matrix.Matrix {
+	m := matrix.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if zeroDiag && i == j {
+				m.Set(i, j, 0)
+				continue
+			}
+			if rng.Bool(infProb) {
+				continue
+			}
+			m.Set(i, j, rng.Int64N(maxW+1))
+		}
+	}
+	return m
+}
+
+func TestGridProductMatchesSnappedExact(t *testing.T) {
+	rng := xrand.New(9)
+	for _, solver := range []Solver{SolverDolev, SolverClassicalScan, SolverQuantum} {
+		for _, zeroDiag := range []bool{true, false} {
+			for trial := 0; trial < 2; trial++ {
+				r := rng.SplitN(solver.String(), trial*2+boolToInt(zeroDiag))
+				n := 4 + r.IntN(6)
+				a := randomNonnegMatrix(n, 20, 0.25, zeroDiag, r.Split("a"))
+				b := randomNonnegMatrix(n, 20, 0.25, zeroDiag, r.Split("b"))
+				ladder := testLadder(0.3, 64)
+
+				exact, err := matrix.DistanceProduct(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := matrix.New(n)
+				if err := matrix.SnapUpInto(want, exact, ladder); err != nil {
+					t.Fatal(err)
+				}
+				got, stats, err := Product(a, b, Options{Solver: solver, Seed: uint64(trial), Grid: ladder})
+				if err != nil {
+					t.Fatalf("%v zeroDiag=%v trial %d: %v", solver, zeroDiag, trial, err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("%v zeroDiag=%v trial %d: grid product differs from snapped exact\ngot:\n%v\nwant:\n%v",
+						solver, zeroDiag, trial, got, want)
+				}
+				if stats.BinarySearchSteps <= 0 {
+					t.Fatalf("%v: no search steps recorded", solver)
+				}
+			}
+		}
+	}
+}
+
+func TestGridProductValidation(t *testing.T) {
+	a := randomNonnegMatrix(4, 10, 0, true, xrand.New(1))
+	if _, _, err := Product(a, a, Options{Solver: SolverDolev, Grid: []int64{0, 5, 3}}); err == nil {
+		t.Error("unsorted grid must fail")
+	}
+	if _, _, err := Product(a, a, Options{Solver: SolverDolev, Grid: []int64{-1, 3}}); err == nil {
+		t.Error("negative grid must fail")
+	}
+	if _, _, err := Product(a, a, Options{Solver: SolverDolev, Grid: []int64{0, 1}}); err == nil {
+		t.Error("grid not covering the weight bound must fail")
+	}
+	neg := matrix.New(4)
+	neg.Fill(0)
+	neg.Set(0, 1, -3)
+	if _, _, err := Product(neg, neg, Options{Solver: SolverDolev, Grid: []int64{0, 1, 100}}); err == nil {
+		t.Error("negative inputs in grid mode must fail")
+	}
+	// The same negative input without a grid stays supported.
+	if _, _, err := Product(neg, neg, Options{Solver: SolverDolev}); err != nil {
+		t.Errorf("exact mode on negative inputs: %v", err)
+	}
+}
+
+// TestGridSearchNeverDeeperThanLadder pins the depth claim: the shared
+// index search converges within ⌈log₂(ladder length)⌉+1 FindEdges calls.
+func TestGridSearchNeverDeeperThanLadder(t *testing.T) {
+	rng := xrand.New(4)
+	a := randomNonnegMatrix(8, 50, 0.2, true, rng)
+	ladder := testLadder(0.4, 128)
+	_, stats, err := Product(a, a, Options{Solver: SolverDolev, Seed: 1, Grid: ladder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSteps := 1 // infinity probe
+	for l := 1; l < len(ladder); l *= 2 {
+		maxSteps++
+	}
+	if stats.BinarySearchSteps > maxSteps {
+		t.Errorf("grid search took %d steps for a %d-candidate ladder (max %d)", stats.BinarySearchSteps, len(ladder), maxSteps)
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

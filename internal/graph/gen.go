@@ -75,6 +75,36 @@ func RandomDigraph(n int, opts DigraphOpts, rng *xrand.Source) (*Digraph, error)
 	return g, nil
 }
 
+// RandomSymmetricDigraph generates an Erdős–Rényi style weight-symmetric
+// directed graph: each unordered pair {u,v} gets, with probability
+// opts.ArcProb, arcs in both directions with one shared weight drawn from
+// [MinWeight, MaxWeight]. It is the directed encoding of a weighted
+// undirected graph — the input class of the skeleton-based (2+ε)
+// approximation. NoNegativeCycles is ignored (callers wanting nonnegative
+// weights set MinWeight >= 0; any negative symmetric arc is already a
+// negative 2-cycle).
+func RandomSymmetricDigraph(n int, opts DigraphOpts, rng *xrand.Source) (*Digraph, error) {
+	if opts.MinWeight > opts.MaxWeight {
+		return nil, fmt.Errorf("graph: bad weight range [%d,%d]", opts.MinWeight, opts.MaxWeight)
+	}
+	g := NewDigraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !rng.Bool(opts.ArcProb) {
+				continue
+			}
+			w := opts.MinWeight + rng.Int64N(opts.MaxWeight-opts.MinWeight+1)
+			if err := g.SetArc(u, v, w); err != nil {
+				return nil, err
+			}
+			if err := g.SetArc(v, u, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
 // UndirectedOpts configures random undirected-graph generation.
 type UndirectedOpts struct {
 	// EdgeProb is the independent probability of each unordered edge.

@@ -140,6 +140,33 @@ func (g *Digraph) Clone() *Digraph {
 	return &Digraph{n: g.n, w: w}
 }
 
+// HasNegativeArc reports whether any arc has a negative weight. The
+// approximate pipelines reject such inputs: multiplicative stretch is
+// meaningful for nonnegative weights only.
+func (g *Digraph) HasNegativeArc() bool {
+	for _, w := range g.w {
+		if w != NoEdge && w < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSymmetric reports whether the graph is weight-symmetric: arc (u,v)
+// exists exactly when (v,u) does, with equal weight. Symmetric digraphs are
+// the directed encoding of weighted undirected graphs, the input class of
+// the skeleton-based approximation.
+func (g *Digraph) IsSymmetric() bool {
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.w[u*g.n+v] != g.w[v*g.n+u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // MaxAbsWeight returns the maximum absolute value among finite arc weights
 // (the W of the paper), or 0 for an arcless graph.
 func (g *Digraph) MaxAbsWeight() int64 {

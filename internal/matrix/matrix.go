@@ -11,6 +11,7 @@ package matrix
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"qclique/internal/graph"
@@ -338,6 +339,41 @@ func APSPBySquaringInto(ag *Matrix, prod ProductInto, ws *Workspace) (*Matrix, S
 	}
 	ws.Put(next)
 	return cur, stats, nil
+}
+
+// SnapUpInto writes src into dst with every finite entry rounded up to the
+// smallest ladder value that is >= it; +Inf entries pass through untouched.
+// The ladder must be sorted in strictly increasing order and its last value
+// must cover every finite entry of src. Negative entries are rejected —
+// multiplicative rounding is defined for nonnegative weights only.
+//
+// This is the matrix half of the (1+ε)-approximate distance product: a
+// product whose outputs are snapped onto a geometric value ladder equals
+// the exact product followed by SnapUpInto, and searching the ladder keeps
+// the per-entry binary search logarithmic in the ladder length instead of
+// in the weight bound (the regression tests pin the two formulations to
+// each other bit for bit).
+func SnapUpInto(dst, src *Matrix, ladder []int64) error {
+	if dst.n != src.n {
+		return fmt.Errorf("matrix: SnapUpInto dimension mismatch %d vs %d", dst.n, src.n)
+	}
+	if len(ladder) == 0 {
+		return fmt.Errorf("matrix: empty ladder")
+	}
+	for i, v := range src.a {
+		if v >= graph.Inf {
+			dst.a[i] = graph.Inf
+			continue
+		}
+		if v < 0 {
+			return fmt.Errorf("matrix: SnapUpInto on negative entry %d", v)
+		}
+		if v > ladder[len(ladder)-1] {
+			return fmt.Errorf("matrix: entry %d exceeds ladder top %d", v, ladder[len(ladder)-1])
+		}
+		dst.a[i] = ladder[sort.Search(len(ladder), func(i int) bool { return ladder[i] >= v })]
+	}
+	return nil
 }
 
 // HasNegativeDiagonal reports whether any diagonal entry is negative, the

@@ -1,0 +1,47 @@
+package matrix
+
+import (
+	"testing"
+
+	"qclique/internal/graph"
+)
+
+func TestSnapUpInto(t *testing.T) {
+	ladder := []int64{0, 1, 2, 3, 5, 7, 11}
+	src := New(2)
+	src.Set(0, 0, 0)
+	src.Set(0, 1, 4)
+	src.Set(1, 0, 7)
+	// (1,1) stays +Inf.
+	dst := New(2)
+	if err := SnapUpInto(dst, src, ladder); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		i, j int
+		want int64
+	}{{0, 0, 0}, {0, 1, 5}, {1, 0, 7}, {1, 1, graph.Inf}} {
+		if got := dst.At(tc.i, tc.j); got != tc.want {
+			t.Errorf("snapped (%d,%d) = %d, want %d", tc.i, tc.j, got, tc.want)
+		}
+	}
+}
+
+func TestSnapUpIntoRejects(t *testing.T) {
+	ladder := []int64{0, 1, 2}
+	if err := SnapUpInto(New(2), New(3), ladder); err == nil {
+		t.Error("dimension mismatch must fail")
+	}
+	src := New(1)
+	src.Set(0, 0, -1)
+	if err := SnapUpInto(New(1), src, ladder); err == nil {
+		t.Error("negative entry must fail")
+	}
+	src.Set(0, 0, 9)
+	if err := SnapUpInto(New(1), src, ladder); err == nil {
+		t.Error("entry beyond the ladder top must fail")
+	}
+	if err := SnapUpInto(New(1), New(1), nil); err == nil {
+		t.Error("empty ladder must fail")
+	}
+}

@@ -15,12 +15,16 @@ import (
 	"qclique/internal/graph"
 )
 
-// cacheKey is the full identity of a solve.
+// cacheKey is the full identity of a solve. epsilon is part of it: the
+// approximate strategies produce different distances (and rounds) per
+// epsilon, so two solves differing only in epsilon must never share an
+// entry.
 type cacheKey struct {
 	hash     string
 	strategy core.Strategy
 	preset   Preset
 	seed     uint64
+	epsilon  float64
 }
 
 // entry is one cached solve: the private graph clone the simulator ran on,

@@ -3,7 +3,10 @@ package serve
 // HTTP/JSON surface of the service, mounted by cmd/apspd and exercised
 // in-process by the e2e smoke tests. Distances use JSON null for
 // "unreachable" so clients never have to know the simulator's saturating
-// Inf sentinel.
+// Inf sentinel; −∞ entries (the negative-cycle region, where no shortest
+// distance exists) additionally carry an explicit "undefined" marker —
+// "no path" and "no answer" are different facts and the API keeps them
+// distinguishable.
 
 import (
 	"encoding/json"
@@ -12,6 +15,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"qclique/internal/approx"
 	"qclique/internal/core"
 	"qclique/internal/graph"
 )
@@ -57,9 +61,10 @@ func (gj GraphJSON) Digraph() (*graph.Digraph, error) {
 
 // solveParamsJSON selects a pipeline in solve-bearing request bodies.
 type solveParamsJSON struct {
-	Strategy string `json:"strategy,omitempty"`
-	Preset   string `json:"preset,omitempty"`
-	Seed     uint64 `json:"seed,omitempty"`
+	Strategy string  `json:"strategy,omitempty"`
+	Preset   string  `json:"preset,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
 }
 
 func (p solveParamsJSON) spec() (SolveSpec, error) {
@@ -71,28 +76,42 @@ func (p solveParamsJSON) spec() (SolveSpec, error) {
 	if err != nil {
 		return SolveSpec{}, err
 	}
-	return SolveSpec{Strategy: strat, Preset: preset, Seed: p.Seed}, nil
+	// Epsilon-vs-strategy consistency is checked once the full spec is
+	// assembled (query parameters can add epsilon after this point): the
+	// handlers validate explicitly or rely on Service.solve, and
+	// solveStatus maps ErrInvalidSpec to 400.
+	return SolveSpec{Strategy: strat, Preset: preset, Seed: p.Seed, Epsilon: p.Epsilon}, nil
 }
 
-// SolveJSON is the solve response.
+// SolveJSON is the solve response. The stretch fields are present for the
+// approximate strategies only: the guarantee is the contract (1+ε or 2+ε)
+// and observed is the measured maximum against the centralized exact
+// reference for this solve.
 type SolveJSON struct {
-	ID             string `json:"id"`
-	Strategy       string `json:"strategy"`
-	Preset         string `json:"preset"`
-	Seed           uint64 `json:"seed"`
-	Rounds         int64  `json:"rounds"`
-	Products       int    `json:"products"`
-	FindEdgesCalls int    `json:"find_edges_calls"`
-	Cached         bool   `json:"cached"`
+	ID                string  `json:"id"`
+	Strategy          string  `json:"strategy"`
+	Preset            string  `json:"preset"`
+	Seed              uint64  `json:"seed"`
+	Epsilon           float64 `json:"epsilon,omitempty"`
+	Rounds            int64   `json:"rounds"`
+	Products          int     `json:"products"`
+	FindEdgesCalls    int     `json:"find_edges_calls"`
+	GuaranteedStretch float64 `json:"guaranteed_stretch,omitempty"`
+	ObservedStretch   float64 `json:"observed_stretch,omitempty"`
+	Cached            bool    `json:"cached"`
 }
 
-// PathJSON is one answer in the paths:batch response.
+// PathJSON is one answer in the paths:batch response. Dist is null both
+// for unreachable pairs and for undefined ones; Undefined separates the
+// two (true means the pair sits in a −∞ region — no shortest distance
+// exists, as opposed to no path existing).
 type PathJSON struct {
-	Src   int    `json:"src"`
-	Dst   int    `json:"dst"`
-	Dist  *int64 `json:"dist"` // null when unreachable
-	Path  []int  `json:"path,omitempty"`
-	Error string `json:"error,omitempty"`
+	Src       int    `json:"src"`
+	Dst       int    `json:"dst"`
+	Dist      *int64 `json:"dist"` // null when unreachable or undefined
+	Undefined bool   `json:"undefined,omitempty"`
+	Path      []int  `json:"path,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // batchRequestJSON is the paths:batch request body.
@@ -167,11 +186,26 @@ func NewHandler(s *Service) http.Handler {
 			}
 			spec.Seed = seed
 		}
+		if v := r.URL.Query().Get("epsilon"); v != "" {
+			eps, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad epsilon: %w", err))
+				return
+			}
+			spec.Epsilon = eps
+		}
+		if err := spec.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
 		// Validate the query parameters against the stored graph BEFORE
 		// solving: a malformed request must cost a 400, not a full
-		// pipeline run charged to the metrics.
+		// pipeline run charged to the metrics. The shared store reference
+		// is fine here — the handler only reads the dimension (the public
+		// Service.Graph accessor clones, precisely so callers cannot
+		// poison the content-addressed store).
 		id := r.PathValue("id")
-		g, err := s.Graph(id)
+		g, err := s.store.get(id)
 		if err != nil {
 			httpError(w, solveStatus(err), err)
 			return
@@ -211,16 +245,28 @@ func NewHandler(s *Service) http.Handler {
 		switch {
 		case haveSrc && haveDst:
 			out["src"], out["dst"] = src, dst
-			out["dist"] = distOrNull(res.Res.Dist.At(src, dst))
+			v, undefined := distJSON(res.Res.Dist.At(src, dst))
+			out["dist"] = v
+			if undefined {
+				out["undefined"] = true
+			}
 		case haveSrc:
 			out["src"] = src
-			out["dist"] = rowJSON(res.Res.Dist.RowView(src))
+			row, undefined := rowJSON(res.Res.Dist.RowView(src), src, nil)
+			out["dist"] = row
+			if len(undefined) > 0 {
+				out["undefined"] = undefined
+			}
 		default:
 			rows := make([][]*int64, n)
+			var undefined [][2]int
 			for i := 0; i < n; i++ {
-				rows[i] = rowJSON(res.Res.Dist.RowView(i))
+				rows[i], undefined = rowJSON(res.Res.Dist.RowView(i), i, undefined)
 			}
 			out["dist"] = rows
+			if len(undefined) > 0 {
+				out["undefined"] = undefined
+			}
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
@@ -243,10 +289,17 @@ func NewHandler(s *Service) http.Handler {
 		}
 		out := make([]PathJSON, len(answers))
 		for i, a := range answers {
-			pj := PathJSON{Src: a.Src, Dst: a.Dst, Dist: distOrNull(a.Dist), Path: a.Path}
+			pj := PathJSON{Src: a.Src, Dst: a.Dst, Path: a.Path}
+			pj.Dist, pj.Undefined = distJSON(a.Dist)
 			if a.Err != nil {
+				// Per-query failures answer inside the batch (the rest of
+				// the batch is unaffected): unreachable pairs carry
+				// ErrNoPath, −∞ pairs carry ErrUndefinedDistance plus the
+				// undefined marker.
 				pj.Error = a.Err.Error()
 				pj.Dist = nil
+				pj.Path = nil
+				pj.Undefined = errors.Is(a.Err, core.ErrUndefinedDistance)
 			}
 			out[i] = pj
 		}
@@ -260,24 +313,36 @@ func NewHandler(s *Service) http.Handler {
 }
 
 func solveResponse(res *SolveResult, spec SolveSpec) SolveJSON {
-	return SolveJSON{
+	sj := SolveJSON{
 		ID:             res.GraphID,
 		Strategy:       spec.strategy().String(),
 		Preset:         spec.Preset.String(),
 		Seed:           spec.Seed,
+		Epsilon:        res.Res.Epsilon,
 		Rounds:         res.Res.Rounds,
 		Products:       res.Res.Products,
 		FindEdgesCalls: res.Res.FindEdgesCalls,
 		Cached:         res.Cached,
 	}
+	if res.Res.Epsilon > 0 {
+		sj.GuaranteedStretch = res.Res.GuaranteedStretch
+		sj.ObservedStretch = res.Res.ObservedStretch
+	}
+	return sj
 }
 
 // solveStatus maps solve errors to HTTP statuses: unknown graphs are 404,
-// undefined inputs (negative cycles) are 422, the rest 500.
+// malformed specs are 400, inputs the strategy cannot answer (negative
+// cycles; negative or asymmetric weights under an approximate strategy)
+// are 422, the rest 500.
 func solveStatus(err error) int {
 	switch {
-	case errors.Is(err, core.ErrNegativeCycle):
+	case errors.Is(err, core.ErrNegativeCycle),
+		errors.Is(err, approx.ErrNegativeWeight),
+		errors.Is(err, approx.ErrAsymmetric):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrInvalidSpec):
+		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownGraph):
 		return http.StatusNotFound
 	default:
@@ -285,19 +350,31 @@ func solveStatus(err error) int {
 	}
 }
 
-func distOrNull(d int64) *int64 {
-	if d >= graph.Inf || d <= graph.NegInf {
-		return nil
+// distJSON maps a distance entry to its JSON form: (nil, false) for +∞
+// (unreachable), (nil, true) for −∞ (undefined — the negative-cycle
+// region), (&d, false) otherwise.
+func distJSON(d int64) (*int64, bool) {
+	if d >= graph.Inf {
+		return nil, false
 	}
-	return &d
+	if d <= graph.NegInf {
+		return nil, true
+	}
+	return &d, false
 }
 
-func rowJSON(row []int64) []*int64 {
+// rowJSON converts row src of a distance matrix, appending any undefined
+// pairs (src, j) to undefined so the response can mark them explicitly.
+func rowJSON(row []int64, src int, undefined [][2]int) ([]*int64, [][2]int) {
 	out := make([]*int64, len(row))
-	for i, d := range row {
-		out[i] = distOrNull(d)
+	for j, d := range row {
+		var undef bool
+		out[j], undef = distJSON(d)
+		if undef {
+			undefined = append(undefined, [2]int{src, j})
+		}
 	}
-	return out
+	return out, undefined
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"qclique/internal/graph"
+)
+
+// TestHTTPNegativeCycle422 is the HTTP leg of the −∞ probe: a negative
+// 2-cycle must yield 422 (with an error body) on every solve-bearing
+// endpoint — no fabricated distances, no fabricated paths.
+func TestHTTPNegativeCycle422(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	var put struct {
+		ID string `json:"id"`
+	}
+	body := map[string]any{"n": 2, "arcs": []map[string]any{
+		{"u": 0, "v": 1, "w": -1}, {"u": 1, "v": 0, "w": 0},
+	}}
+	if resp := doJSON(t, srv, http.MethodPut, "/graphs", body, &put); resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	solve := map[string]any{"strategy": "gossip"}
+	for _, probe := range []struct {
+		method, path string
+		body         any
+	}{
+		{http.MethodPost, "/graphs/" + put.ID + "/solve", solve},
+		{http.MethodGet, "/graphs/" + put.ID + "/dist?strategy=gossip", nil},
+		{http.MethodPost, "/graphs/" + put.ID + "/paths:batch",
+			map[string]any{"strategy": "gossip", "queries": []map[string]int{{"src": 0, "dst": 1}}}},
+	} {
+		var e struct {
+			Error string `json:"error"`
+		}
+		resp := doJSON(t, srv, probe.method, probe.path, probe.body, &e)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s %s: status %d, want 422", probe.method, probe.path, resp.StatusCode)
+		}
+		if e.Error == "" {
+			t.Errorf("%s %s: missing error body", probe.method, probe.path)
+		}
+	}
+}
+
+// TestHTTPEpsilonValidation: epsilon/strategy mismatches are client errors
+// (400), detected before any pipeline runs.
+func TestHTTPEpsilonValidation(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	var put struct {
+		ID string `json:"id"`
+	}
+	body := map[string]any{"n": 3, "arcs": []map[string]any{{"u": 0, "v": 1, "w": 2}}}
+	doJSON(t, srv, http.MethodPut, "/graphs", body, &put)
+
+	for _, tc := range []struct {
+		name string
+		path string
+		body any
+	}{
+		{"epsilon on exact", "/graphs/" + put.ID + "/solve", map[string]any{"strategy": "gossip", "epsilon": 0.5}},
+		{"approx without epsilon", "/graphs/" + put.ID + "/solve", map[string]any{"strategy": "approx-quantum"}},
+		{"dist epsilon on exact", "/graphs/" + put.ID + "/dist?strategy=gossip&epsilon=0.5", nil},
+		{"dist bad epsilon", "/graphs/" + put.ID + "/dist?epsilon=nope", nil},
+	} {
+		method := http.MethodPost
+		if tc.body == nil {
+			method = http.MethodGet
+		}
+		resp := doJSON(t, srv, method, tc.path, tc.body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPApproxSolve: the approximate strategies work end-to-end over
+// HTTP, echo their stretch contract, and reject inputs outside their class
+// with 422.
+func TestHTTPApproxSolve(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	var put struct {
+		ID string `json:"id"`
+	}
+	arcs := []map[string]any{}
+	for i := 0; i < 8; i++ {
+		arcs = append(arcs, map[string]any{"u": i, "v": (i + 1) % 8, "w": 2 + i%3})
+	}
+	doJSON(t, srv, http.MethodPut, "/graphs", map[string]any{"n": 8, "arcs": arcs}, &put)
+
+	var solve SolveJSON
+	resp := doJSON(t, srv, http.MethodPost, "/graphs/"+put.ID+"/solve",
+		map[string]any{"strategy": "approx-quantum", "preset": "scaled", "epsilon": 0.5}, &solve)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("approx solve: status %d", resp.StatusCode)
+	}
+	if solve.Epsilon != 0.5 || solve.GuaranteedStretch != 1.5 {
+		t.Errorf("solve echoed epsilon=%v guarantee=%v", solve.Epsilon, solve.GuaranteedStretch)
+	}
+	if solve.ObservedStretch < 1 || solve.ObservedStretch > solve.GuaranteedStretch {
+		t.Errorf("observed stretch %v outside [1, %v]", solve.ObservedStretch, solve.GuaranteedStretch)
+	}
+
+	// The skeleton strategy rejects this (asymmetric) graph with 422.
+	var e struct {
+		Error string `json:"error"`
+	}
+	resp = doJSON(t, srv, http.MethodPost, "/graphs/"+put.ID+"/solve",
+		map[string]any{"strategy": "approx-skeleton", "preset": "scaled", "epsilon": 0.5}, &e)
+	if resp.StatusCode != http.StatusUnprocessableEntity || e.Error == "" {
+		t.Errorf("skeleton on asymmetric graph: status %d body %q, want 422", resp.StatusCode, e.Error)
+	}
+
+	// Path queries under an approximate strategy are a client error:
+	// snapped distances cannot be walked into tight-successor paths.
+	resp = doJSON(t, srv, http.MethodPost, "/graphs/"+put.ID+"/paths:batch",
+		map[string]any{"strategy": "approx-quantum", "preset": "scaled", "epsilon": 0.5,
+			"queries": []map[string]int{{"src": 0, "dst": 1}}}, &e)
+	if resp.StatusCode != http.StatusBadRequest || e.Error == "" {
+		t.Errorf("paths:batch under approx strategy: status %d body %q, want 400", resp.StatusCode, e.Error)
+	}
+}
+
+// TestHTTPBatchPerQueryErrors: unreachable pairs inside a batch answer
+// per-query with an error body while the rest of the batch succeeds.
+func TestHTTPBatchPerQueryErrors(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	// 0 → 1, and 2 isolated: (0,1) answers, (0,2) is a per-query no-path.
+	var put struct {
+		ID string `json:"id"`
+	}
+	doJSON(t, srv, http.MethodPut, "/graphs", map[string]any{
+		"n": 3, "arcs": []map[string]any{{"u": 0, "v": 1, "w": 5}},
+	}, &put)
+
+	var batch struct {
+		Results []PathJSON `json:"results"`
+	}
+	resp := doJSON(t, srv, http.MethodPost, "/graphs/"+put.ID+"/paths:batch", map[string]any{
+		"strategy": "gossip",
+		"queries":  []map[string]int{{"src": 0, "dst": 1}, {"src": 0, "dst": 2}},
+	}, &batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	if len(batch.Results) != 2 {
+		t.Fatalf("got %d results", len(batch.Results))
+	}
+	ok, missing := batch.Results[0], batch.Results[1]
+	if ok.Error != "" || ok.Dist == nil || *ok.Dist != 5 || len(ok.Path) != 2 {
+		t.Errorf("reachable query answered %+v", ok)
+	}
+	if missing.Error == "" || missing.Dist != nil || missing.Path != nil || missing.Undefined {
+		t.Errorf("unreachable query answered %+v, want per-query no-path error without undefined marker", missing)
+	}
+}
+
+// TestDistJSONUndefined pins the wire representation of the three distance
+// states: finite, unreachable (+∞), undefined (−∞).
+func TestDistJSONUndefined(t *testing.T) {
+	if v, undef := distJSON(7); v == nil || *v != 7 || undef {
+		t.Errorf("finite: (%v,%v)", v, undef)
+	}
+	if v, undef := distJSON(graph.Inf); v != nil || undef {
+		t.Errorf("unreachable: (%v,%v), want (nil,false)", v, undef)
+	}
+	if v, undef := distJSON(graph.NegInf); v != nil || !undef {
+		t.Errorf("undefined: (%v,%v), want (nil,true)", v, undef)
+	}
+	row, undefined := rowJSON([]int64{3, graph.Inf, graph.NegInf}, 4, nil)
+	if row[0] == nil || row[1] != nil || row[2] != nil {
+		t.Errorf("rowJSON values: %v", row)
+	}
+	if len(undefined) != 1 || undefined[0] != [2]int{4, 2} {
+		t.Errorf("rowJSON undefined pairs: %v", undefined)
+	}
+}

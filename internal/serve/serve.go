@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"qclique/internal/approx"
 	"qclique/internal/core"
 	"qclique/internal/graph"
 	"qclique/internal/par"
@@ -86,19 +87,43 @@ func ParseStrategy(s string) (core.Strategy, error) {
 		return core.StrategyDolev, nil
 	case "gossip":
 		return core.StrategyGossip, nil
+	case "approx-quantum":
+		return core.StrategyApproxQuantum, nil
+	case "approx-skeleton", "skeleton":
+		return core.StrategyApproxSkeleton, nil
 	default:
 		return 0, fmt.Errorf("serve: unknown strategy %q", s)
 	}
 }
 
+// ErrInvalidSpec marks solve specs that are malformed independent of any
+// graph (e.g. an epsilon on an exact strategy); the HTTP layer maps it to
+// 400 rather than 500.
+var ErrInvalidSpec = errors.New("serve: invalid solve spec")
+
+// ErrApproxPaths rejects path reconstruction against approximate solves:
+// the successor walk relies on exact tightness (w(u,k) + d(k,dst) ==
+// d(u,dst)), which ladder-snapped distances do not satisfy — once the
+// snap actually distorts a distance, no tight successor exists and the
+// only honest answers are "use an exact strategy" or a wrong path.
+// Distance queries against approximate solves remain fully supported. It
+// wraps ErrInvalidSpec, so the HTTP layer answers 400.
+var ErrApproxPaths = fmt.Errorf("%w: path reconstruction requires an exact strategy (approximate distances carry no tight-successor structure)", ErrInvalidSpec)
+
 // SolveSpec identifies one solve: everything that affects the simulator's
-// output. Workers is execution detail only (results are worker-invariant)
-// and is excluded from the cache identity.
+// output — including Epsilon, which changes both the distances and the
+// round trajectory of the approximate strategies and therefore must
+// participate in the cache identity. Workers is execution detail only
+// (results are worker-invariant) and is excluded.
 type SolveSpec struct {
 	Strategy core.Strategy // zero value selects quantum
 	Preset   Preset
 	Seed     uint64
-	Workers  int
+	// Epsilon is the stretch budget of the approximate strategies; it must
+	// be > 0 for those and 0 for the exact ones (Validate enforces this —
+	// silently ignoring it would alias distinct cache entries).
+	Epsilon float64
+	Workers int
 }
 
 func (s SolveSpec) strategy() core.Strategy {
@@ -108,8 +133,23 @@ func (s SolveSpec) strategy() core.Strategy {
 	return s.Strategy
 }
 
+// Validate rejects specs whose epsilon disagrees with the strategy class
+// or falls outside the supported [approx.MinEpsilon, approx.MaxEpsilon]
+// domain — before any pipeline (or unbounded ladder construction) runs.
+func (s SolveSpec) Validate() error {
+	if s.strategy().IsApproximate() {
+		if !approx.ValidEpsilon(s.Epsilon) {
+			return fmt.Errorf("%w: strategy %q requires epsilon in [%v, %v] (got %v)",
+				ErrInvalidSpec, s.strategy(), approx.MinEpsilon, approx.MaxEpsilon, s.Epsilon)
+		}
+	} else if s.Epsilon != 0 {
+		return fmt.Errorf("%w: epsilon %v is only valid for approximate strategies", ErrInvalidSpec, s.Epsilon)
+	}
+	return nil
+}
+
 func (s SolveSpec) key(hash string) cacheKey {
-	return cacheKey{hash: hash, strategy: s.strategy(), preset: s.Preset, seed: s.Seed}
+	return cacheKey{hash: hash, strategy: s.strategy(), preset: s.Preset, seed: s.Seed, epsilon: s.Epsilon}
 }
 
 // Config configures a Service.
@@ -167,9 +207,18 @@ func (s *Service) PutGraph(g *graph.Digraph) (string, error) {
 	return s.store.put(g), nil
 }
 
-// Graph returns the stored graph for id (shared reference; read-only).
+// Graph returns a private copy of the stored graph for id. The copy is
+// deliberate: the store is content-addressed and the solve cache keys
+// results by that content hash, so handing out the shared reference would
+// let one caller's SetArc silently desynchronize every cached result from
+// its id. The internal solve path keeps using the shared reference (it
+// never mutates).
 func (s *Service) Graph(id string) (*graph.Digraph, error) {
-	return s.store.get(id)
+	g, err := s.store.get(id)
+	if err != nil {
+		return nil, err
+	}
+	return g.Clone(), nil
 }
 
 // Solve solves the stored graph id under spec, consulting the cache first.
@@ -192,6 +241,9 @@ func (s *Service) SolveGraph(g *graph.Digraph, spec SolveSpec) (*SolveResult, er
 }
 
 func (s *Service) solve(id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	name := spec.strategy().String()
 	s.stats.request(name)
 	key := spec.key(id)
@@ -222,6 +274,7 @@ func (s *Service) solve(id string, g *graph.Digraph, spec SolveSpec) (*SolveResu
 			Strategy:  spec.strategy(),
 			Params:    spec.Preset.Params(),
 			Seed:      spec.Seed,
+			Epsilon:   spec.Epsilon,
 			Workers:   workers,
 			Workspace: ws,
 		})
@@ -277,6 +330,9 @@ type PathAnswer struct {
 // worker pool. Per-query failures land in the answer's Err; only
 // solve-level failures error the call.
 func (s *Service) PathsBatch(id string, spec SolveSpec, queries []PathQuery) ([]PathAnswer, *SolveResult, error) {
+	if spec.strategy().IsApproximate() {
+		return nil, nil, ErrApproxPaths
+	}
 	res, err := s.Solve(id, spec)
 	if err != nil {
 		return nil, nil, err
@@ -286,6 +342,9 @@ func (s *Service) PathsBatch(id string, spec SolveSpec, queries []PathQuery) ([]
 
 // PathsBatchGraph is PathsBatch for a directly-held graph.
 func (s *Service) PathsBatchGraph(g *graph.Digraph, spec SolveSpec, queries []PathQuery) ([]PathAnswer, *SolveResult, error) {
+	if spec.strategy().IsApproximate() {
+		return nil, nil, ErrApproxPaths
+	}
 	res, err := s.SolveGraph(g, spec)
 	if err != nil {
 		return nil, nil, err

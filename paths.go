@@ -6,10 +6,22 @@ import (
 
 	"qclique/internal/core"
 	"qclique/internal/matrix"
+	"qclique/internal/serve"
 )
 
 // ErrNoPath is returned by ShortestPath for unreachable pairs.
 var ErrNoPath = core.ErrNoPath
+
+// ErrUndefinedDistance is returned by path and distance queries for pairs
+// whose distance is −∞ (a negative-cycle region): no shortest path exists,
+// so no path is fabricated.
+var ErrUndefinedDistance = core.ErrUndefinedDistance
+
+// ErrApproxPaths is returned by path reconstruction against approximate
+// results: the successor walk relies on exact tightness, which
+// ladder-snapped distances do not satisfy. Ask an exact strategy for
+// paths; approximate solves answer distance queries only.
+var ErrApproxPaths = serve.ErrApproxPaths
 
 // ShortestPath reconstructs one shortest path from src to dst out of an
 // APSP result (footnote 1 of the paper: lengths extend to paths via the
@@ -20,6 +32,9 @@ var ErrNoPath = core.ErrNoPath
 func ShortestPath(g *Digraph, res *APSPResult, src, dst int) ([]int, error) {
 	if g == nil || res == nil {
 		return nil, errors.New("qclique: nil graph or result")
+	}
+	if res.Epsilon > 0 {
+		return nil, ErrApproxPaths
 	}
 	n := g.N()
 	if len(res.Dist) != n {

@@ -59,6 +59,18 @@ const (
 	// Gossip is the naive O(n)-round baseline: full adjacency gossip plus
 	// local computation.
 	Gossip
+	// ApproxQuantum is the (1+ε)-approximate quantum chain: every distance
+	// product is snapped onto a geometric value ladder, cutting the
+	// binary-search depth (and hence rounds) of every product. Requires
+	// nonnegative weights and WithEpsilon(ε > 0); distances satisfy
+	// d ≤ d̂ ≤ (1+ε)·d with reachability preserved exactly.
+	ApproxQuantum
+	// ApproxSkeleton is the (2+ε) skeleton strategy (after Censor-Hillel
+	// et al., arXiv:1903.05956): exact k-nearest balls, a sampled skeleton
+	// solved on the (1+ε/2) ladder, estimates combined through skeleton
+	// hubs. Requires a weight-symmetric nonnegative graph and
+	// WithEpsilon(ε > 0).
+	ApproxSkeleton
 )
 
 func (s Strategy) String() string {
@@ -71,6 +83,10 @@ func (s Strategy) String() string {
 		return "dolev-listing"
 	case Gossip:
 		return "gossip"
+	case ApproxQuantum:
+		return "approx-quantum"
+	case ApproxSkeleton:
+		return "approx-skeleton"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -84,6 +100,10 @@ func (s Strategy) toCore() core.Strategy {
 		return core.StrategyDolev
 	case Gossip:
 		return core.StrategyGossip
+	case ApproxQuantum:
+		return core.StrategyApproxQuantum
+	case ApproxSkeleton:
+		return core.StrategyApproxSkeleton
 	default:
 		return core.StrategyQuantum
 	}
@@ -108,6 +128,7 @@ type options struct {
 	strategy  Strategy
 	preset    ParamPreset
 	seed      uint64
+	epsilon   float64
 	workers   int
 	cacheSize int
 }
@@ -130,6 +151,15 @@ func WithSeed(seed uint64) Option {
 // WithParams selects the protocol-constant preset.
 func WithParams(p ParamPreset) Option {
 	return func(o *options) { o.preset = p }
+}
+
+// WithEpsilon sets the multiplicative stretch budget of the approximate
+// strategies (ApproxQuantum guarantees 1+ε, ApproxSkeleton 2+ε). It must
+// be > 0 with an approximate strategy and left unset with an exact one —
+// epsilon is part of a result's identity (it changes both distances and
+// rounds), so it is rejected rather than silently ignored.
+func WithEpsilon(eps float64) Option {
+	return func(o *options) { o.epsilon = eps }
 }
 
 // WithWorkers bounds the host-side parallelism used for node-local phases
@@ -230,6 +260,16 @@ type APSPResult struct {
 	// (or deduplicated onto a concurrent identical solve) instead of
 	// running the simulator; cached results charge zero new rounds.
 	Cached bool
+	// Epsilon echoes the stretch budget of an approximate solve (0 for
+	// exact strategies).
+	Epsilon float64
+	// GuaranteedStretch is the multiplicative bound the strategy
+	// guarantees: 1 (exact), 1+ε (ApproxQuantum), or 2+ε (ApproxSkeleton).
+	GuaranteedStretch float64
+	// ObservedStretch is the measured maximum ratio of the returned
+	// distances over the exact reference for this input (1 for exact
+	// strategies).
+	ObservedStretch float64
 
 	// dist retains the solver's distance matrix so path reconstruction
 	// (ShortestPath, Solver batch queries) skips the O(n²) rebuild from
@@ -247,6 +287,7 @@ func SolveAPSP(g *Digraph, opts ...Option) (*APSPResult, error) {
 		Strategy: o.strategy.toCore(),
 		Params:   o.params(),
 		Seed:     o.seed,
+		Epsilon:  o.epsilon,
 		Workers:  o.workers,
 	})
 	if err != nil {
@@ -258,12 +299,15 @@ func SolveAPSP(g *Digraph, opts ...Option) (*APSPResult, error) {
 		dist[i] = res.Dist.Row(i)
 	}
 	return &APSPResult{
-		Dist:           dist,
-		Rounds:         res.Rounds,
-		Products:       res.Products,
-		FindEdgesCalls: res.FindEdgesCalls,
-		Strategy:       o.strategy,
-		dist:           res.Dist,
+		Dist:              dist,
+		Rounds:            res.Rounds,
+		Products:          res.Products,
+		FindEdgesCalls:    res.FindEdgesCalls,
+		Strategy:          o.strategy,
+		Epsilon:           res.Epsilon,
+		GuaranteedStretch: res.GuaranteedStretch,
+		ObservedStretch:   res.ObservedStretch,
+		dist:              res.Dist,
 	}, nil
 }
 

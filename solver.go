@@ -48,6 +48,7 @@ func (o options) spec() serve.SolveSpec {
 		Strategy: o.strategy.toCore(),
 		Preset:   o.preset.servePreset(),
 		Seed:     o.seed,
+		Epsilon:  o.epsilon,
 		Workers:  o.workers,
 	}
 }
@@ -64,13 +65,16 @@ func resultFromServe(sr *serve.SolveResult, strategy Strategy) *APSPResult {
 		dist[i] = sr.Res.Dist.Row(i)
 	}
 	return &APSPResult{
-		Dist:           dist,
-		Rounds:         sr.Res.Rounds,
-		Products:       sr.Res.Products,
-		FindEdgesCalls: sr.Res.FindEdgesCalls,
-		Strategy:       strategy,
-		Cached:         sr.Cached,
-		dist:           sr.Res.Dist,
+		Dist:              dist,
+		Rounds:            sr.Res.Rounds,
+		Products:          sr.Res.Products,
+		FindEdgesCalls:    sr.Res.FindEdgesCalls,
+		Strategy:          strategy,
+		Cached:            sr.Cached,
+		Epsilon:           sr.Res.Epsilon,
+		GuaranteedStretch: sr.Res.GuaranteedStretch,
+		ObservedStretch:   sr.Res.ObservedStretch,
+		dist:              sr.Res.Dist,
 	}
 }
 
@@ -115,7 +119,8 @@ func (s *Solver) SSSP(g *Digraph, src int, opts ...Option) ([]int64, *APSPResult
 
 // ShortestPath returns one shortest path src→dst and its length, solving
 // (or reusing the cached solve of) g first. Unreachable pairs yield
-// ErrNoPath.
+// ErrNoPath. Approximate strategies yield ErrApproxPaths — snapped
+// distances carry no tight-successor structure to walk.
 func (s *Solver) ShortestPath(g *Digraph, src, dst int, opts ...Option) ([]int, int64, error) {
 	if s == nil || s.svc == nil {
 		return nil, 0, errors.New("qclique: use NewSolver")
@@ -124,6 +129,9 @@ func (s *Solver) ShortestPath(g *Digraph, src, dst int, opts ...Option) ([]int, 
 		return nil, 0, errors.New("qclique: nil graph")
 	}
 	o := s.merged(opts)
+	if o.strategy.toCore().IsApproximate() {
+		return nil, 0, ErrApproxPaths
+	}
 	sr, err := s.svc.SolveGraph(g.g, o.spec())
 	if err != nil {
 		return nil, 0, err
