@@ -2,10 +2,16 @@
 // selectable pipeline and prints the distance matrix together with the
 // simulated CONGEST-CLIQUE round report.
 //
+// The -strategy flag accepts any pipeline registered with the engine
+// (enumerated, not hand-maintained); "-strategy list" prints every
+// registered pipeline with its stretch guarantee. Approximate pipelines
+// additionally take -epsilon. "-stages" prints the engine's per-stage
+// round/wall-time breakdown of the solve.
+//
 // Usage:
 //
-//	apsp [-n 16] [-strategy quantum|classical|dolev|gossip] [-w 10]
-//	     [-p 0.4] [-seed 1] [-workload random|grid|road] [-print]
+//	apsp [-n 16] [-strategy quantum|list|…] [-epsilon 0.5] [-w 10]
+//	     [-p 0.4] [-seed 1] [-workload random|grid|road] [-print] [-stages]
 package main
 
 import (
@@ -29,40 +35,51 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("apsp", flag.ContinueOnError)
 	var (
 		n        = fs.Int("n", 16, "vertex count")
-		strategy = fs.String("strategy", "quantum", "quantum | classical | dolev | gossip")
+		strategy = fs.String("strategy", "quantum", "registered pipeline name, or \"list\" to enumerate them")
+		epsilon  = fs.Float64("epsilon", 0, "stretch budget for approximate strategies")
 		w        = fs.Int64("w", 10, "max |weight| (random workload)")
 		p        = fs.Float64("p", 0.4, "arc probability (random workload)")
 		seed     = fs.Uint64("seed", 1, "randomness seed")
 		workload = fs.String("workload", "random", "random | grid | road")
 		print    = fs.Bool("print", false, "print the distance matrix")
+		stages   = fs.Bool("stages", false, "print the per-stage round/wall-time breakdown")
 		scaled   = fs.Bool("scaled", true, "use the scaled protocol constants (paper constants otherwise)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var strat qclique.Strategy
-	switch *strategy {
-	case "quantum":
-		strat = qclique.Quantum
-	case "classical":
-		strat = qclique.ClassicalSearch
-	case "dolev":
-		strat = qclique.DolevListing
-	case "gossip":
-		strat = qclique.Gossip
-	default:
-		return fmt.Errorf("unknown strategy %q", *strategy)
+	if *strategy == "list" {
+		fmt.Print(qclique.FormatStrategyList())
+		return nil
+	}
+	strat, err := qclique.ParseStrategy(*strategy)
+	if err != nil {
+		return err
 	}
 
 	rng := xrand.New(*seed)
 	var inner *graph.Digraph
-	var err error
+	// Approximate pipelines accept nonnegative weights only (and the
+	// skeleton additionally requires weight symmetry), so shape the random
+	// workload to the selected pipeline's input class.
+	info, _ := qclique.StrategyInfoFor(strat)
 	switch *workload {
 	case "random":
-		inner, err = graph.RandomDigraph(*n, graph.DigraphOpts{
-			ArcProb: *p, MinWeight: -*w, MaxWeight: *w, NoNegativeCycles: true,
-		}, rng)
+		switch {
+		case info.Approximate && strat == qclique.ApproxSkeleton:
+			inner, err = graph.RandomSymmetricDigraph(*n, graph.DigraphOpts{
+				ArcProb: *p, MinWeight: 1, MaxWeight: *w,
+			}, rng)
+		case info.Approximate:
+			inner, err = graph.RandomDigraph(*n, graph.DigraphOpts{
+				ArcProb: *p, MinWeight: 0, MaxWeight: *w,
+			}, rng)
+		default:
+			inner, err = graph.RandomDigraph(*n, graph.DigraphOpts{
+				ArcProb: *p, MinWeight: -*w, MaxWeight: *w, NoNegativeCycles: true,
+			}, rng)
+		}
 	case "grid":
 		side := 1
 		for side*side < *n {
@@ -97,17 +114,34 @@ func run(args []string) error {
 	if *scaled {
 		preset = qclique.ScaledConstants
 	}
-	res, err := qclique.SolveAPSP(g,
+	solveOpts := []qclique.Option{
 		qclique.WithStrategy(strat),
 		qclique.WithSeed(*seed),
 		qclique.WithParams(preset),
-	)
+	}
+	if *epsilon != 0 {
+		solveOpts = append(solveOpts, qclique.WithEpsilon(*epsilon))
+	}
+	res, err := qclique.SolveAPSP(g, solveOpts...)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("strategy=%v n=%d rounds=%d products=%d findedges-calls=%d\n",
 		res.Strategy, g.N(), res.Rounds, res.Products, res.FindEdgesCalls)
+	if res.GuaranteedStretch > 1 {
+		fmt.Printf("stretch guaranteed=%g observed=%g\n", res.GuaranteedStretch, res.ObservedStretch)
+	}
+	if *stages {
+		fmt.Println("stage breakdown (rounds sum to total):")
+		for _, sg := range res.Stages {
+			if sg.Skipped {
+				fmt.Printf("  %-16s skipped\n", sg.Name)
+				continue
+			}
+			fmt.Printf("  %-16s rounds=%-10d words=%-12d wall=%v\n", sg.Name, sg.Rounds, sg.Words, sg.Wall)
+		}
+	}
 	if *print {
 		for i := range res.Dist {
 			for j, d := range res.Dist[i] {

@@ -343,23 +343,119 @@ func selftest(cfg serve.Config) error {
 		}
 	}
 
-	// 7. Metrics: the main flow must have run the exact simulator exactly once.
+	// 7. Deadline probe: a solve of a fresh (uncached) spec under a 1ms
+	// timeout must answer 503 — the pipeline checkpoints between stages
+	// and inside its loops — with the partial stage telemetry in the body;
+	// the same spec without a deadline must then succeed through the
+	// cache-miss path (the cancelled run cached nothing) and report a
+	// per-stage breakdown whose rounds sum to the total.
+	gDeadline := qclique.NewDigraph(24)
+	var deadlineArcs []map[string]any
+	for i := 0; i < 24; i++ {
+		for _, off := range []int{1, 3, 7} {
+			w := int64(1 + (i+off)%9)
+			if err := gDeadline.SetArc(i, (i+off)%24, w); err != nil {
+				return err
+			}
+			deadlineArcs = append(deadlineArcs, map[string]any{"u": i, "v": (i + off) % 24, "w": w})
+		}
+	}
+	var putDeadline struct {
+		ID string `json:"id"`
+	}
+	if err := call(http.MethodPut, "/graphs", map[string]any{"n": 24, "arcs": deadlineArcs}, &putDeadline); err != nil {
+		return err
+	}
+	deadlineBody := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed, "timeout_ms": 1}
+	{
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(deadlineBody); err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPost, base+"/graphs/"+putDeadline.ID+"/solve", &buf)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		var timedOut struct {
+			Error  string `json:"error"`
+			Stages []struct {
+				Name   string `json:"name"`
+				Rounds int64  `json:"rounds"`
+			} `json:"stages"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&timedOut)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return fmt.Errorf("1ms-deadline solve: status %d, want 503", resp.StatusCode)
+		}
+		if timedOut.Error == "" {
+			return fmt.Errorf("1ms-deadline solve: 503 without an error message")
+		}
+	}
+	var afterDeadline struct {
+		Rounds int64 `json:"rounds"`
+		Cached bool  `json:"cached"`
+		Stages []struct {
+			Name   string `json:"name"`
+			Rounds int64  `json:"rounds"`
+		} `json:"stages"`
+	}
+	retryBody := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed}
+	if err := call(http.MethodPost, "/graphs/"+putDeadline.ID+"/solve", retryBody, &afterDeadline); err != nil {
+		return err
+	}
+	if afterDeadline.Cached {
+		return fmt.Errorf("solve after the timed-out attempt reported cached; the cancelled run must not populate the cache")
+	}
+	var stageSum int64
+	for _, sg := range afterDeadline.Stages {
+		stageSum += sg.Rounds
+	}
+	if len(afterDeadline.Stages) == 0 || stageSum != afterDeadline.Rounds {
+		return fmt.Errorf("stage breakdown sums to %d over %d stages, want rounds %d", stageSum, len(afterDeadline.Stages), afterDeadline.Rounds)
+	}
+
+	// 8. Metrics: the main flow ran the exact simulator once, the deadline
+	// probe once more (its timed-out attempt counts as cancelled, not
+	// solved), and the per-stage rollup must agree with the charged rounds.
 	var stats struct {
 		Strategies map[string]struct {
 			Solves        int64 `json:"solves"`
 			CacheHits     int64 `json:"cache_hits"`
+			Cancelled     int64 `json:"cancelled"`
 			RoundsCharged int64 `json:"rounds_charged"`
+			Stages        map[string]struct {
+				Rounds int64 `json:"rounds"`
+			} `json:"stages"`
 		} `json:"strategies"`
 	}
 	if err := call(http.MethodGet, "/metrics", nil, &stats); err != nil {
 		return err
 	}
 	qs := stats.Strategies["quantum"]
-	if qs.Solves != 1 {
-		return fmt.Errorf("metrics report %d solves, want 1", qs.Solves)
+	if qs.Solves != 2 {
+		return fmt.Errorf("metrics report %d solves, want 2 (main flow + deadline retry)", qs.Solves)
 	}
-	if qs.RoundsCharged != want.Rounds {
-		return fmt.Errorf("metrics charged %d rounds, want %d", qs.RoundsCharged, want.Rounds)
+	if qs.Cancelled != 1 {
+		return fmt.Errorf("metrics report %d cancelled solves, want 1 (the 1ms-deadline attempt)", qs.Cancelled)
+	}
+	wantCharged := want.Rounds + afterDeadline.Rounds
+	if qs.RoundsCharged != wantCharged {
+		return fmt.Errorf("metrics charged %d rounds, want %d", qs.RoundsCharged, wantCharged)
+	}
+	var stageRollup int64
+	for _, sg := range qs.Stages {
+		stageRollup += sg.Rounds
+	}
+	if stageRollup != wantCharged {
+		return fmt.Errorf("per-stage metrics roll up to %d rounds, want %d", stageRollup, wantCharged)
 	}
 	return nil
 }

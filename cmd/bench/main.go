@@ -22,6 +22,10 @@
 // allocation count is nearly deterministic, so growth means a pooling
 // regression on the solve path).
 //
+// Every APSP workload additionally passes the stage-sum gate on every run:
+// the engine's per-stage round breakdown must sum exactly to rounds/op.
+// -stages adds that breakdown as a column in the emitted report.
+//
 // -cpuprofile / -memprofile write pprof profiles of the measurement run so
 // perf PRs can ship evidence alongside the report.
 package main
@@ -38,6 +42,7 @@ import (
 
 	"qclique/internal/congest"
 	"qclique/internal/core"
+	"qclique/internal/engine"
 	"qclique/internal/graph"
 	"qclique/internal/qsearch"
 	"qclique/internal/triangles"
@@ -52,15 +57,26 @@ const roundsSeed = 0
 // Result is one benchmark configuration's measurement. StretchPerOp is the
 // accuracy column of the approximate configurations: the observed max
 // stretch against the exact reference at the pinned seed (0 for exact
-// workloads, where accuracy is not a variable).
+// workloads, where accuracy is not a variable). Stages is the -stages
+// column: the engine's per-stage round breakdown at the pinned seed
+// (deterministic, like rounds); it is emitted only when -stages is set so
+// existing baselines stay byte-comparable, but the invariant that stage
+// rounds sum exactly to rounds/op is enforced on every run regardless.
 type Result struct {
-	Name         string  `json:"name"`
-	Iterations   int     `json:"iterations"`
-	NsPerOp      float64 `json:"ns_per_op"`
-	RoundsPerOp  float64 `json:"rounds_per_op,omitempty"`
-	StretchPerOp float64 `json:"stretch_per_op,omitempty"`
-	BytesPerOp   int64   `json:"bytes_per_op"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
+	Name         string       `json:"name"`
+	Iterations   int          `json:"iterations"`
+	NsPerOp      float64      `json:"ns_per_op"`
+	RoundsPerOp  float64      `json:"rounds_per_op,omitempty"`
+	StretchPerOp float64      `json:"stretch_per_op,omitempty"`
+	BytesPerOp   int64        `json:"bytes_per_op"`
+	AllocsPerOp  int64        `json:"allocs_per_op"`
+	Stages       []StageRound `json:"stages,omitempty"`
+}
+
+// StageRound is one stage's deterministic round charge at the pinned seed.
+type StageRound struct {
+	Name   string `json:"name"`
+	Rounds int64  `json:"rounds"`
 }
 
 // Report is the emitted document.
@@ -73,13 +89,41 @@ type Report struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// runOut is one workload execution's deterministic measurements: the
+// simulated round count, the observed stretch (0 for exact workloads) and
+// — for APSP workloads that run through the engine — the per-stage round
+// breakdown, whose sum the gate pins to the round total.
+type runOut struct {
+	rounds  int64
+	stretch float64
+	stages  []engine.StageStat
+}
+
 // benchConfig is one measurable configuration: run executes the workload
-// once under a seed and returns the simulated round count plus the
-// observed stretch (0 for exact workloads); both are deterministic
-// seed-for-seed.
+// once under a seed; every runOut field is deterministic seed-for-seed.
 type benchConfig struct {
 	name string
-	run  func(seed uint64) (rounds int64, stretch float64, err error)
+	run  func(seed uint64) (runOut, error)
+}
+
+// solveRun adapts a core solve into a bench workload. reportStretch
+// selects whether the observed stretch becomes the accuracy column (the
+// approximate configurations) or stays 0 (exact workloads, where accuracy
+// is not a variable).
+func solveRun(g *graph.Digraph, cfg core.Config, reportStretch bool) func(seed uint64) (runOut, error) {
+	return func(seed uint64) (runOut, error) {
+		c := cfg
+		c.Seed = seed
+		res, err := core.Solve(g, c)
+		if err != nil {
+			return runOut{}, err
+		}
+		out := runOut{rounds: res.Rounds, stages: res.Stages}
+		if reportStretch {
+			out.stretch = res.ObservedStretch
+		}
+		return out, nil
+	}
 }
 
 func benchDigraph(n int) (*graph.Digraph, error) {
@@ -138,13 +182,7 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 		}
 		configs = append(configs, benchConfig{
 			name: fmt.Sprintf("E1APSPQuantum/n=%d", n),
-			run: func(seed uint64) (int64, float64, error) {
-				res, err := core.Solve(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Seed: seed})
-				if err != nil {
-					return 0, 0, err
-				}
-				return res.Rounds, 0, nil
-			},
+			run:  solveRun(g, core.Config{Strategy: core.StrategyQuantum, Params: &params}, false),
 		})
 	}
 
@@ -160,13 +198,7 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 			}
 			configs = append(configs, benchConfig{
 				name: fmt.Sprintf("E1APSPQuantum/n=%d/workers=4", n),
-				run: func(seed uint64) (int64, float64, error) {
-					res, err := core.Solve(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Seed: seed, Workers: 4})
-					if err != nil {
-						return 0, 0, err
-					}
-					return res.Rounds, 0, nil
-				},
+				run:  solveRun(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Workers: 4}, false),
 			})
 		}
 	}
@@ -179,14 +211,14 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 		}
 		configs = append(configs, benchConfig{
 			name: fmt.Sprintf("E2FindEdgesPromise/n=%d", n),
-			run: func(seed uint64) (int64, float64, error) {
+			run: func(seed uint64) (runOut, error) {
 				r, err := triangles.FindEdgesWithPromise(triangles.Instance{G: g}, triangles.Options{
 					Seed: seed, Params: &params, Data: triangles.DataDirect,
 				})
 				if err != nil {
-					return 0, 0, err
+					return runOut{}, err
 				}
-				return r.Rounds, 0, nil
+				return runOut{rounds: r.Rounds}, nil
 			},
 		})
 	}
@@ -209,23 +241,11 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 		configs = append(configs,
 			benchConfig{
 				name: fmt.Sprintf("E4APSPQuantumNonneg/n=%d", n),
-				run: func(seed uint64) (int64, float64, error) {
-					res, err := core.Solve(g, core.Config{Strategy: core.StrategyQuantum, Params: &params, Seed: seed})
-					if err != nil {
-						return 0, 0, err
-					}
-					return res.Rounds, 0, nil
-				},
+				run:  solveRun(g, core.Config{Strategy: core.StrategyQuantum, Params: &params}, false),
 			},
 			benchConfig{
 				name: fmt.Sprintf("E4APSPApproxQuantum/n=%d/eps=0.5", n),
-				run: func(seed uint64) (int64, float64, error) {
-					res, err := core.Solve(g, core.Config{Strategy: core.StrategyApproxQuantum, Params: &params, Seed: seed, Epsilon: e4Epsilon})
-					if err != nil {
-						return 0, 0, err
-					}
-					return res.Rounds, res.ObservedStretch, nil
-				},
+				run:  solveRun(g, core.Config{Strategy: core.StrategyApproxQuantum, Params: &params, Epsilon: e4Epsilon}, true),
 			},
 		)
 		gs, err := benchSymmetricDigraph(n)
@@ -234,13 +254,7 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 		}
 		configs = append(configs, benchConfig{
 			name: fmt.Sprintf("E4APSPApproxSkeleton/n=%d/eps=0.5", n),
-			run: func(seed uint64) (int64, float64, error) {
-				res, err := core.Solve(gs, core.Config{Strategy: core.StrategyApproxSkeleton, Seed: seed, Epsilon: e4Epsilon})
-				if err != nil {
-					return 0, 0, err
-				}
-				return res.Rounds, res.ObservedStretch, nil
-			},
+			run:  solveRun(gs, core.Config{Strategy: core.StrategyApproxSkeleton, Epsilon: e4Epsilon}, true),
 		})
 	}
 
@@ -257,21 +271,21 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 		base := xrand.New(uint64(m))
 		configs = append(configs, benchConfig{
 			name: fmt.Sprintf("E3MultiSearch/m=%d", m),
-			run: func(seed uint64) (int64, float64, error) {
+			run: func(seed uint64) (runOut, error) {
 				nw, err := congest.NewNetwork(size)
 				if err != nil {
-					return 0, 0, err
+					return runOut{}, err
 				}
 				res, err := qsearch.MultiSearch(nw, qsearch.Spec{
 					SpaceSize: size, Instances: m, Eval: qsearch.LocalEval(tables, 1), Beta: beta,
 				}, base.SplitN("i", int(seed)))
 				if err != nil {
-					return 0, 0, err
+					return runOut{}, err
 				}
 				if !res.AllFound() {
-					return 0, 0, fmt.Errorf("search failed")
+					return runOut{}, fmt.Errorf("search failed")
 				}
-				return nw.Rounds(), 0, nil
+				return runOut{rounds: nw.Rounds()}, nil
 			},
 		})
 	}
@@ -281,40 +295,56 @@ func benchConfigs(quick bool) ([]benchConfig, error) {
 // measure records cfg's deterministic round count at the pinned seed plus
 // wall-clock/allocation statistics over varying seeds. The timing loop's
 // iteration i runs seed i, so iteration roundsSeed doubles as the pinned
-// rounds measurement — no separate warm-up run.
-func measure(cfg benchConfig) (Result, error) {
-	var rounds int64
-	var stretch float64
+// rounds measurement — no separate warm-up run. Workloads that report a
+// per-stage breakdown additionally pass through the stage-sum gate: the
+// stage rounds must sum exactly to rounds/op, every run, or the engine's
+// stage accounting has drifted from the network's.
+func measure(cfg benchConfig, withStages bool) (Result, error) {
+	var pinned runOut
 	var benchErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			rr, st, err := cfg.run(uint64(i))
+			out, err := cfg.run(uint64(i))
 			if err != nil {
 				benchErr = err
 				b.Fatal(err)
 			}
 			if uint64(i) == roundsSeed {
-				rounds = rr
-				stretch = st
+				pinned = out
 			}
 		}
 	})
 	if benchErr != nil {
 		return Result{}, fmt.Errorf("%s: %w", cfg.name, benchErr)
 	}
-	return Result{
+	if len(pinned.stages) > 0 {
+		if sum := engine.SumRounds(pinned.stages); sum != pinned.rounds {
+			return Result{}, fmt.Errorf("%s: per-stage rounds sum %d != rounds/op %d — the engine's stage accounting drifted from the network total",
+				cfg.name, sum, pinned.rounds)
+		}
+	}
+	res := Result{
 		Name:         cfg.name,
 		Iterations:   r.N,
 		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
-		RoundsPerOp:  float64(rounds),
-		StretchPerOp: stretch,
+		RoundsPerOp:  float64(pinned.rounds),
+		StretchPerOp: pinned.stretch,
 		BytesPerOp:   r.AllocedBytesPerOp(),
 		AllocsPerOp:  r.AllocsPerOp(),
-	}, nil
+	}
+	if withStages {
+		for _, sg := range pinned.stages {
+			if sg.Skipped {
+				continue
+			}
+			res.Stages = append(res.Stages, StageRound{Name: sg.Name, Rounds: sg.Rounds})
+		}
+	}
+	return res, nil
 }
 
-func buildReport(label string, quick bool) (*Report, error) {
+func buildReport(label string, quick, withStages bool) (*Report, error) {
 	rep := &Report{
 		Label:      label,
 		GoVersion:  runtime.Version(),
@@ -327,7 +357,7 @@ func buildReport(label string, quick bool) (*Report, error) {
 		return nil, err
 	}
 	for _, cfg := range configs {
-		res, err := measure(cfg)
+		res, err := measure(cfg, withStages)
 		if err != nil {
 			return nil, err
 		}
@@ -450,6 +480,7 @@ func main() {
 	out := flag.String("out", "", "write the JSON report to this path (default: stdout)")
 	label := flag.String("label", "dev", "label recorded in the report")
 	quick := flag.Bool("quick", false, "skip the slow large-n configurations")
+	stages := flag.Bool("stages", false, "include the per-stage round breakdown column in the report (the stage-sum gate runs regardless)")
 	check := flag.String("check", "", "compare against this baseline report and exit 1 on regression")
 	maxSlowdown := flag.Float64("max-slowdown", 2.5, "ns/op regression tolerance for -check")
 	maxAllocGrowth := flag.Float64("max-alloc-growth", 1.5, "allocs/op regression tolerance for -check")
@@ -485,7 +516,7 @@ func main() {
 		}()
 	}
 
-	rep, err := buildReport(*label, *quick)
+	rep, err := buildReport(*label, *quick, *stages)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)

@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"testing"
+
+	"qclique/internal/engine"
 )
 
 func TestWorkloadConstructors(t *testing.T) {
@@ -33,16 +35,44 @@ func TestRoundsDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := configs[0]
-	a, sa, err := cfg.run(roundsSeed)
+	a, err := cfg.run(roundsSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, sb, err := cfg.run(roundsSeed)
+	b, err := cfg.run(roundsSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b || sa != sb {
-		t.Fatalf("%s: (rounds, stretch) = (%d, %v) then (%d, %v) at the same seed", cfg.name, a, sa, b, sb)
+	if a.rounds != b.rounds || a.stretch != b.stretch {
+		t.Fatalf("%s: (rounds, stretch) = (%d, %v) then (%d, %v) at the same seed",
+			cfg.name, a.rounds, a.stretch, b.rounds, b.stretch)
+	}
+}
+
+// TestStageSumGate pins the new invariant behind the -stages column: for
+// every APSP workload, the engine's per-stage rounds sum exactly to the
+// round total — measure enforces it on every run.
+func TestStageSumGate(t *testing.T) {
+	configs, err := benchConfigs(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, cfg := range configs {
+		out, err := cfg.run(roundsSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.stages) == 0 {
+			continue
+		}
+		checked++
+		if sum := engine.SumRounds(out.stages); sum != out.rounds {
+			t.Errorf("%s: stage rounds sum %d != total %d", cfg.name, sum, out.rounds)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no workload reported stage telemetry; the stage-sum gate is vacuous")
 	}
 }
 

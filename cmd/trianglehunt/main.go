@@ -30,7 +30,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("trianglehunt", flag.ContinueOnError)
 	var (
 		n        = fs.Int("n", 81, "vertex count")
-		strategy = fs.String("strategy", "quantum", "quantum | classical | dolev")
+		strategy = fs.String("strategy", "quantum", "registered exact pipeline name (quantum | classical | dolev), or \"list\"")
 		planted  = fs.Int("planted", 4, "planted negative triangles")
 		seed     = fs.Uint64("seed", 1, "randomness seed")
 		list     = fs.Bool("list", false, "list the found edges")
@@ -38,16 +38,31 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var strat qclique.Strategy
-	switch *strategy {
-	case "quantum":
-		strat = qclique.Quantum
-	case "classical":
-		strat = qclique.ClassicalSearch
-	case "dolev":
-		strat = qclique.DolevListing
-	default:
-		return fmt.Errorf("unknown strategy %q", *strategy)
+	// FindEdges is a sub-problem of the search pipelines; enumerate the
+	// registry rather than hand-maintaining the name set, rejecting the
+	// strategies whose StrategyInfo carries no FindEdges role (the
+	// approximate ones are APSP-only, and gossip never solves FindEdges —
+	// it bypasses the whole triangle machinery with a broadcast).
+	if *strategy == "list" {
+		fmt.Println("registered strategies (findedges solvers drive this tool):")
+		for _, si := range qclique.Strategies() {
+			role := "findedges solver"
+			if !si.FindEdges {
+				role = "apsp-only"
+				if si.Approximate {
+					role = fmt.Sprintf("apsp-only (stretch %g+ε)", si.Guarantee(0))
+				}
+			}
+			fmt.Printf("  %-18s %s\n", si.Name, role)
+		}
+		return nil
+	}
+	strat, err := qclique.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	if info, ok := qclique.StrategyInfoFor(strat); !ok || !info.FindEdges {
+		return fmt.Errorf("strategy %q has no FindEdges role; pick a findedges solver from -strategy list", *strategy)
 	}
 
 	rng := xrand.New(*seed)

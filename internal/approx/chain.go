@@ -7,8 +7,16 @@ package approx
 // compounded stretch within the requested 1+ε. The payoff is the search
 // depth: each product spends ⌈log₂ |ladder ∩ [0,M]|⌉+1 FindEdges calls
 // instead of ⌈log₂(4M+2)⌉+1, and FindEdges calls are where the rounds go.
+//
+// The chain is factored into a chainRun so the same code backs both the
+// standalone Chain entry point and the staged engine pipeline (strategy
+// "approx-quantum"): prepare builds the ladder, square performs one
+// ladder-snapped product plus the fixpoint vote, and the driver — a plain
+// loop here, engine stages there — sequences them. One implementation, one
+// round trajectory.
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -57,6 +65,137 @@ type ChainStats struct {
 	ConvergedEarly bool
 }
 
+// chainRun is the mutable state of one (1+ε) chain: the ping-pong matrices
+// borrowed from the workspace, the shared ladder, and the convergence flag
+// the fixpoint vote sets.
+type chainRun struct {
+	opts   ChainOptions
+	ag     *matrix.Matrix
+	stats  *ChainStats
+	mx     *matrix.Workspace
+	rng    *xrand.Source
+	ladder []int64
+	n      int
+	budget int // P = ⌈log₂ n⌉ products
+
+	cur, next *matrix.Matrix
+	done      bool
+}
+
+// newChainRun validates the options; buffers are acquired by prepare.
+func newChainRun(ag *matrix.Matrix, opts ChainOptions) (*chainRun, error) {
+	if !ValidEpsilon(opts.Epsilon) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadEpsilon, opts.Epsilon)
+	}
+	if opts.Net == nil {
+		return nil, fmt.Errorf("approx: Chain requires a network")
+	}
+	mx := opts.MX
+	if mx == nil {
+		mx = &matrix.Workspace{}
+	}
+	return &chainRun{
+		opts:   opts,
+		ag:     ag,
+		stats:  &ChainStats{},
+		mx:     mx,
+		rng:    xrand.New(opts.Seed),
+		n:      ag.N(),
+		budget: matrix.SquaringBudget(ag.N()),
+	}, nil
+}
+
+// prepare builds the shared value ladder and checks the weight bound; for
+// n ≤ 1 the chain is trivially done after cloning the input.
+func (r *chainRun) prepare() error {
+	r.cur = r.mx.Get(r.n)
+	if err := r.ag.CloneInto(r.cur); err != nil {
+		return err
+	}
+	if r.n <= 1 {
+		r.done = true
+		return nil
+	}
+
+	// P products, each inflating by < 1+εstep; (1+εstep)^P = 1+ε.
+	r.stats.EpsilonStep = powRoot(1+r.opts.Epsilon, r.budget) - 1
+
+	// The ladder must cover every per-product weight bound M = 2·max
+	// finite entry; finite entries are walk distances, bounded by
+	// (n−1)·W inflated by the accumulated snap factor, which stays below
+	// the full 1+ε budget — hence the ⌈ε⌉ term, with an explicit overflow
+	// guard since weights may approach the sentinel range.
+	w := r.ag.MaxAbsFinite()
+	factor := 2 + int64(math.Ceil(r.opts.Epsilon))
+	denom := 4 * factor * (int64(r.n) + 1)
+	if w >= graph.Inf/denom {
+		return fmt.Errorf("approx: weight bound %d too large for the approximate chain at n=%d", w, r.n)
+	}
+	bound := 2 * factor * (int64(r.n) + 1) * (w + 1)
+	ladder, err := Ladder(r.stats.EpsilonStep, bound)
+	if err != nil {
+		return err
+	}
+	r.ladder = ladder
+	r.stats.LadderLen = len(ladder)
+	r.next = r.mx.Get(r.n)
+	return nil
+}
+
+// square performs one ladder-snapped product plus the convergence vote.
+// Min-plus squaring is monotone nonincreasing, so a product that returns
+// its input unchanged proves the whole remaining chain is the identity —
+// every node checks its own row and a one-round all-to-all AND aggregates
+// the verdict. Dense inputs hit the fixpoint after ~log₂(diameter)
+// products, long before the ⌈log₂ n⌉ walk-length budget.
+func (r *chainRun) square(ctx context.Context) error {
+	st, err := distprod.ProductInto(r.next, r.cur, r.cur, distprod.Options{
+		Solver:    r.opts.Solver,
+		Params:    r.opts.Params,
+		Seed:      r.rng.SplitN("product", r.stats.FindEdgesCalls).Seed(),
+		Net:       r.opts.Net,
+		Workers:   r.opts.Workers,
+		Workspace: r.opts.DP,
+		Grid:      r.ladder,
+		Ctx:       ctx,
+	})
+	if err != nil {
+		return fmt.Errorf("approx: squaring %d: %w", r.stats.Products, err)
+	}
+	r.stats.Products++
+	r.stats.FindEdgesCalls += st.BinarySearchSteps
+	if err := r.opts.Net.BroadcastAll("approx/fixpoint-vote", 1); err != nil {
+		return err
+	}
+	converged := r.next.Equal(r.cur)
+	r.cur, r.next = r.next, r.cur
+	if converged {
+		r.stats.ConvergedEarly = r.stats.Products < r.budget
+		r.done = true
+	}
+	return nil
+}
+
+// result hands the distance matrix to the caller and returns the companion
+// buffer to the workspace; the run must not be used afterwards.
+func (r *chainRun) result() *matrix.Matrix {
+	if r.next != nil {
+		r.mx.Put(r.next)
+		r.next = nil
+	}
+	out := r.cur
+	r.cur = nil
+	return out
+}
+
+// release returns every checked-out buffer after a failed or interrupted
+// run, keeping the pooled workspace reusable.
+func (r *chainRun) release() {
+	r.mx.Put(r.cur)
+	r.mx.Put(r.next)
+	r.cur, r.next = nil, nil
+}
+
 // Chain computes (1+ε)-approximate APSP distances for the adjacency matrix
 // ag (0 diagonal, nonnegative finite weights, +Inf for absent arcs): every
 // returned entry d̂ satisfies d ≤ d̂ ≤ (1+ε)·d against the exact distance
@@ -64,97 +203,21 @@ type ChainStats struct {
 // nonnegativity at the graph level; −Inf or negative entries fail inside
 // the product.
 func Chain(ag *matrix.Matrix, opts ChainOptions) (*matrix.Matrix, *ChainStats, error) {
-	n := ag.N()
-	if !ValidEpsilon(opts.Epsilon) {
-		return nil, nil, fmt.Errorf("%w (got %v)", ErrBadEpsilon, opts.Epsilon)
-	}
-	if opts.Net == nil {
-		return nil, nil, fmt.Errorf("approx: Chain requires a network")
-	}
-	stats := &ChainStats{}
-	mx := opts.MX
-	if mx == nil {
-		mx = &matrix.Workspace{}
-	}
-	if n <= 1 {
-		out := mx.Get(n)
-		if err := ag.CloneInto(out); err != nil {
-			return nil, nil, err
-		}
-		return out, stats, nil
-	}
-
-	// P products, each inflating by < 1+εstep; (1+εstep)^P = 1+ε.
-	products := 0
-	for length := 1; length < n; length *= 2 {
-		products++
-	}
-	stats.EpsilonStep = powRoot(1+opts.Epsilon, products) - 1
-
-	// The ladder must cover every per-product weight bound M = 2·max
-	// finite entry; finite entries are walk distances, bounded by
-	// (n−1)·W inflated by the accumulated snap factor, which stays below
-	// the full 1+ε budget — hence the ⌈ε⌉ term, with an explicit overflow
-	// guard since weights may approach the sentinel range.
-	w := ag.MaxAbsFinite()
-	factor := 2 + int64(math.Ceil(opts.Epsilon))
-	denom := 4 * factor * (int64(n) + 1)
-	if w >= graph.Inf/denom {
-		return nil, nil, fmt.Errorf("approx: weight bound %d too large for the approximate chain at n=%d", w, n)
-	}
-	bound := 2 * factor * (int64(n) + 1) * (w + 1)
-	ladder, err := Ladder(stats.EpsilonStep, bound)
+	r, err := newChainRun(ag, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.LadderLen = len(ladder)
-
-	// The squaring chain, ping-ponged through the workspace like the exact
-	// driver, with one addition the pinned exact pipeline cannot afford: a
-	// per-product convergence vote. Min-plus squaring is monotone
-	// nonincreasing, so a product that returns its input unchanged proves
-	// the whole remaining chain is the identity — every node checks its own
-	// row and a one-round all-to-all AND aggregates the verdict. Dense
-	// inputs hit the fixpoint after ~log₂(diameter) products, long before
-	// the ⌈log₂ n⌉ walk-length budget.
-	rng := xrand.New(opts.Seed)
-	cur := mx.Get(n)
-	if err := ag.CloneInto(cur); err != nil {
-		mx.Put(cur)
+	if err := r.prepare(); err != nil {
+		r.release()
 		return nil, nil, err
 	}
-	next := mx.Get(n)
-	for length := 1; length < n; length *= 2 {
-		st, err := distprod.ProductInto(next, cur, cur, distprod.Options{
-			Solver:    opts.Solver,
-			Params:    opts.Params,
-			Seed:      rng.SplitN("product", stats.FindEdgesCalls).Seed(),
-			Net:       opts.Net,
-			Workers:   opts.Workers,
-			Workspace: opts.DP,
-			Grid:      ladder,
-		})
-		if err != nil {
-			mx.Put(cur)
-			mx.Put(next)
-			return nil, nil, fmt.Errorf("approx: squaring %d: %w", stats.Products, err)
-		}
-		stats.Products++
-		stats.FindEdgesCalls += st.BinarySearchSteps
-		if err := opts.Net.BroadcastAll("approx/fixpoint-vote", 1); err != nil {
-			mx.Put(cur)
-			mx.Put(next)
+	for i := 0; i < r.budget && !r.done; i++ {
+		if err := r.square(context.Background()); err != nil {
+			r.release()
 			return nil, nil, err
 		}
-		converged := next.Equal(cur)
-		cur, next = next, cur
-		if converged {
-			stats.ConvergedEarly = length*2 < n
-			break
-		}
 	}
-	mx.Put(next)
-	return cur, stats, nil
+	return r.result(), r.stats, nil
 }
 
 // powRoot returns the p-th root of x for p >= 1 (x > 1), i.e. x^(1/p).

@@ -25,8 +25,16 @@ package approx
 // and the multi-source phase broadcasts |S| tentative distances per node
 // per hop. The hop counts are the true shortest-path-tree depths of the
 // run, measured centrally.
+//
+// The strategy is factored into a skeletonRun whose phase methods
+// (knnBalls, sampleSkeleton, mssp, combine) back both the standalone
+// Skeleton entry point and the staged engine pipeline — one
+// implementation, one round trajectory. Phase methods take a context and
+// checkpoint their per-node loops, so a solve under a deadline stops
+// between Dijkstra runs rather than after the full phase.
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -67,32 +75,43 @@ type knnEntry struct {
 	d int64
 }
 
-// Skeleton computes (2+ε)-approximate APSP distances for the
-// weight-symmetric nonnegative digraph g: every returned entry d̂
-// satisfies d ≤ d̂ ≤ (2+ε)·d, with reachability preserved exactly.
-func Skeleton(g *graph.Digraph, opts SkeletonOptions) (*matrix.Matrix, *SkeletonStats, error) {
+// skeletonRun is the mutable state of one (2+ε) skeleton solve, shared by
+// its phase methods.
+type skeletonRun struct {
+	g     *graph.Digraph
+	opts  SkeletonOptions
+	n     int
+	k     int
+	stats *SkeletonStats
+	dist  *matrix.Matrix
+
+	balls    [][]knnEntry
+	skeleton []int
+	hub      [][]int64
+}
+
+// newSkeletonRun validates the input and sizes the ball parameter.
+func newSkeletonRun(g *graph.Digraph, opts SkeletonOptions) (*skeletonRun, error) {
 	if !ValidEpsilon(opts.Epsilon) {
-		return nil, nil, fmt.Errorf("%w (got %v)", ErrBadEpsilon, opts.Epsilon)
+		return nil, fmt.Errorf("%w (got %v)", ErrBadEpsilon, opts.Epsilon)
 	}
 	if opts.Net == nil {
-		return nil, nil, fmt.Errorf("approx: Skeleton requires a network")
+		return nil, fmt.Errorf("approx: Skeleton requires a network")
 	}
 	if g.HasNegativeArc() {
-		return nil, nil, ErrNegativeWeight
+		return nil, ErrNegativeWeight
 	}
 	if !g.IsSymmetric() {
-		return nil, nil, ErrAsymmetric
+		return nil, ErrAsymmetric
 	}
 	n := g.N()
-	stats := &SkeletonStats{}
-	dist := matrix.New(n)
+	r := &skeletonRun{g: g, opts: opts, n: n, stats: &SkeletonStats{}, dist: matrix.New(n)}
 	for i := 0; i < n; i++ {
-		dist.Set(i, i, 0)
+		r.dist.Set(i, i, 0)
 	}
 	if n <= 1 {
-		return dist, stats, nil
+		return r, nil
 	}
-
 	k := opts.K
 	if k <= 0 {
 		k = int(math.Ceil(math.Sqrt(float64(n) * (1 + math.Log2(float64(n))))))
@@ -103,41 +122,54 @@ func Skeleton(g *graph.Digraph, opts SkeletonOptions) (*matrix.Matrix, *Skeleton
 	if k < 1 {
 		k = 1
 	}
-	stats.K = k
+	r.k = k
+	r.stats.K = k
+	return r, nil
+}
 
-	// Phase 1: exact k-nearest balls (self included at distance 0), via
-	// per-node truncated Dijkstra; ties break toward the smaller vertex id
-	// so the ball is deterministic. The hop depth of the deepest ball sets
-	// the relaxation-iteration count the phase is charged for.
-	balls := make([][]knnEntry, n)
-	for u := 0; u < n; u++ {
-		ball, hops := truncatedDijkstra(g, u, k, nil)
-		balls[u] = ball
-		if hops > stats.KNNHops {
-			stats.KNNHops = hops
+// trivial reports that the instance needs no phases (n ≤ 1).
+func (r *skeletonRun) trivial() bool { return r.n <= 1 }
+
+// knnBalls is phase 1: exact k-nearest balls (self included at distance
+// 0), via per-node truncated Dijkstra; ties break toward the smaller
+// vertex id so the ball is deterministic. The hop depth of the deepest
+// ball sets the relaxation-iteration count the phase is charged for.
+func (r *skeletonRun) knnBalls(ctx context.Context) error {
+	r.balls = make([][]knnEntry, r.n)
+	for u := 0; u < r.n; u++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ball, hops := truncatedDijkstra(r.g, u, r.k, nil)
+		r.balls[u] = ball
+		if hops > r.stats.KNNHops {
+			r.stats.KNNHops = hops
 		}
 	}
-	for i := 0; i < stats.KNNHops; i++ {
-		if err := opts.Net.BroadcastAll("approx/knn", 2*int64(k)); err != nil {
-			return nil, nil, err
+	for i := 0; i < r.stats.KNNHops; i++ {
+		if err := r.opts.Net.BroadcastAll("approx/knn", 2*int64(r.k)); err != nil {
+			return err
 		}
 	}
+	return nil
+}
 
-	// Phase 2: skeleton sampling with deterministic patching — every ball
-	// must contain a skeleton node for the stretch argument to hold
-	// unconditionally, so nodes whose ball the sample missed join S
-	// themselves. Membership is announced with one broadcast word.
-	rng := xrand.New(opts.Seed).Split("skeleton")
-	p := math.Min(1, 2*(math.Log(float64(n))+1)/float64(k))
-	inS := make([]bool, n)
-	for u := 0; u < n; u++ {
+// sampleSkeleton is phase 2: skeleton sampling with deterministic
+// patching — every ball must contain a skeleton node for the stretch
+// argument to hold unconditionally, so nodes whose ball the sample missed
+// join S themselves. Membership is announced with one broadcast word.
+func (r *skeletonRun) sampleSkeleton(context.Context) error {
+	rng := xrand.New(r.opts.Seed).Split("skeleton")
+	p := math.Min(1, 2*(math.Log(float64(r.n))+1)/float64(r.k))
+	inS := make([]bool, r.n)
+	for u := 0; u < r.n; u++ {
 		if rng.Bool(p) {
 			inS[u] = true
 		}
 	}
-	for u := 0; u < n; u++ {
+	for u := 0; u < r.n; u++ {
 		hit := false
-		for _, e := range balls[u] {
+		for _, e := range r.balls[u] {
 			if inS[e.v] {
 				hit = true
 				break
@@ -145,91 +177,119 @@ func Skeleton(g *graph.Digraph, opts SkeletonOptions) (*matrix.Matrix, *Skeleton
 		}
 		if !hit {
 			inS[u] = true
-			stats.Patched++
+			r.stats.Patched++
 		}
 	}
-	var skeleton []int
-	for u := 0; u < n; u++ {
+	for u := 0; u < r.n; u++ {
 		if inS[u] {
-			skeleton = append(skeleton, u)
+			r.skeleton = append(r.skeleton, u)
 		}
 	}
-	stats.SkeletonSize = len(skeleton)
-	if err := opts.Net.BroadcastAll("approx/skeleton", 1); err != nil {
-		return nil, nil, err
-	}
+	r.stats.SkeletonSize = len(r.skeleton)
+	return r.opts.Net.BroadcastAll("approx/skeleton", 1)
+}
 
-	// Phase 3: multi-source distances from the skeleton on the (1+ε/2)
-	// ladder — the simulated stand-in for the approximate multi-source
-	// machinery of arXiv:1903.05956, and the place the ε knob bites.
-	w := g.MaxAbsWeight()
-	ladder, err := Ladder(opts.Epsilon/2, w)
+// mssp is phase 3: multi-source distances from the skeleton on the
+// (1+ε/2) ladder — the simulated stand-in for the approximate multi-source
+// machinery of arXiv:1903.05956, and the place the ε knob bites.
+func (r *skeletonRun) mssp(ctx context.Context) error {
+	w := r.g.MaxAbsWeight()
+	ladder, err := Ladder(r.opts.Epsilon/2, w)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
 	snapped := func(u, v int) (int64, bool) {
-		wt, ok := g.Weight(u, v)
+		wt, ok := r.g.Weight(u, v)
 		if !ok {
 			return 0, false
 		}
 		return SnapUp(wt, ladder), true
 	}
-	hub := make([][]int64, len(skeleton))
-	for si, s := range skeleton {
-		row, hops := fullDijkstra(g, s, snapped)
-		hub[si] = row
-		if hops > stats.MSSPHops {
-			stats.MSSPHops = hops
+	r.hub = make([][]int64, len(r.skeleton))
+	for si, s := range r.skeleton {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		row, hops := fullDijkstra(r.g, s, snapped)
+		r.hub[si] = row
+		if hops > r.stats.MSSPHops {
+			r.stats.MSSPHops = hops
 		}
 	}
-	for i := 0; i < stats.MSSPHops; i++ {
-		if err := opts.Net.BroadcastAll("approx/mssp", int64(len(skeleton))); err != nil {
-			return nil, nil, err
+	for i := 0; i < r.stats.MSSPHops; i++ {
+		if err := r.opts.Net.BroadcastAll("approx/mssp", int64(len(r.skeleton))); err != nil {
+			return err
 		}
 	}
+	return nil
+}
 
-	// Phase 4 (local): combine. Through-ball terms u → w → v, straddle
-	// terms u → w → w' → v over every arc (w,w'), and skeleton-hub terms
-	// u → s → v. Every term is a genuine walk length, so the minimum never
-	// undercuts the true distance.
+// combine is phase 4 (local): through-ball terms u → w → v, straddle
+// terms u → w → w' → v over every arc (w,w'), and skeleton-hub terms
+// u → s → v. Every term is a genuine walk length, so the minimum never
+// undercuts the true distance.
+func (r *skeletonRun) combine(ctx context.Context) error {
 	relax := func(u, v int, cand int64) {
-		if cand < dist.At(u, v) {
-			dist.Set(u, v, cand)
+		if cand < r.dist.At(u, v) {
+			r.dist.Set(u, v, cand)
 		}
 	}
-	for w := 0; w < n; w++ {
-		for _, eu := range balls[w] {
-			for _, ev := range balls[w] {
+	for w := 0; w < r.n; w++ {
+		for _, eu := range r.balls[w] {
+			for _, ev := range r.balls[w] {
 				relax(eu.v, ev.v, graph.SaturatingAdd(eu.d, ev.d))
 			}
 		}
 	}
-	for w := 0; w < n; w++ {
-		for wp := 0; wp < n; wp++ {
-			wt, ok := g.Weight(w, wp)
+	for w := 0; w < r.n; w++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for wp := 0; wp < r.n; wp++ {
+			wt, ok := r.g.Weight(w, wp)
 			if !ok {
 				continue
 			}
-			for _, eu := range balls[w] {
+			for _, eu := range r.balls[w] {
 				leg := graph.SaturatingAdd(eu.d, wt)
-				for _, ev := range balls[wp] {
+				for _, ev := range r.balls[wp] {
 					relax(eu.v, ev.v, graph.SaturatingAdd(leg, ev.d))
 				}
 			}
 		}
 	}
-	for si := range skeleton {
-		row := hub[si]
-		for u := 0; u < n; u++ {
+	for si := range r.skeleton {
+		row := r.hub[si]
+		for u := 0; u < r.n; u++ {
 			if row[u] >= graph.Inf {
 				continue
 			}
-			for v := 0; v < n; v++ {
+			for v := 0; v < r.n; v++ {
 				relax(u, v, graph.SaturatingAdd(row[u], row[v]))
 			}
 		}
 	}
-	return dist, stats, nil
+	return nil
+}
+
+// Skeleton computes (2+ε)-approximate APSP distances for the
+// weight-symmetric nonnegative digraph g: every returned entry d̂
+// satisfies d ≤ d̂ ≤ (2+ε)·d, with reachability preserved exactly.
+func Skeleton(g *graph.Digraph, opts SkeletonOptions) (*matrix.Matrix, *SkeletonStats, error) {
+	r, err := newSkeletonRun(g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.trivial() {
+		return r.dist, r.stats, nil
+	}
+	ctx := context.Background()
+	for _, phase := range []func(context.Context) error{r.knnBalls, r.sampleSkeleton, r.mssp, r.combine} {
+		if err := phase(ctx); err != nil {
+			return nil, nil, err
+		}
+	}
+	return r.dist, r.stats, nil
 }
 
 // truncatedDijkstra returns the k nearest vertices to src (src included at

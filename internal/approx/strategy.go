@@ -1,0 +1,130 @@
+package approx
+
+// The approximate pipelines as engine strategies. Both register themselves
+// with the engine's strategy registry at init (this package is imported by
+// core, so registration precedes any registry consumer), and both reuse
+// the exact same run structs as the standalone Chain/Skeleton entry points
+// — staging changes where the checkpoints and telemetry boundaries sit,
+// not a single network charge.
+
+import (
+	"context"
+	"fmt"
+
+	"qclique/internal/congest"
+	"qclique/internal/distprod"
+	"qclique/internal/engine"
+	"qclique/internal/matrix"
+)
+
+func init() {
+	engine.Register(chainStrategy{})
+	engine.Register(skeletonStrategy{}, "skeleton")
+}
+
+// chainStrategy is the (1+ε)-approximate quantum squaring chain.
+type chainStrategy struct{}
+
+func (chainStrategy) Name() string                  { return "approx-quantum" }
+func (chainStrategy) Approximate() bool             { return true }
+func (chainStrategy) Guarantee(eps float64) float64 { return 1 + eps }
+
+func (chainStrategy) Stages(req *engine.Request, out *engine.Outcome) (*engine.Plan, error) {
+	if req.G.HasNegativeArc() {
+		return nil, ErrNegativeWeight
+	}
+	n := req.G.N()
+	// Same 3n-clique reduction substrate as the exact quantum pipeline;
+	// only the per-product search is ladder-indexed.
+	net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096))
+	if err != nil {
+		return nil, err
+	}
+	var run *chainRun
+	stages := []engine.Stage{
+		{Name: "encode", Run: func(context.Context) error {
+			r, err := newChainRun(matrix.FromDigraph(req.G), ChainOptions{
+				Epsilon: req.Epsilon,
+				Solver:  distprod.SolverQuantum,
+				Params:  req.Params,
+				Seed:    req.Seed,
+				Net:     net,
+				Workers: req.Workers,
+				DP:      req.DP,
+				MX:      req.MX,
+			})
+			if err != nil {
+				return err
+			}
+			run = r
+			return nil
+		}},
+		{Name: "ladder", Run: func(context.Context) error { return run.prepare() }},
+	}
+	for i := 0; i < matrix.SquaringBudget(n); i++ {
+		stages = append(stages, engine.Stage{
+			Name: fmt.Sprintf("square-%d", i+1),
+			Run:  func(ctx context.Context) error { return run.square(ctx) },
+			// A fixpoint vote that proves convergence skips the remaining
+			// products of the budget.
+			Skip: func() bool { return run.done },
+		})
+	}
+	stages = append(stages,
+		engine.Stage{Name: "stretch-audit", Run: func(ctx context.Context) error {
+			// Audit against the still-owned buffer and detach it only on
+			// success: if the audit fails, the abort path's release() can
+			// return the matrix to the pooled workspace.
+			stretch, err := MeasureStretch(req.G, run.cur)
+			if err != nil {
+				return err
+			}
+			out.Dist = run.result()
+			out.Products = run.stats.Products
+			out.FindEdgesCalls = run.stats.FindEdgesCalls
+			out.ObservedStretch = stretch
+			return nil
+		}},
+	)
+	return &engine.Plan{Net: net, Stages: stages, Cleanup: func() {
+		if run != nil {
+			run.release()
+		}
+	}}, nil
+}
+
+// skeletonStrategy is the (2+ε) skeleton pipeline for weight-symmetric
+// nonnegative graphs.
+type skeletonStrategy struct{}
+
+func (skeletonStrategy) Name() string                  { return "approx-skeleton" }
+func (skeletonStrategy) Approximate() bool             { return true }
+func (skeletonStrategy) Guarantee(eps float64) float64 { return 2 + eps }
+
+func (skeletonStrategy) Stages(req *engine.Request, out *engine.Outcome) (*engine.Plan, error) {
+	net, err := congest.NewNetwork(req.G.N())
+	if err != nil {
+		return nil, err
+	}
+	opts := SkeletonOptions{Epsilon: req.Epsilon, Seed: req.Seed, Net: net}
+	run, err := newSkeletonRun(req.G, opts)
+	if err != nil {
+		return nil, err
+	}
+	skipPhases := func() bool { return run.trivial() }
+	return &engine.Plan{Net: net, Stages: []engine.Stage{
+		{Name: "knn-balls", Run: run.knnBalls, Skip: skipPhases},
+		{Name: "skeleton-sample", Run: run.sampleSkeleton, Skip: skipPhases},
+		{Name: "mssp-ladder", Run: run.mssp, Skip: skipPhases},
+		{Name: "combine", Run: run.combine, Skip: skipPhases},
+		{Name: "stretch-audit", Run: func(context.Context) error {
+			out.Dist = run.dist
+			stretch, err := MeasureStretch(req.G, run.dist)
+			if err != nil {
+				return err
+			}
+			out.ObservedStretch = stretch
+			return nil
+		}},
+	}}, nil
+}

@@ -10,16 +10,17 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"qclique/internal/approx"
 	"qclique/internal/congest"
 	"qclique/internal/distprod"
+	"qclique/internal/engine"
 	"qclique/internal/graph"
 	"qclique/internal/matrix"
 	"qclique/internal/triangles"
-	"qclique/internal/xrand"
 )
 
 // Strategy selects the APSP pipeline.
@@ -72,9 +73,19 @@ func (s Strategy) String() string {
 }
 
 // IsApproximate reports whether the strategy trades exactness for rounds
-// (and therefore requires Config.Epsilon > 0).
+// (and therefore requires Config.Epsilon > 0). The registered pipeline is
+// the source of truth; enum values without a registered pipeline are
+// treated as exact (Solve rejects them anyway).
 func (s Strategy) IsApproximate() bool {
-	return s == StrategyApproxQuantum || s == StrategyApproxSkeleton
+	if st, ok := engine.Lookup(s.String()); ok {
+		return st.Approximate()
+	}
+	return false
+}
+
+// Pipeline returns the registered engine strategy backing this enum value.
+func (s Strategy) Pipeline() (engine.Strategy, bool) {
+	return engine.Lookup(s.String())
 }
 
 // ErrNegativeCycle mirrors graph.ErrNegativeCycle at the solver level.
@@ -106,6 +117,12 @@ type Config struct {
 	// is lost. Results are bit-identical with any workspace. Not safe for
 	// concurrent use.
 	Workspace *Workspace
+	// StageHook, when non-nil, is invoked at every engine stage boundary
+	// (before that stage's cancellation checkpoint) with the stage index
+	// and name. It is an observability and test seam — the
+	// cancel-at-every-boundary regression drives it; it must not mutate
+	// solve state and must not be relied on for protocol logic.
+	StageHook func(i int, name string)
 }
 
 // Workspace aggregates the reusable state of a solve: the matrix freelist
@@ -164,6 +181,12 @@ type Result struct {
 	// solves always pay the O(n³) central reference run; it is the
 	// simulation's accuracy instrument, not a serving-path cost.
 	ObservedStretch float64
+	// Stages is the engine's per-stage breakdown of the pipeline, in
+	// execution order. The per-stage Rounds sum exactly to Rounds; wall
+	// time and allocation columns are host-side measurements. On a
+	// cancelled solve the partial breakdown (work done before the stop) is
+	// returned alongside the context error.
+	Stages []engine.StageStat
 }
 
 // Solve computes exact APSP distances for g. Graphs containing a negative
@@ -171,10 +194,27 @@ type Result struct {
 // negative diagonal after the squaring chain, exactly as the matrix
 // formulation prescribes.
 func Solve(g *graph.Digraph, cfg Config) (*Result, error) {
+	return SolveContext(context.Background(), g, cfg)
+}
+
+// SolveContext is Solve under a context: the engine checkpoints between
+// pipeline stages, and the distprod/triangles layers checkpoint inside the
+// squaring-chain and triangle-enumeration loops, so a cancelled or
+// deadline-expired context stops the solve at the next boundary. On
+// cancellation the returned error wraps the context error, and the
+// returned Result — nil Dist — carries the partial per-stage telemetry
+// (stages completed, rounds charged) of the work done before the stop; the
+// workspace (Config.Workspace or the caller's pool) is left in a reusable
+// state.
+func SolveContext(ctx context.Context, g *graph.Digraph, cfg Config) (*Result, error) {
 	if g == nil {
 		return nil, errors.New("core: nil graph")
 	}
-	if cfg.strategy().IsApproximate() {
+	strat, registered := cfg.strategy().Pipeline()
+	if !registered {
+		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+	}
+	if strat.Approximate() {
 		if !approx.ValidEpsilon(cfg.Epsilon) {
 			return nil, fmt.Errorf("core: strategy %v: %w (got %v)", cfg.strategy(), approx.ErrBadEpsilon, cfg.Epsilon)
 		}
@@ -186,14 +226,8 @@ func Solve(g *graph.Digraph, cfg Config) (*Result, error) {
 		Strategy:          cfg.strategy(),
 		W:                 g.MaxAbsWeight(),
 		Epsilon:           cfg.Epsilon,
-		GuaranteedStretch: 1,
+		GuaranteedStretch: strat.Guarantee(cfg.Epsilon),
 		ObservedStretch:   1,
-	}
-	switch cfg.strategy() {
-	case StrategyApproxQuantum:
-		res.GuaranteedStretch = 1 + cfg.Epsilon
-	case StrategyApproxSkeleton:
-		res.GuaranteedStretch = 2 + cfg.Epsilon
 	}
 	if n == 0 {
 		res.Dist = matrix.New(0)
@@ -203,130 +237,36 @@ func Solve(g *graph.Digraph, cfg Config) (*Result, error) {
 	if ws == nil {
 		ws = NewWorkspace()
 	}
-	ag := matrix.FromDigraph(g)
-
-	switch cfg.strategy() {
-	case StrategyGossip:
-		net, err := congest.NewNetwork(n)
-		if err != nil {
-			return nil, err
+	out, err := engine.Run(ctx, strat, &engine.Request{
+		G:         g,
+		Params:    cfg.Params,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		Epsilon:   cfg.Epsilon,
+		MX:        &ws.mx,
+		DP:        ws.dp,
+		StageHook: cfg.StageHook,
+	})
+	if err != nil {
+		if out != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// Cancelled mid-pipeline: surface the partial stage telemetry
+			// (no distances) so the serving layer can report what ran.
+			res.Rounds = out.Rounds
+			res.Metrics = out.Metrics
+			res.Products = out.Products
+			res.Stages = out.Stages
+			return res, err
 		}
-		// One full gossip of the adjacency rows, then local repeated
-		// squaring at every node (rows split across the worker pool); no
-		// further communication.
-		if err := net.BroadcastAll("gossip/rows", int64(n)); err != nil {
-			return nil, err
-		}
-		prod := func(dst, a, b *matrix.Matrix) error {
-			return matrix.MulMinPlusInto(dst, a, b, cfg.Workers)
-		}
-		dist, sq, err := matrix.APSPBySquaringInto(ag, prod, &ws.mx)
-		if err != nil {
-			return nil, err
-		}
-		res.Dist = dist
-		res.Products = sq.Products
-		res.Rounds = net.Rounds()
-		res.Metrics = net.Metrics()
-
-	case StrategyQuantum, StrategyClassicalSearch, StrategyDolev:
-		var solver distprod.Solver
-		switch cfg.strategy() {
-		case StrategyClassicalSearch:
-			solver = distprod.SolverClassicalScan
-		case StrategyDolev:
-			solver = distprod.SolverDolev
-		default:
-			solver = distprod.SolverQuantum
-		}
-		// The reduction runs on tripartite instances with 3n vertices;
-		// each network node simulates three of them (constant-factor
-		// overhead), realized as a 3n-node clique.
-		net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096))
-		if err != nil {
-			return nil, err
-		}
-		rng := xrand.New(cfg.Seed)
-		calls := 0
-		prod := func(dst, a, b *matrix.Matrix) error {
-			stats, err := distprod.ProductInto(dst, a, b, distprod.Options{
-				Solver:    solver,
-				Params:    cfg.Params,
-				Seed:      rng.SplitN("product", res.Products+calls).Seed(),
-				Net:       net,
-				Workers:   cfg.Workers,
-				Workspace: ws.dp,
-			})
-			if err != nil {
-				return err
-			}
-			calls += stats.BinarySearchSteps
-			return nil
-		}
-		dist, sq, err := matrix.APSPBySquaringInto(ag, prod, &ws.mx)
-		if err != nil {
-			return nil, err
-		}
-		res.Dist = dist
-		res.Products = sq.Products
-		res.FindEdgesCalls = calls
-		res.Rounds = net.Rounds()
-		res.Metrics = net.Metrics()
-
-	case StrategyApproxQuantum:
-		if g.HasNegativeArc() {
-			return nil, approx.ErrNegativeWeight
-		}
-		// Same 3n-clique reduction substrate as the exact quantum pipeline;
-		// only the per-product search is ladder-indexed.
-		net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096))
-		if err != nil {
-			return nil, err
-		}
-		dist, st, err := approx.Chain(ag, approx.ChainOptions{
-			Epsilon: cfg.Epsilon,
-			Solver:  distprod.SolverQuantum,
-			Params:  cfg.Params,
-			Seed:    cfg.Seed,
-			Net:     net,
-			Workers: cfg.Workers,
-			DP:      ws.dp,
-			MX:      &ws.mx,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Dist = dist
-		res.Products = st.Products
-		res.FindEdgesCalls = st.FindEdgesCalls
-		res.Rounds = net.Rounds()
-		res.Metrics = net.Metrics()
-		if res.ObservedStretch, err = approx.MeasureStretch(g, dist); err != nil {
-			return nil, err
-		}
-
-	case StrategyApproxSkeleton:
-		net, err := congest.NewNetwork(n)
-		if err != nil {
-			return nil, err
-		}
-		dist, _, err := approx.Skeleton(g, approx.SkeletonOptions{
-			Epsilon: cfg.Epsilon,
-			Seed:    cfg.Seed,
-			Net:     net,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Dist = dist
-		res.Rounds = net.Rounds()
-		res.Metrics = net.Metrics()
-		if res.ObservedStretch, err = approx.MeasureStretch(g, dist); err != nil {
-			return nil, err
-		}
-
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+		return nil, err
+	}
+	res.Dist = out.Dist
+	res.Products = out.Products
+	res.FindEdgesCalls = out.FindEdgesCalls
+	res.Rounds = out.Rounds
+	res.Metrics = out.Metrics
+	res.Stages = out.Stages
+	if strat.Approximate() {
+		res.ObservedStretch = out.ObservedStretch
 	}
 
 	if res.Dist.HasNegativeDiagonal() {

@@ -1,0 +1,191 @@
+package core
+
+// The four exact pipelines, expressed as engine strategies: each solve is
+// an ordered list of named stages over one network, so the engine can
+// checkpoint between stages (cancellation) and attribute every round to a
+// stage (telemetry). The stage decomposition mirrors the paper's structure:
+// an encode stage (A_G, zero rounds), one stage per distance product of the
+// Proposition 3 squaring chain, and an extract stage. Round accounting is
+// bit-identical to the pre-engine monolithic driver: the same network, the
+// same operation order, the same seed derivation.
+
+import (
+	"context"
+	"fmt"
+
+	"qclique/internal/congest"
+	"qclique/internal/distprod"
+	"qclique/internal/engine"
+	"qclique/internal/matrix"
+	"qclique/internal/xrand"
+)
+
+func init() {
+	engine.Register(&searchPipeline{name: "quantum", solver: distprod.SolverQuantum})
+	engine.Register(&searchPipeline{name: "classical-search", solver: distprod.SolverClassicalScan}, "classical")
+	engine.Register(&searchPipeline{name: "dolev", solver: distprod.SolverDolev}, "dolev-listing")
+	engine.Register(gossipPipeline{})
+}
+
+// strategyNames maps canonical registry names back to the Strategy enum —
+// built by enumeration so a new enum value cannot silently miss the map.
+var strategyNames = func() map[string]Strategy {
+	m := make(map[string]Strategy)
+	for _, s := range AllStrategies() {
+		m[s.String()] = s
+	}
+	return m
+}()
+
+// AllStrategies lists every Strategy enum value.
+func AllStrategies() []Strategy {
+	return []Strategy{
+		StrategyQuantum, StrategyClassicalSearch, StrategyDolev, StrategyGossip,
+		StrategyApproxQuantum, StrategyApproxSkeleton,
+	}
+}
+
+// StrategyByName resolves a canonical registry name (a Strategy's String
+// form) back to its enum value.
+func StrategyByName(name string) (Strategy, bool) {
+	s, ok := strategyNames[name]
+	return s, ok
+}
+
+// searchPipeline is the FindEdges-driven exact pipeline (Theorem 1 and its
+// classical baselines): ⌈log₂ n⌉ distance products, each a binary search
+// over FindEdges calls on the tripartite reduction.
+type searchPipeline struct {
+	name   string
+	solver distprod.Solver
+}
+
+func (p *searchPipeline) Name() string              { return p.name }
+func (p *searchPipeline) Approximate() bool         { return false }
+func (p *searchPipeline) Guarantee(float64) float64 { return 1 }
+
+func (p *searchPipeline) Stages(req *engine.Request, out *engine.Outcome) (*engine.Plan, error) {
+	n := req.G.N()
+	// The reduction runs on tripartite instances with 3n vertices; each
+	// network node simulates three of them (constant-factor overhead),
+	// realized as a 3n-node clique.
+	net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096))
+	if err != nil {
+		return nil, err
+	}
+	st := &searchRun{req: req, out: out, net: net, solver: p.solver, rng: xrand.New(req.Seed)}
+	stages := []engine.Stage{{Name: "encode", Run: st.encode}}
+	for i := 0; i < matrix.SquaringBudget(n); i++ {
+		stages = append(stages, engine.Stage{Name: fmt.Sprintf("square-%d", i+1), Run: st.square})
+	}
+	stages = append(stages, engine.Stage{Name: "extract", Run: st.extract})
+	return &engine.Plan{Net: net, Stages: stages, Cleanup: st.release}, nil
+}
+
+// searchRun is the mutable state the stages of one searchPipeline solve
+// share: the ping-pong matrices borrowed from the workspace and the
+// cumulative FindEdges-call counter that drives the per-product seeds.
+type searchRun struct {
+	req    *engine.Request
+	out    *engine.Outcome
+	net    *congest.Network
+	solver distprod.Solver
+	rng    *xrand.Source
+
+	cur, next *matrix.Matrix
+	calls     int
+}
+
+func (st *searchRun) encode(context.Context) error {
+	ag := matrix.FromDigraph(st.req.G)
+	n := ag.N()
+	st.cur = st.req.MX.Get(n)
+	if err := ag.CloneInto(st.cur); err != nil {
+		return err
+	}
+	if n > 1 {
+		st.next = st.req.MX.Get(n)
+	}
+	return nil
+}
+
+func (st *searchRun) square(ctx context.Context) error {
+	stats, err := distprod.ProductInto(st.next, st.cur, st.cur, distprod.Options{
+		Solver:    st.solver,
+		Params:    st.req.Params,
+		Seed:      st.rng.SplitN("product", st.calls).Seed(),
+		Net:       st.net,
+		Workers:   st.req.Workers,
+		Workspace: st.req.DP,
+		Ctx:       ctx,
+	})
+	if err != nil {
+		return err
+	}
+	st.calls += stats.BinarySearchSteps
+	st.out.Products++
+	st.cur, st.next = st.next, st.cur
+	return nil
+}
+
+func (st *searchRun) extract(context.Context) error {
+	if st.next != nil {
+		st.req.MX.Put(st.next)
+		st.next = nil
+	}
+	st.out.Dist = st.cur
+	st.out.FindEdgesCalls = st.calls
+	st.cur = nil
+	return nil
+}
+
+// release returns checked-out matrices after an interrupted run, so a
+// cancelled solve leaves the pooled workspace in a reusable state.
+func (st *searchRun) release() {
+	st.req.MX.Put(st.cur)
+	st.req.MX.Put(st.next)
+	st.cur, st.next = nil, nil
+}
+
+// gossipPipeline is the naive O(n)-round baseline: one full adjacency
+// gossip, then local repeated squaring at every node.
+type gossipPipeline struct{}
+
+func (gossipPipeline) Name() string              { return "gossip" }
+func (gossipPipeline) Approximate() bool         { return false }
+func (gossipPipeline) Guarantee(float64) float64 { return 1 }
+
+func (gossipPipeline) Stages(req *engine.Request, out *engine.Outcome) (*engine.Plan, error) {
+	n := req.G.N()
+	net, err := congest.NewNetwork(n)
+	if err != nil {
+		return nil, err
+	}
+	var ag *matrix.Matrix
+	return &engine.Plan{Net: net, Stages: []engine.Stage{
+		{Name: "encode", Run: func(context.Context) error {
+			ag = matrix.FromDigraph(req.G)
+			return nil
+		}},
+		{Name: "gossip", Run: func(context.Context) error {
+			return net.BroadcastAll("gossip/rows", int64(n))
+		}},
+		{Name: "local-squaring", Run: func(ctx context.Context) error {
+			// All communication already happened; the squaring chain is
+			// node-local, checkpointed per squaring.
+			prod := func(dst, a, b *matrix.Matrix) error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				return matrix.MulMinPlusInto(dst, a, b, req.Workers)
+			}
+			dist, sq, err := matrix.APSPBySquaringInto(ag, prod, req.MX)
+			if err != nil {
+				return err
+			}
+			out.Dist = dist
+			out.Products = sq.Products
+			return nil
+		}},
+	}}, nil
+}

@@ -13,6 +13,7 @@
 package distprod
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -88,6 +89,20 @@ type Options struct {
 	// bound M; grid mode also requires nonnegative inputs (the rounding
 	// semantics are multiplicative).
 	Grid []int64
+	// Ctx, when non-nil, is checked before every binary-search step (each
+	// a full FindEdges call) and forwarded to the triangles layer, so a
+	// cancelled solve stops at the next step boundary. Checkpoints charge
+	// nothing and leave completed steps' accounting untouched.
+	Ctx context.Context
+}
+
+// ctxErr reports the options context's cancellation state (nil context
+// means never cancelled).
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // Workspace is the reusable state of repeated Product calls. The static
@@ -255,9 +270,13 @@ func (t *tripartiteInstance) ResetThresholdLeg(d *matrix.Matrix) error {
 
 // solveFindEdges dispatches one FindEdges call to the configured solver.
 func solveFindEdges(inst triangles.Instance, opts Options, seed uint64) (map[graph.Pair]bool, error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	switch opts.Solver {
 	case SolverDolev:
-		rep, err := triangles.DolevFindEdges(inst, opts.Net)
+		rep, err := triangles.DolevFindEdgesCtx(ctx, inst, opts.Net)
 		if err != nil {
 			return nil, err
 		}
@@ -278,6 +297,7 @@ func solveFindEdges(inst triangles.Instance, opts Options, seed uint64) (map[gra
 			Net:     opts.Net,
 			Workers: opts.Workers,
 			Scratch: sc,
+			Ctx:     opts.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -413,6 +433,9 @@ func ProductInto(c *matrix.Matrix, a, b *matrix.Matrix, opts Options) (*Stats, e
 	// products, and squaring iterations.
 	d, finite, lo, hi := ws.searchBuffers(n)
 	d.Fill(m + 1)
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
 	ti, err := refresh(d)
 	if err != nil {
 		return nil, err
@@ -460,6 +483,11 @@ func ProductInto(c *matrix.Matrix, a, b *matrix.Matrix, opts Options) (*Stats, e
 		}
 		if converged {
 			break
+		}
+		// Cancellation checkpoint of the squaring chain's inner loop: every
+		// step is a full FindEdges call, the natural unit a deadline skips.
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
 		}
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {

@@ -281,6 +281,18 @@ type SquaringStats struct {
 	Products int
 }
 
+// SquaringBudget is the Proposition 3 product budget for an n-vertex
+// instance: squarings until the walk-length budget 2^k >= n, i.e.
+// ⌈log₂ n⌉ for n ≥ 2 and 0 for n ≤ 1. It is the single source of the
+// stage counts the exact and approximate chains declare up front.
+func SquaringBudget(n int) int {
+	k := 0
+	for length := 1; length < n; length *= 2 {
+		k++
+	}
+	return k
+}
+
 // APSPBySquaring computes the n-th min-plus power of A_G by repeated
 // squaring (Proposition 3): after ⌈log₂ n⌉ squarings, A^(2^k) with 2^k ≥ n
 // holds all pairwise distances. The walk-length budget is n rather than n−1

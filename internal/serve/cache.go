@@ -8,6 +8,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 
@@ -107,9 +108,9 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	wg  sync.WaitGroup
-	val *entry
-	err error
+	done chan struct{} // closed after val/err are set and the key deleted
+	val  *entry
+	err  error
 }
 
 func newFlightGroup() *flightGroup {
@@ -117,19 +118,28 @@ func newFlightGroup() *flightGroup {
 }
 
 // do returns fn's outcome for key, with shared=true when this caller
-// piggybacked on another caller's in-flight run. A panic in fn is
-// converted to an error (shared by all waiters) rather than wedging the
-// key — the daemon's HTTP layer recovers handler panics, so a poisoned
-// flight entry would otherwise block every future solve of that key.
-func (f *flightGroup) do(key cacheKey, fn func() (*entry, error)) (val *entry, shared bool, err error) {
+// piggybacked on another caller's in-flight run. A follower waits under
+// its own context: if ctx is done before the leader finishes, do returns
+// ctx's error (shared=true) instead of blocking past the caller's
+// deadline. The flight entry is removed from the map strictly before the
+// done channel closes, so a woken follower that retries is guaranteed to
+// either become the new leader or join a genuinely newer flight. A panic
+// in fn is converted to an error (shared by all waiters) rather than
+// wedging the key — the daemon's HTTP layer recovers handler panics, so a
+// poisoned flight entry would otherwise block every future solve of that
+// key.
+func (f *flightGroup) do(ctx context.Context, key cacheKey, fn func() (*entry, error)) (val *entry, shared bool, err error) {
 	f.mu.Lock()
 	if c, ok := f.calls[key]; ok {
 		f.mu.Unlock()
-		c.wg.Wait()
-		return c.val, true, c.err
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
 	}
-	c := &flightCall{}
-	c.wg.Add(1)
+	c := &flightCall{done: make(chan struct{})}
 	f.calls[key] = c
 	f.mu.Unlock()
 
@@ -138,10 +148,10 @@ func (f *flightGroup) do(key cacheKey, fn func() (*entry, error)) (val *entry, s
 			if r := recover(); r != nil {
 				c.val, c.err = nil, fmt.Errorf("serve: solve panicked: %v", r)
 			}
-			c.wg.Done()
 			f.mu.Lock()
 			delete(f.calls, key)
 			f.mu.Unlock()
+			close(c.done)
 		}()
 		c.val, c.err = fn()
 	}()

@@ -9,14 +9,17 @@ package serve
 // distinguishable.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"qclique/internal/approx"
 	"qclique/internal/core"
+	"qclique/internal/engine"
 	"qclique/internal/graph"
 )
 
@@ -60,14 +63,31 @@ func (gj GraphJSON) Digraph() (*graph.Digraph, error) {
 }
 
 // solveParamsJSON selects a pipeline in solve-bearing request bodies.
+// TimeoutMS, when positive, is the request's solve deadline: the pipeline
+// checkpoints between stages and inside its inner loops, and a deadline
+// that expires answers 503 with the partial per-stage telemetry.
 type solveParamsJSON struct {
-	Strategy string  `json:"strategy,omitempty"`
-	Preset   string  `json:"preset,omitempty"`
-	Seed     uint64  `json:"seed,omitempty"`
-	Epsilon  float64 `json:"epsilon,omitempty"`
+	Strategy  string  `json:"strategy,omitempty"`
+	Preset    string  `json:"preset,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+// solveCtx derives the request's solve context: the HTTP request context
+// (cancelled on client disconnect) bounded by the optional timeout.
+func (p solveParamsJSON) solveCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if p.TimeoutMS > 0 {
+		return context.WithTimeout(ctx, time.Duration(p.TimeoutMS)*time.Millisecond)
+	}
+	return ctx, func() {}
 }
 
 func (p solveParamsJSON) spec() (SolveSpec, error) {
+	if p.TimeoutMS < 0 {
+		return SolveSpec{}, fmt.Errorf("serve: negative timeout_ms %d", p.TimeoutMS)
+	}
 	strat, err := ParseStrategy(p.Strategy)
 	if err != nil {
 		return SolveSpec{}, err
@@ -99,6 +119,11 @@ type SolveJSON struct {
 	GuaranteedStretch float64 `json:"guaranteed_stretch,omitempty"`
 	ObservedStretch   float64 `json:"observed_stretch,omitempty"`
 	Cached            bool    `json:"cached"`
+	// Stages is the engine's per-stage breakdown of the solve that
+	// produced this result (present on fresh and cached responses alike —
+	// the cache retains the original run's telemetry). Stage rounds sum
+	// exactly to Rounds.
+	Stages []engine.StageStat `json:"stages,omitempty"`
 }
 
 // PathJSON is one answer in the paths:batch response. Dist is null both
@@ -161,9 +186,11 @@ func NewHandler(s *Service) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err := s.Solve(r.PathValue("id"), spec)
+		ctx, cancel := body.solveCtx(r)
+		defer cancel()
+		res, err := s.SolveContext(ctx, r.PathValue("id"), spec)
 		if err != nil {
-			httpError(w, solveStatus(err), err)
+			solveError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, solveResponse(res, spec))
@@ -193,6 +220,15 @@ func NewHandler(s *Service) http.Handler {
 				return
 			}
 			spec.Epsilon = eps
+		}
+		var timeoutMS int64
+		if v := r.URL.Query().Get("timeout_ms"); v != "" {
+			t, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || t < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad timeout_ms %q", v))
+				return
+			}
+			timeoutMS = t
 		}
 		if err := spec.Validate(); err != nil {
 			httpError(w, http.StatusBadRequest, err)
@@ -236,9 +272,11 @@ func NewHandler(s *Service) http.Handler {
 			httpError(w, http.StatusBadRequest, errors.New("serve: dst requires src"))
 			return
 		}
-		res, err := s.Solve(id, spec)
+		ctx, cancel := solveParamsJSON{TimeoutMS: timeoutMS}.solveCtx(r)
+		defer cancel()
+		res, err := s.SolveContext(ctx, id, spec)
 		if err != nil {
-			httpError(w, solveStatus(err), err)
+			solveError(w, err)
 			return
 		}
 		out := map[string]any{"id": res.GraphID, "n": n, "cached": res.Cached}
@@ -282,9 +320,11 @@ func NewHandler(s *Service) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		answers, res, err := s.PathsBatch(r.PathValue("id"), spec, body.Queries)
+		ctx, cancel := body.solveCtx(r)
+		defer cancel()
+		answers, res, err := s.PathsBatchContext(ctx, r.PathValue("id"), spec, body.Queries)
 		if err != nil {
-			httpError(w, solveStatus(err), err)
+			solveError(w, err)
 			return
 		}
 		out := make([]PathJSON, len(answers))
@@ -323,6 +363,7 @@ func solveResponse(res *SolveResult, spec SolveSpec) SolveJSON {
 		Products:       res.Res.Products,
 		FindEdgesCalls: res.Res.FindEdgesCalls,
 		Cached:         res.Cached,
+		Stages:         res.Res.Stages,
 	}
 	if res.Res.Epsilon > 0 {
 		sj.GuaranteedStretch = res.Res.GuaranteedStretch
@@ -334,13 +375,15 @@ func solveResponse(res *SolveResult, spec SolveSpec) SolveJSON {
 // solveStatus maps solve errors to HTTP statuses: unknown graphs are 404,
 // malformed specs are 400, inputs the strategy cannot answer (negative
 // cycles; negative or asymmetric weights under an approximate strategy)
-// are 422, the rest 500.
+// are 422, cancelled or deadline-expired solves are 503, the rest 500.
 func solveStatus(err error) int {
 	switch {
 	case errors.Is(err, core.ErrNegativeCycle),
 		errors.Is(err, approx.ErrNegativeWeight),
 		errors.Is(err, approx.ErrAsymmetric):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrInvalidSpec):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownGraph):
@@ -348,6 +391,22 @@ func solveStatus(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// solveError writes a solve failure. A cancellation carries the partial
+// per-stage telemetry in the body next to the error, so a timed-out
+// request still reports the stages (and rounds) the deadline bought.
+func solveError(w http.ResponseWriter, err error) {
+	var cancelled *CancelledError
+	if errors.As(err, &cancelled) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":  err.Error(),
+			"stages": cancelled.Stages,
+			"rounds": cancelled.Rounds,
+		})
+		return
+	}
+	httpError(w, solveStatus(err), err)
 }
 
 // distJSON maps a distance entry to its JSON form: (nil, false) for +∞

@@ -10,12 +10,15 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"qclique/internal/approx"
 	"qclique/internal/core"
+	"qclique/internal/engine"
 	"qclique/internal/graph"
 	"qclique/internal/par"
 	"qclique/internal/triangles"
@@ -76,30 +79,52 @@ func (p Preset) Params() *triangles.Params {
 	return &t
 }
 
-// ParseStrategy parses a strategy name (empty selects quantum).
+// ParseStrategy parses a strategy name or alias against the engine's
+// strategy registry (empty selects quantum) — new pipelines become
+// servable by registering, with no switch to grow here.
 func ParseStrategy(s string) (core.Strategy, error) {
-	switch s {
-	case "", "quantum":
+	if s == "" {
 		return core.StrategyQuantum, nil
-	case "classical-search":
-		return core.StrategyClassicalSearch, nil
-	case "dolev", "dolev-listing":
-		return core.StrategyDolev, nil
-	case "gossip":
-		return core.StrategyGossip, nil
-	case "approx-quantum":
-		return core.StrategyApproxQuantum, nil
-	case "approx-skeleton", "skeleton":
-		return core.StrategyApproxSkeleton, nil
-	default:
-		return 0, fmt.Errorf("serve: unknown strategy %q", s)
 	}
+	st, ok := engine.Lookup(s)
+	if !ok {
+		return 0, fmt.Errorf("serve: unknown strategy %q (registered: %s)", s, strings.Join(engine.Names(), ", "))
+	}
+	enum, ok := core.StrategyByName(st.Name())
+	if !ok {
+		return 0, fmt.Errorf("serve: registered strategy %q has no core enum", st.Name())
+	}
+	return enum, nil
 }
 
 // ErrInvalidSpec marks solve specs that are malformed independent of any
 // graph (e.g. an epsilon on an exact strategy); the HTTP layer maps it to
 // 400 rather than 500.
 var ErrInvalidSpec = errors.New("serve: invalid solve spec")
+
+// CancelledError reports a solve stopped by its context (request deadline
+// or client disconnect) before the pipeline completed. It carries the
+// partial per-stage telemetry — the stages that ran and the rounds they
+// charged — so a timed-out request can still report what the deadline
+// bought; the HTTP layer maps it to 503 with that breakdown in the body.
+// It wraps the context error, so errors.Is(err, context.DeadlineExceeded)
+// and context.Canceled work through it. A caller only ever sees its own
+// cancellation: a deduplicated follower whose leader was cancelled retries
+// under its own (still-live) context instead of inheriting the error.
+type CancelledError struct {
+	// Stages is the partial per-stage breakdown before the stop.
+	Stages []engine.StageStat
+	// Rounds is the simulator rounds charged before the stop.
+	Rounds int64
+	// Err is the underlying context error.
+	Err error
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("serve: solve cancelled after %d stage(s), %d rounds: %v", len(e.Stages), e.Rounds, e.Err)
+}
+
+func (e *CancelledError) Unwrap() error { return e.Err }
 
 // ErrApproxPaths rejects path reconstruction against approximate solves:
 // the successor walk relies on exact tightness (w(u,k) + d(k,dst) ==
@@ -223,24 +248,38 @@ func (s *Service) Graph(id string) (*graph.Digraph, error) {
 
 // Solve solves the stored graph id under spec, consulting the cache first.
 func (s *Service) Solve(id string, spec SolveSpec) (*SolveResult, error) {
+	return s.SolveContext(context.Background(), id, spec)
+}
+
+// SolveContext is Solve honoring a context: the pipeline checkpoints
+// between stages (and inside its inner loops), so a request deadline stops
+// the simulator at the next boundary. A cancelled solve returns a
+// *CancelledError carrying the partial per-stage telemetry; nothing is
+// cached, and the pooled workspace is returned in a reusable state.
+func (s *Service) SolveContext(ctx context.Context, id string, spec SolveSpec) (*SolveResult, error) {
 	g, err := s.store.get(id)
 	if err != nil {
 		return nil, err
 	}
-	return s.solve(id, g, spec)
+	return s.solve(ctx, id, g, spec)
 }
 
 // SolveGraph solves g directly (library path, no store round-trip): the
 // graph is hashed for cache identity and cloned only when the simulator
 // actually runs.
 func (s *Service) SolveGraph(g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
+	return s.SolveGraphContext(context.Background(), g, spec)
+}
+
+// SolveGraphContext is SolveGraph honoring a context (see SolveContext).
+func (s *Service) SolveGraphContext(ctx context.Context, g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
 	if g == nil {
 		return nil, errors.New("serve: nil graph")
 	}
-	return s.solve(HashDigraph(g), g, spec)
+	return s.solve(ctx, HashDigraph(g), g, spec)
 }
 
-func (s *Service) solve(id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
+func (s *Service) solve(ctx context.Context, id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -255,47 +294,88 @@ func (s *Service) solve(id string, g *graph.Digraph, spec SolveSpec) (*SolveResu
 	if workers <= 0 {
 		workers = s.cfg.Workers
 	}
-	var fromCache bool
-	e, shared, err := s.flight.do(key, func() (*entry, error) {
-		// Re-check under the flight: between this caller's cache miss and
-		// becoming leader, a previous leader may have completed and
-		// cached — re-running the full pipeline would duplicate the solve
-		// and its accounting.
-		if e, ok := s.cache.get(key); ok {
-			fromCache = true
-			return e, nil
-		}
-		// The entry keeps its own clone so later mutation of a
-		// caller-owned graph cannot desynchronize the cached result and
-		// its oracle.
-		gc := g.Clone()
-		ws := workspacePool.Get().(*core.Workspace)
-		res, err := core.Solve(gc, core.Config{
-			Strategy:  spec.strategy(),
-			Params:    spec.Preset.Params(),
-			Seed:      spec.Seed,
-			Epsilon:   spec.Epsilon,
-			Workers:   workers,
-			Workspace: ws,
+	var (
+		e         *entry
+		shared    bool
+		err       error
+		fromCache bool
+	)
+	for {
+		fromCache = false
+		e, shared, err = s.flight.do(ctx, key, func() (*entry, error) {
+			// Re-check under the flight: between this caller's cache miss and
+			// becoming leader, a previous leader may have completed and
+			// cached — re-running the full pipeline would duplicate the solve
+			// and its accounting.
+			if e, ok := s.cache.get(key); ok {
+				fromCache = true
+				return e, nil
+			}
+			// The entry keeps its own clone so later mutation of a
+			// caller-owned graph cannot desynchronize the cached result and
+			// its oracle.
+			gc := g.Clone()
+			ws := workspacePool.Get().(*core.Workspace)
+			res, err := core.SolveContext(ctx, gc, core.Config{
+				Strategy:  spec.strategy(),
+				Params:    spec.Preset.Params(),
+				Seed:      spec.Seed,
+				Epsilon:   spec.Epsilon,
+				Workers:   workers,
+				Workspace: ws,
+			})
+			// A cancelled pipeline released its borrowed buffers through the
+			// engine's cleanup hook, so the workspace goes back to the pool in
+			// a reusable state on every path.
+			workspacePool.Put(ws)
+			if err != nil {
+				if res != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+					s.stats.cancelled(name)
+					return nil, &CancelledError{Stages: res.Stages, Rounds: res.Rounds, Err: err}
+				}
+				s.stats.failed(name)
+				return nil, err
+			}
+			// Charge the rounds as soon as the simulator has run: even if the
+			// oracle construction below failed, the cost was paid.
+			s.stats.solved(name, res)
+			oracle, err := core.NewPathOracle(gc, res.Dist)
+			if err != nil {
+				return nil, err
+			}
+			ent := &entry{g: gc, res: res, oracle: oracle}
+			s.cache.add(key, ent)
+			return ent, nil
 		})
-		workspacePool.Put(ws)
 		if err != nil {
-			s.stats.failed(name)
+			// A follower must not inherit the *leader's* cancellation: the
+			// flight ran under the leader's request context, so its
+			// deadline or disconnect aborting the shared solve says
+			// nothing about this caller. While this caller's own context
+			// is still live, go around again — the flight entry is gone
+			// before followers wake, so the retry either becomes the new
+			// leader (running under this caller's context) or joins a
+			// genuinely newer flight. A caller whose own context expired
+			// keeps its error; a follower whose wait was cut short by its
+			// *own* context gets a CancelledError (no stages — the leader
+			// may still be running) so every cancelled solve surfaces
+			// uniformly.
+			var ce *CancelledError
+			isCancelled := errors.As(err, &ce)
+			if shared && isCancelled && ctx.Err() == nil {
+				continue
+			}
+			if shared && !isCancelled && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				// The follower's own deadline cut its wait short. Count it
+				// like any other cancellation so Requests = outcomes in
+				// /metrics; there is no stage telemetry to attach — the
+				// leader (whose run it was) may still be going.
+				s.stats.cancelled(name)
+				err = &CancelledError{Err: err}
+			}
 			return nil, err
 		}
-		// Charge the rounds as soon as the simulator has run: even if the
-		// oracle construction below failed, the cost was paid.
-		s.stats.solved(name, res.Rounds)
-		oracle, err := core.NewPathOracle(gc, res.Dist)
-		if err != nil {
-			return nil, err
-		}
-		ent := &entry{g: gc, res: res, oracle: oracle}
-		s.cache.add(key, ent)
-		return ent, nil
-	})
-	if err != nil {
-		return nil, err
+		break
 	}
 	switch {
 	case shared:
@@ -330,10 +410,16 @@ type PathAnswer struct {
 // worker pool. Per-query failures land in the answer's Err; only
 // solve-level failures error the call.
 func (s *Service) PathsBatch(id string, spec SolveSpec, queries []PathQuery) ([]PathAnswer, *SolveResult, error) {
+	return s.PathsBatchContext(context.Background(), id, spec, queries)
+}
+
+// PathsBatchContext is PathsBatch honoring a context for the underlying
+// solve (see SolveContext).
+func (s *Service) PathsBatchContext(ctx context.Context, id string, spec SolveSpec, queries []PathQuery) ([]PathAnswer, *SolveResult, error) {
 	if spec.strategy().IsApproximate() {
 		return nil, nil, ErrApproxPaths
 	}
-	res, err := s.Solve(id, spec)
+	res, err := s.SolveContext(ctx, id, spec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -342,10 +428,16 @@ func (s *Service) PathsBatch(id string, spec SolveSpec, queries []PathQuery) ([]
 
 // PathsBatchGraph is PathsBatch for a directly-held graph.
 func (s *Service) PathsBatchGraph(g *graph.Digraph, spec SolveSpec, queries []PathQuery) ([]PathAnswer, *SolveResult, error) {
+	return s.PathsBatchGraphContext(context.Background(), g, spec, queries)
+}
+
+// PathsBatchGraphContext is PathsBatchGraph honoring a context for the
+// underlying solve.
+func (s *Service) PathsBatchGraphContext(ctx context.Context, g *graph.Digraph, spec SolveSpec, queries []PathQuery) ([]PathAnswer, *SolveResult, error) {
 	if spec.strategy().IsApproximate() {
 		return nil, nil, ErrApproxPaths
 	}
-	res, err := s.SolveGraph(g, spec)
+	res, err := s.SolveGraphContext(ctx, g, spec)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,26 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+
+	"qclique/internal/core"
+)
+
+// StageStats is the cumulative per-stage accounting of one strategy's
+// executed solves: how often the stage ran, the rounds and words it
+// charged, and the wall time it consumed. It is the serving-layer rollup
+// of the engine's per-solve stage telemetry.
+type StageStats struct {
+	// Runs counts solves in which the stage actually ran (skipped stages
+	// are excluded).
+	Runs int64 `json:"runs"`
+	// Rounds totals the simulated rounds the stage charged.
+	Rounds int64 `json:"rounds"`
+	// Words totals the words the stage moved.
+	Words int64 `json:"words"`
+	// WallNs totals the host wall-clock time spent in the stage.
+	WallNs int64 `json:"wall_ns"`
+}
 
 // StrategyStats is the per-strategy request accounting of a Service.
 type StrategyStats struct {
@@ -17,9 +37,15 @@ type StrategyStats struct {
 	Solves int64 `json:"solves"`
 	// Errors counts failed executions (e.g. negative cycles).
 	Errors int64 `json:"errors"`
+	// Cancelled counts executions stopped by their context (request
+	// deadline or client disconnect) before completing.
+	Cancelled int64 `json:"cancelled,omitempty"`
 	// RoundsCharged totals the simulated CONGEST-CLIQUE rounds across all
 	// executions; cache hits and deduped requests charge nothing here.
 	RoundsCharged int64 `json:"rounds_charged"`
+	// Stages is the cumulative per-stage breakdown across this strategy's
+	// executed solves, keyed by stage name.
+	Stages map[string]StageStats `json:"stages,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of a Service's accounting.
@@ -72,18 +98,47 @@ func (s *statsCollector) deduped(name string) {
 	s.forStrategy(name).Deduped++
 }
 
-func (s *statsCollector) solved(name string, rounds int64) {
+func (s *statsCollector) solved(name string, res *core.Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.forStrategy(name)
 	st.Solves++
-	st.RoundsCharged += rounds
+	st.RoundsCharged += res.Rounds
+	st.addStages(res)
+}
+
+// addStages rolls a solve's per-stage telemetry into the strategy's
+// cumulative stage accounting.
+func (st *StrategyStats) addStages(res *core.Result) {
+	if len(res.Stages) == 0 {
+		return
+	}
+	if st.Stages == nil {
+		st.Stages = make(map[string]StageStats, len(res.Stages))
+	}
+	for _, sg := range res.Stages {
+		if sg.Skipped {
+			continue
+		}
+		agg := st.Stages[sg.Name]
+		agg.Runs++
+		agg.Rounds += sg.Rounds
+		agg.Words += sg.Words
+		agg.WallNs += sg.WallNs
+		st.Stages[sg.Name] = agg
+	}
 }
 
 func (s *statsCollector) failed(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.forStrategy(name).Errors++
+}
+
+func (s *statsCollector) cancelled(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forStrategy(name).Cancelled++
 }
 
 func (s *statsCollector) pathQueriesAdd(n int) {
@@ -102,7 +157,16 @@ func (s *statsCollector) snapshot(graphs, cached int) Stats {
 		Strategies:    make(map[string]StrategyStats, len(s.byStrategy)),
 	}
 	for name, st := range s.byStrategy {
-		out.Strategies[name] = *st
+		cp := *st
+		if st.Stages != nil {
+			// Deep-copy the stage map: the snapshot must not alias the
+			// collector's mutable state.
+			cp.Stages = make(map[string]StageStats, len(st.Stages))
+			for k, v := range st.Stages {
+				cp.Stages[k] = v
+			}
+		}
+		out.Strategies[name] = cp
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package triangles
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -131,6 +132,21 @@ type Options struct {
 	// nil every call builds a private one (identical results, more
 	// allocation). Not safe for concurrent use across calls.
 	Scratch *Scratch
+	// Ctx, when non-nil, is checked at the protocol's enumeration
+	// checkpoints (between the promise calls of the Proposition 1
+	// reduction) so a cancelled solve stops without running the remaining
+	// instances. Checkpoints charge nothing; results of completed calls
+	// are unaffected.
+	Ctx context.Context
+}
+
+// ctxErr reports the options context's cancellation state (nil context
+// means never cancelled).
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 func (o Options) params() Params {

@@ -1,6 +1,7 @@
 package triangles
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -37,8 +38,19 @@ type DolevReport struct {
 // DolevFindEdges solves FindEdges (no promise needed — the listing is
 // exhaustive and deterministic) on the given instance.
 func DolevFindEdges(inst Instance, net *congest.Network) (*DolevReport, error) {
+	return DolevFindEdgesCtx(context.Background(), inst, net)
+}
+
+// DolevFindEdgesCtx is DolevFindEdges with a cancellation checkpoint per
+// outer block of the triple-enumeration loop: a solve under a deadline
+// stops between blocks instead of enumerating all p³ triples. Checkpoints
+// charge nothing and do not perturb the rounds of completed runs.
+func DolevFindEdgesCtx(ctx context.Context, inst Instance, net *congest.Network) (*DolevReport, error) {
 	if inst.G == nil {
 		return nil, fmt.Errorf("triangles: nil graph")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	n := inst.G.N()
 	var err error
@@ -122,6 +134,9 @@ func DolevFindEdges(inst Instance, net *congest.Network) (*DolevReport, error) {
 		}
 	}
 	for i := 0; i < p; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := i; j < p; j++ {
 			for k := j; k < p; k++ {
 				for _, a := range blocks[i] {

@@ -93,6 +93,11 @@ func FindEdges(inst Instance, opts Options) (*FindEdgesReport, error) {
 
 	out := &FindEdgesReport{Edges: make(map[graph.Pair]bool)}
 	callPromise := func(legs *graph.Undirected, level int) error {
+		// Cancellation checkpoint of the triangle-enumeration loop: each
+		// promise instance is the unit of work a deadline can skip.
+		if err := opts.ctxErr(); err != nil {
+			return err
+		}
 		if len(s) == 0 {
 			// Every pair already resolved at a coarser sampling level; the
 			// remaining calls of Algorithm B are no-ops.

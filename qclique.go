@@ -25,10 +25,15 @@
 package qclique
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
+	"time"
 
 	"qclique/internal/core"
+	"qclique/internal/engine"
 	"qclique/internal/graph"
 	"qclique/internal/matrix"
 	"qclique/internal/serve"
@@ -109,6 +114,109 @@ func (s Strategy) toCore() core.Strategy {
 	}
 }
 
+func fromCore(s core.Strategy) Strategy {
+	switch s {
+	case core.StrategyClassicalSearch:
+		return ClassicalSearch
+	case core.StrategyDolev:
+		return DolevListing
+	case core.StrategyGossip:
+		return Gossip
+	case core.StrategyApproxQuantum:
+		return ApproxQuantum
+	case core.StrategyApproxSkeleton:
+		return ApproxSkeleton
+	default:
+		return Quantum
+	}
+}
+
+// StrategyInfo describes one registered pipeline, as enumerated from the
+// engine's strategy registry.
+type StrategyInfo struct {
+	// Strategy is the public selector to pass to WithStrategy.
+	Strategy Strategy
+	// Name is the canonical registry name ("quantum", "approx-skeleton" …).
+	Name string
+	// Approximate reports whether the pipeline requires WithEpsilon.
+	Approximate bool
+	// FindEdges reports whether the strategy names a FindEdges solver of
+	// its own, i.e. is meaningful to FindNegativeTriangleEdges (see
+	// findEdgesRole, which lives next to that dispatch).
+	FindEdges bool
+}
+
+// Guarantee returns the multiplicative stretch bound the pipeline
+// guarantees for stretch budget eps: 1 for exact pipelines, 1+ε or 2+ε
+// for the approximate ones.
+func (si StrategyInfo) Guarantee(eps float64) float64 {
+	if st, ok := engine.Lookup(si.Name); ok {
+		return st.Guarantee(eps)
+	}
+	return 1
+}
+
+// Strategies enumerates every registered pipeline, sorted by name. New
+// pipelines appear here (and everywhere the registry is consumed — the
+// serving layer, the cmd tools) by registering with the engine, with no
+// hand-maintained list to grow.
+func Strategies() []StrategyInfo {
+	var out []StrategyInfo
+	for _, st := range engine.Strategies() {
+		enum, ok := core.StrategyByName(st.Name())
+		if !ok {
+			continue
+		}
+		pub := fromCore(enum)
+		out = append(out, StrategyInfo{
+			Strategy:    pub,
+			Name:        st.Name(),
+			Approximate: st.Approximate(),
+			FindEdges:   findEdgesRole(pub),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// StrategyInfoFor returns the registry entry describing s (false when s
+// has no registered pipeline).
+func StrategyInfoFor(s Strategy) (StrategyInfo, bool) {
+	for _, si := range Strategies() {
+		if si.Strategy == s {
+			return si, true
+		}
+	}
+	return StrategyInfo{}, false
+}
+
+// ParseStrategy resolves a registry name or alias ("quantum",
+// "classical", "dolev-listing", "skeleton", …) to its public selector.
+func ParseStrategy(name string) (Strategy, error) {
+	s, err := serve.ParseStrategy(name)
+	if err != nil {
+		return 0, fmt.Errorf("qclique: %w", err)
+	}
+	return fromCore(s), nil
+}
+
+// FormatStrategyList renders the registry as the human-readable listing
+// the CLI tools print for "-strategy list": one line per registered
+// pipeline with its stretch guarantee. Kept here so every tool shows the
+// same list without hand-maintaining copies.
+func FormatStrategyList() string {
+	var b strings.Builder
+	b.WriteString("registered strategies:\n")
+	for _, si := range Strategies() {
+		guarantee := fmt.Sprintf("stretch %g (exact)", si.Guarantee(0))
+		if si.Approximate {
+			guarantee = fmt.Sprintf("stretch %g+ε (requires an epsilon)", si.Guarantee(0))
+		}
+		fmt.Fprintf(&b, "  %-18s %s\n", si.Name, guarantee)
+	}
+	return b.String()
+}
+
 // ParamPreset selects the protocol-constant preset.
 type ParamPreset int
 
@@ -131,6 +239,7 @@ type options struct {
 	epsilon   float64
 	workers   int
 	cacheSize int
+	timeout   time.Duration
 }
 
 // Option configures SolveAPSP, FindNegativeTriangleEdges and
@@ -176,6 +285,25 @@ func WithWorkers(n int) Option {
 // default (0) selects a small built-in capacity.
 func WithCacheSize(n int) Option {
 	return func(o *options) { o.cacheSize = n }
+}
+
+// WithTimeout bounds the wall-clock time of a solve: the pipeline
+// checkpoints between its stages and inside the squaring-chain and
+// triangle-enumeration loops, and a deadline that expires stops the solve
+// at the next checkpoint with an error wrapping
+// context.DeadlineExceeded. The default (0) imposes no deadline. It
+// composes with SolveAPSPContext / Solver.SolveContext: the effective
+// deadline is the earlier of the two.
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) { o.timeout = d }
+}
+
+// solveCtx applies the timeout option onto the caller's context.
+func (o options) solveCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if o.timeout > 0 {
+		return context.WithTimeout(ctx, o.timeout)
+	}
+	return ctx, func() {}
 }
 
 func buildOptions(opts []Option) options {
@@ -270,6 +398,10 @@ type APSPResult struct {
 	// distances over the exact reference for this input (1 for exact
 	// strategies).
 	ObservedStretch float64
+	// Stages is the engine's per-stage breakdown of the pipeline that
+	// produced this result, in execution order: for cached results, the
+	// telemetry of the original run. Stage rounds sum exactly to Rounds.
+	Stages []StageStat
 
 	// dist retains the solver's distance matrix so path reconstruction
 	// (ShortestPath, Solver batch queries) skips the O(n²) rebuild from
@@ -277,13 +409,64 @@ type APSPResult struct {
 	dist *matrix.Matrix
 }
 
+// StageStat is one pipeline stage's telemetry: the rounds and words are
+// exact simulator accounting (deterministic seed-for-seed), wall time and
+// allocation count are host-side measurements.
+type StageStat struct {
+	// Name labels the stage ("encode", "square-3", "stretch-audit", …).
+	Name string
+	// Rounds is the simulated CONGEST-CLIQUE rounds the stage charged.
+	Rounds int64
+	// Words is the total message words the stage moved.
+	Words int64
+	// Wall is the host wall-clock time spent in the stage.
+	Wall time.Duration
+	// Allocs is the approximate heap allocation count of the stage
+	// (process-global mallocs, so concurrent solves bleed into each other).
+	Allocs uint64
+	// Skipped marks a stage the pipeline proved unnecessary (e.g. squaring
+	// products after the approximate chain's fixpoint vote converged).
+	Skipped bool
+}
+
+// stagesFromCore converts engine stage telemetry to the public form.
+func stagesFromCore(stages []engine.StageStat) []StageStat {
+	if len(stages) == 0 {
+		return nil
+	}
+	out := make([]StageStat, len(stages))
+	for i, s := range stages {
+		out[i] = StageStat{
+			Name:    s.Name,
+			Rounds:  s.Rounds,
+			Words:   s.Words,
+			Wall:    time.Duration(s.WallNs),
+			Allocs:  s.Allocs,
+			Skipped: s.Skipped,
+		}
+	}
+	return out
+}
+
 // SolveAPSP computes exact all-pairs shortest distances for g.
 func SolveAPSP(g *Digraph, opts ...Option) (*APSPResult, error) {
+	return SolveAPSPContext(context.Background(), g, opts...)
+}
+
+// SolveAPSPContext is SolveAPSP honoring a context: the pipeline
+// checkpoints between stages and inside the squaring-chain and
+// triangle-enumeration loops, so cancellation (or a WithTimeout deadline)
+// stops the solve at the next checkpoint with an error wrapping the
+// context's error. An already-cancelled context returns promptly without
+// simulating.
+func SolveAPSPContext(ctx context.Context, g *Digraph, opts ...Option) (*APSPResult, error) {
 	if g == nil {
 		return nil, errors.New("qclique: nil graph")
 	}
 	o := buildOptions(opts)
-	res, err := core.Solve(g.g, core.Config{
+	ctx, cancel := o.solveCtx(ctx)
+	defer cancel()
+	res, err := core.SolveContext(ctx, g.g, core.Config{
 		Strategy: o.strategy.toCore(),
 		Params:   o.params(),
 		Seed:     o.seed,
@@ -307,6 +490,7 @@ func SolveAPSP(g *Digraph, opts ...Option) (*APSPResult, error) {
 		Epsilon:           res.Epsilon,
 		GuaranteedStretch: res.GuaranteedStretch,
 		ObservedStretch:   res.ObservedStretch,
+		Stages:            stagesFromCore(res.Stages),
 		dist:              res.Dist,
 	}, nil
 }
@@ -325,21 +509,48 @@ type TriangleReport struct {
 	Rounds int64
 }
 
+// findEdgesRole reports whether s names a FindEdges solver of its own —
+// the capability StrategyInfo.FindEdges surfaces. It sits next to the
+// FindNegativeTriangleEdges dispatch below, which is the one place the
+// answer is defined: quantum and classical-search drive ComputePairs,
+// dolev drives its own listing; gossip has no triangle machinery (the
+// dispatch would silently fall back to Dolev listing) and the approximate
+// strategies are APSP-only. A new pipeline with a FindEdges role extends
+// both together.
+func findEdgesRole(s Strategy) bool {
+	switch s {
+	case Quantum, ClassicalSearch, DolevListing:
+		return true
+	default:
+		return false
+	}
+}
+
 // FindNegativeTriangleEdges solves the FindEdges problem of Section 3:
 // report every edge of g that is part of a triangle whose three edge
-// weights sum to a negative value.
+// weights sum to a negative value. Only strategies with a FindEdges role
+// (StrategyInfo.FindEdges: Quantum, ClassicalSearch, DolevListing) are
+// accepted — gossip and the approximate strategies are APSP-only and are
+// rejected rather than silently substituted, as is an epsilon (this
+// problem has no stretch knob).
 func FindNegativeTriangleEdges(g *Graph, opts ...Option) (*TriangleReport, error) {
 	if g == nil {
 		return nil, errors.New("qclique: nil graph")
 	}
 	o := buildOptions(opts)
+	if !findEdgesRole(o.strategy) {
+		return nil, fmt.Errorf("qclique: strategy %v has no FindEdges role (see StrategyInfo.FindEdges)", o.strategy)
+	}
+	if o.epsilon != 0 {
+		return nil, fmt.Errorf("qclique: epsilon %v is not meaningful for FindNegativeTriangleEdges", o.epsilon)
+	}
 	inst := triangles.Instance{G: g.g}
 	var (
 		edges  map[graph.Pair]bool
 		rounds int64
 	)
 	switch o.strategy {
-	case DolevListing, Gossip:
+	case DolevListing:
 		rep, err := triangles.DolevFindEdges(inst, nil)
 		if err != nil {
 			return nil, err

@@ -8,6 +8,7 @@ package qclique
 // one shared APSP result. cmd/apspd exposes the same layer over HTTP.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -74,6 +75,7 @@ func resultFromServe(sr *serve.SolveResult, strategy Strategy) *APSPResult {
 		Epsilon:           sr.Res.Epsilon,
 		GuaranteedStretch: sr.Res.GuaranteedStretch,
 		ObservedStretch:   sr.Res.ObservedStretch,
+		Stages:            stagesFromCore(sr.Res.Stages),
 		dist:              sr.Res.Dist,
 	}
 }
@@ -82,6 +84,16 @@ func resultFromServe(sr *serve.SolveResult, strategy Strategy) *APSPResult {
 // cached or deduplicated call performs zero simulator rounds; the returned
 // result still reports the rounds the original solve charged.
 func (s *Solver) Solve(g *Digraph, opts ...Option) (*APSPResult, error) {
+	return s.SolveContext(context.Background(), g, opts...)
+}
+
+// SolveContext is Solve honoring a context (optionally tightened by
+// WithTimeout): a cancelled or deadline-expired solve stops at the
+// pipeline's next checkpoint with an error wrapping the context error,
+// nothing is cached, and the solver remains fully usable — re-solving the
+// same graph afterwards runs fresh and returns results bit-identical to
+// an uncancelled solve.
+func (s *Solver) SolveContext(ctx context.Context, g *Digraph, opts ...Option) (*APSPResult, error) {
 	if s == nil || s.svc == nil {
 		return nil, errors.New("qclique: use NewSolver")
 	}
@@ -89,7 +101,9 @@ func (s *Solver) Solve(g *Digraph, opts ...Option) (*APSPResult, error) {
 		return nil, errors.New("qclique: nil graph")
 	}
 	o := s.merged(opts)
-	sr, err := s.svc.SolveGraph(g.g, o.spec())
+	ctx, cancel := o.solveCtx(ctx)
+	defer cancel()
+	sr, err := s.svc.SolveGraphContext(ctx, g.g, o.spec())
 	if err != nil {
 		return nil, err
 	}
@@ -203,9 +217,16 @@ type StrategyStats struct {
 	Solves int64
 	// Errors counts failed executions.
 	Errors int64
+	// Cancelled counts executions stopped by their context before
+	// completing.
+	Cancelled int64
 	// RoundsCharged totals simulated rounds across executions; cache hits
 	// charge nothing.
 	RoundsCharged int64
+	// StageRounds maps stage name to the cumulative simulated rounds that
+	// stage charged across this strategy's executions — the serving-layer
+	// rollup of the per-solve Stages breakdown.
+	StageRounds map[string]int64
 }
 
 // SolverStats is a point-in-time snapshot of a Solver's accounting.
@@ -230,7 +251,22 @@ func (s *Solver) Stats() SolverStats {
 		Strategies:    make(map[string]StrategyStats, len(st.Strategies)),
 	}
 	for name, v := range st.Strategies {
-		out.Strategies[name] = StrategyStats(v)
+		ss := StrategyStats{
+			Requests:      v.Requests,
+			CacheHits:     v.CacheHits,
+			Deduped:       v.Deduped,
+			Solves:        v.Solves,
+			Errors:        v.Errors,
+			Cancelled:     v.Cancelled,
+			RoundsCharged: v.RoundsCharged,
+		}
+		if len(v.Stages) > 0 {
+			ss.StageRounds = make(map[string]int64, len(v.Stages))
+			for stage, agg := range v.Stages {
+				ss.StageRounds[stage] = agg.Rounds
+			}
+		}
+		out.Strategies[name] = ss
 	}
 	return out
 }
