@@ -381,8 +381,9 @@ func selftest(cfg serve.Config) error {
 			return err
 		}
 		var timedOut struct {
-			Error  string `json:"error"`
-			Stages []struct {
+			Error     string `json:"error"`
+			Retryable bool   `json:"retryable"`
+			Stages    []struct {
 				Name   string `json:"name"`
 				Rounds int64  `json:"rounds"`
 			} `json:"stages"`
@@ -397,6 +398,13 @@ func selftest(cfg serve.Config) error {
 		}
 		if timedOut.Error == "" {
 			return fmt.Errorf("1ms-deadline solve: 503 without an error message")
+		}
+		// Every 503 is a transient condition: it must advertise the retry.
+		if resp.Header.Get("Retry-After") == "" {
+			return fmt.Errorf("1ms-deadline solve: 503 without a Retry-After header")
+		}
+		if !timedOut.Retryable {
+			return fmt.Errorf("1ms-deadline solve: 503 without retryable marker")
 		}
 	}
 	var afterDeadline struct {
@@ -456,6 +464,85 @@ func selftest(cfg serve.Config) error {
 	}
 	if stageRollup != wantCharged {
 		return fmt.Errorf("per-stage metrics roll up to %d rounds, want %d", stageRollup, wantCharged)
+	}
+
+	// 9. Chaos probe: a transient outage (every phase corrupted until the
+	// 5-fault budget is spent) exhausts the quantum stage-retry budget;
+	// with degradation on, the ladder answers with the approx-quantum rung
+	// and the response says so, while the same outage without degradation
+	// is a retryable 503. The fault and retry counters must then show up
+	// in /metrics.
+	faultsBody := map[string]any{"seed": 7, "corrupt_rate": 1, "max_faults": 5}
+	var degradedRes struct {
+		Strategy          string  `json:"strategy"`
+		Degraded          bool    `json:"degraded"`
+		DegradedFrom      string  `json:"degraded_from"`
+		DegradeReason     string  `json:"degrade_reason"`
+		GuaranteedStretch float64 `json:"guaranteed_stretch"`
+	}
+	degradeBody := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed, "degrade": true, "faults": faultsBody}
+	if err := call(http.MethodPost, "/graphs/"+putDeadline.ID+"/solve", degradeBody, &degradedRes); err != nil {
+		return err
+	}
+	if !degradedRes.Degraded || degradedRes.DegradedFrom != "quantum" || degradedRes.DegradeReason != "retries-exhausted" {
+		return fmt.Errorf("degraded solve not marked: %+v", degradedRes)
+	}
+	if degradedRes.Strategy != "approx-quantum" || degradedRes.GuaranteedStretch != 1.5 {
+		return fmt.Errorf("degraded solve rung %q (stretch %g), want approx-quantum at 1.5", degradedRes.Strategy, degradedRes.GuaranteedStretch)
+	}
+	{
+		exhaustBody := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed, "faults": faultsBody}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(exhaustBody); err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPost, base+"/graphs/"+putDeadline.ID+"/solve", &buf)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		var exhausted struct {
+			Error     string         `json:"error"`
+			Retryable bool           `json:"retryable"`
+			Faults    map[string]any `json:"faults"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&exhausted)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return fmt.Errorf("fault-exhausted solve: status %d, want 503", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" || !exhausted.Retryable {
+			return fmt.Errorf("fault-exhausted 503 missing Retry-After/retryable: %+v", exhausted)
+		}
+		if len(exhausted.Faults) == 0 {
+			return fmt.Errorf("fault-exhausted 503 without fault telemetry")
+		}
+	}
+	var chaosStats struct {
+		Strategies map[string]struct {
+			FaultFailures int64 `json:"fault_failures"`
+			Retries       int64 `json:"retries"`
+			Degraded      int64 `json:"degraded"`
+			Faults        struct {
+				Corrupted int64 `json:"corrupted"`
+			} `json:"faults"`
+		} `json:"strategies"`
+	}
+	if err := call(http.MethodGet, "/metrics", nil, &chaosStats); err != nil {
+		return err
+	}
+	cq := chaosStats.Strategies["quantum"]
+	if cq.FaultFailures != 2 || cq.Degraded != 1 {
+		return fmt.Errorf("chaos metrics: fault_failures=%d degraded=%d, want 2 and 1", cq.FaultFailures, cq.Degraded)
+	}
+	if cq.Retries == 0 || cq.Faults.Corrupted != 10 {
+		return fmt.Errorf("chaos metrics: retries=%d corrupted=%d, want >0 and 10", cq.Retries, cq.Faults.Corrupted)
 	}
 	return nil
 }

@@ -457,6 +457,126 @@ func approxWinFailures(rep *Report) []string {
 	return failures
 }
 
+// chaosPlan is the fixed fault schedule of the -faults mode: a steady mix
+// of recovered link faults plus at most one unrecovered fault (corruption
+// or crash), which every strategy's stage-retry budget must absorb. One
+// unrecovered fault is the conservative cap that converges under every
+// budget: a crash with a one-phase down window costs two attempts of the
+// stage it lands in, and the smallest budget (gossip) allows exactly two
+// retries.
+var chaosPlan = congest.FaultPlan{
+	Seed:            20190729,
+	DropRate:        0.05,
+	DupRate:         0.02,
+	DelayRate:       0.03,
+	MaxDelayRounds:  2,
+	CorruptRate:     0.05,
+	CrashRate:       0.02,
+	CrashDownPhases: 1,
+	MaxFaults:       1,
+}
+
+// FaultResult is one chaos configuration's outcome: the armed run must
+// converge to the fault-free distances, and the report records what it
+// cost to get there.
+type FaultResult struct {
+	Name string `json:"name"`
+	// CleanRounds and Rounds are the fault-free and armed round counts;
+	// the difference is the injected-fault surcharge.
+	CleanRounds int64 `json:"clean_rounds"`
+	Rounds      int64 `json:"rounds"`
+	// Retries is the total stage re-runs spent recovering.
+	Retries int `json:"retries"`
+	// Faults is the injected-fault accounting of the armed run.
+	Faults congest.FaultCounters `json:"faults"`
+}
+
+// FaultReport is the -faults mode's emitted document (the CI chaos job
+// uploads it as an artifact).
+type FaultReport struct {
+	Label     string            `json:"label"`
+	GoVersion string            `json:"go"`
+	Timestamp string            `json:"timestamp"`
+	Plan      congest.FaultPlan `json:"plan"`
+	Results   []FaultResult     `json:"results"`
+}
+
+// runFaultMode measures the chaos matrix — every registered strategy at
+// n ∈ {8, 16}, each on the densest input class it accepts. Each
+// configuration runs once fault-free and once under chaosPlan at the
+// pinned seed; the armed run must converge to identical distances, and the
+// per-configuration fault accounting is emitted as a FaultReport.
+func runFaultMode(label, out string) error {
+	params := triangles.BenchParams()
+	const eps = 0.5
+	type sc struct {
+		strategy core.Strategy
+		epsilon  float64
+		build    func(n int) (*graph.Digraph, error)
+	}
+	matrix := []sc{
+		{core.StrategyQuantum, 0, benchDigraph},
+		{core.StrategyClassicalSearch, 0, benchDigraph},
+		{core.StrategyDolev, 0, benchDigraph},
+		{core.StrategyGossip, 0, benchDigraph},
+		{core.StrategyApproxQuantum, eps, benchNonnegDigraph},
+		{core.StrategyApproxSkeleton, eps, benchSymmetricDigraph},
+	}
+	rep := &FaultReport{
+		Label:     label,
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Plan:      chaosPlan,
+	}
+	for _, m := range matrix {
+		for _, n := range []int{8, 16} {
+			g, err := m.build(n)
+			if err != nil {
+				return err
+			}
+			name := fmt.Sprintf("Chaos/%s/n=%d", m.strategy, n)
+			cfg := core.Config{Strategy: m.strategy, Params: &params, Epsilon: m.epsilon, Seed: roundsSeed}
+			clean, err := core.Solve(g, cfg)
+			if err != nil {
+				return fmt.Errorf("%s: fault-free run: %w", name, err)
+			}
+			cfg.Faults = chaosPlan
+			armed, err := core.Solve(g, cfg)
+			if err != nil {
+				return fmt.Errorf("%s: armed run did not converge: %w", name, err)
+			}
+			if !armed.Dist.Equal(clean.Dist) {
+				return fmt.Errorf("%s: armed distances diverged from the fault-free run", name)
+			}
+			var retries int
+			for _, sg := range armed.Stages {
+				retries += sg.Retries
+			}
+			rep.Results = append(rep.Results, FaultResult{
+				Name:        name,
+				CleanRounds: clean.Rounds,
+				Rounds:      armed.Rounds,
+				Retries:     retries,
+				Faults:      armed.Metrics.Faults,
+			})
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d chaos configurations, all converged)\n", out, len(rep.Results))
+	}
+	return nil
+}
+
 func loadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -482,11 +602,20 @@ func main() {
 	quick := flag.Bool("quick", false, "skip the slow large-n configurations")
 	stages := flag.Bool("stages", false, "include the per-stage round breakdown column in the report (the stage-sum gate runs regardless)")
 	check := flag.String("check", "", "compare against this baseline report and exit 1 on regression")
+	faults := flag.Bool("faults", false, "run the chaos matrix (every strategy under the fixed fault plan) instead of E1-E4 and emit a FaultReport")
 	maxSlowdown := flag.Float64("max-slowdown", 2.5, "ns/op regression tolerance for -check")
 	maxAllocGrowth := flag.Float64("max-alloc-growth", 1.5, "allocs/op regression tolerance for -check")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measurement run to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this path")
 	flag.Parse()
+
+	if *faults {
+		if err := runFaultMode(*label, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "bench -faults:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Load the baseline before the (multi-minute) measurement run so a
 	// bad path or stale format fails fast.

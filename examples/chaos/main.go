@@ -1,0 +1,122 @@
+// Chaos engineering against the simulated transport: this example arms a
+// solve with a deterministic fault plan and shows the two resilience
+// layers absorbing it. First a solve survives ~1% message loss — the
+// transport retransmits, distances are untouched, and the round accounting
+// shows what the recovery cost. Then a forced transient outage exhausts
+// the quantum pipeline's stage-retry budget and the graceful-degradation
+// ladder answers with the (1+ε)-approximate rung instead of failing.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"qclique"
+)
+
+func main() {
+	// A symmetric weighted grid: the input class every degradation rung
+	// accepts.
+	const rows, cols = 5, 5
+	const n = rows * cols
+	g := qclique.NewDigraph(n)
+	id := func(r, c int) int { return r*cols + c }
+	set := func(a, b int, w int64) {
+		if err := g.SetArc(a, b, w); err != nil {
+			log.Fatal(err)
+		}
+		if err := g.SetArc(b, a, w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				set(id(r, c), id(r, c+1), int64(1+(r*7+c)%9))
+			}
+			if r+1 < rows {
+				set(id(r, c), id(r+1, c), int64(1+(r*3+c*5)%9))
+			}
+		}
+	}
+
+	solver := qclique.NewSolver(
+		qclique.WithStrategy(qclique.Quantum),
+		qclique.WithParams(qclique.ScaledConstants),
+		qclique.WithSeed(42),
+	)
+
+	// Baseline: the fault-free solve.
+	clean, err := solver.Solve(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-free:      %d rounds\n", clean.Rounds)
+
+	// 1) Lossy links: every message has a 1%% chance of being dropped (and
+	// small chances of duplication and delay). All of it is recovered by
+	// the transport — distances are identical, only rounds go up.
+	lossy, err := solver.Solve(g, qclique.WithFaultPlan(qclique.FaultPlan{
+		Seed:           7,
+		DropRate:       0.01,
+		DupRate:        0.005,
+		DelayRate:      0.005,
+		MaxDelayRounds: 2,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := true
+	for i := range clean.Dist {
+		for j := range clean.Dist[i] {
+			if clean.Dist[i][j] != lossy.Dist[i][j] {
+				same = false
+			}
+		}
+	}
+	fmt.Printf("1%% message loss: %d rounds (+%d recovery surcharge), distances identical: %v\n",
+		lossy.Rounds, lossy.Rounds-clean.Rounds, same)
+	fmt.Printf("  injected: %d dropped, %d duplicated, %d delayed (%d retransmit rounds)\n",
+		lossy.Faults.Dropped, lossy.Faults.Duplicated, lossy.Faults.Delayed,
+		lossy.Faults.RetransmitRounds)
+
+	// 2) A transient outage: every phase is corrupted until the 5-fault
+	// budget is spent. The quantum pipeline retries a failing stage 4
+	// times, so 5 unrecovered faults exhaust it exactly. Without
+	// degradation that is a typed error...
+	outage := qclique.FaultPlan{Seed: 7, CorruptRate: 1, MaxFaults: 5}
+	_, err = solver.Solve(g, qclique.WithFaultPlan(outage))
+	var fx *qclique.FaultExhaustedError
+	if !errors.As(err, &fx) {
+		log.Fatalf("expected fault exhaustion, got %v", err)
+	}
+	fmt.Printf("forced outage:   quantum exhausted its retry budget after %d corrupted phases\n",
+		fx.Faults.Corrupted)
+
+	// ...and with the graceful-degradation ladder it is a degraded answer:
+	// the approx-quantum rung runs on the remaining (now empty) fault
+	// budget and reports its stretch contract.
+	degraded, err := solver.Solve(g, qclique.WithFaultPlan(outage), qclique.WithDegradation())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with ladder:     degraded %v -> %v (%s), guaranteed stretch %g\n",
+		degraded.DegradedFrom, degraded.Strategy, degraded.DegradeReason,
+		degraded.GuaranteedStretch)
+
+	// The degraded distances still respect the rung's contract.
+	worst := 1.0
+	for i := range clean.Dist {
+		for j := range clean.Dist[i] {
+			if clean.Dist[i][j] > 0 {
+				r := float64(degraded.Dist[i][j]) / float64(clean.Dist[i][j])
+				if r > worst {
+					worst = r
+				}
+			}
+		}
+	}
+	fmt.Printf("observed stretch of the degraded answer: %.3f (bound %g)\n",
+		worst, degraded.GuaranteedStretch)
+}

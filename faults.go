@@ -1,0 +1,176 @@
+package qclique
+
+// Public fault-injection and resilience surface: the deterministic fault
+// plan that arms a solve's simulated network, the injected-fault counters
+// every armed result carries, and the typed errors a solve surfaces when
+// the stage-retry budget or the per-strategy circuit breaker gives up.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"qclique/internal/congest"
+	"qclique/internal/serve"
+)
+
+// FaultPlan is a deterministic, seed-driven fault-injection schedule for
+// the CONGEST-CLIQUE transport. The zero value injects nothing and keeps
+// results and round counts bit-identical to an unarmed solve; runs with
+// equal plans (and otherwise equal inputs) inject identical fault
+// schedules.
+//
+// Recovered faults — message drop, duplication, bounded delay — never
+// change the delivered data or the resulting distances; they only
+// surcharge the simulated round/word accounting with the retransmission
+// traffic. Unrecovered faults — payload corruption and node crashes — fail
+// the pipeline stage they land in, which the engine retries within the
+// strategy's budget (see the Resilience section of the README).
+type FaultPlan struct {
+	// Seed drives the fault schedule (independent of the protocol seed).
+	Seed uint64
+	// DropRate is the per-phase probability (0..1) that a link loses its
+	// message and retransmits.
+	DropRate float64
+	// DupRate is the per-phase probability that a link delivers a
+	// duplicate, which the transport suppresses.
+	DupRate float64
+	// DelayRate is the per-phase probability that a link's delivery is
+	// late; MaxDelayRounds bounds the lateness (default 1).
+	DelayRate      float64
+	MaxDelayRounds int
+	// CorruptRate is the per-phase probability of an unrecoverable payload
+	// corruption, failing the stage.
+	CorruptRate float64
+	// CrashRate is the per-phase probability a node crashes at the phase
+	// boundary, staying down for CrashDownPhases phases (default 1) before
+	// restarting.
+	CrashRate       float64
+	CrashDownPhases int
+	// MaxFaults, when > 0, caps the total number of unrecovered faults
+	// (corruptions + crashes) injected — a transient-outage budget after
+	// which the plan only injects recovered faults.
+	MaxFaults int
+}
+
+func (p FaultPlan) toCore() congest.FaultPlan {
+	return congest.FaultPlan{
+		Seed:            p.Seed,
+		DropRate:        p.DropRate,
+		DupRate:         p.DupRate,
+		DelayRate:       p.DelayRate,
+		MaxDelayRounds:  p.MaxDelayRounds,
+		CorruptRate:     p.CorruptRate,
+		CrashRate:       p.CrashRate,
+		CrashDownPhases: p.CrashDownPhases,
+		MaxFaults:       p.MaxFaults,
+	}
+}
+
+// FaultCounters tallies the faults a solve's transport injected.
+type FaultCounters struct {
+	// Dropped, Duplicated and Delayed count recovered link faults.
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+	// Corrupted and Crashes count unrecovered faults; Restarts counts
+	// crashed nodes coming back up.
+	Corrupted int64
+	Crashes   int64
+	Restarts  int64
+	// RetransmitRounds and DelayRounds are the extra simulated rounds the
+	// recovered faults charged.
+	RetransmitRounds int64
+	DelayRounds      int64
+	// FailedPhases counts communication phases that failed outright
+	// (corruption, or a message addressed to a crashed node).
+	FailedPhases int64
+}
+
+// Injected reports the total number of injected fault events.
+func (c FaultCounters) Injected() int64 {
+	return c.Dropped + c.Duplicated + c.Delayed + c.Corrupted + c.Crashes
+}
+
+func countersFromCore(c congest.FaultCounters) FaultCounters {
+	return FaultCounters{
+		Dropped:          c.Dropped,
+		Duplicated:       c.Duplicated,
+		Delayed:          c.Delayed,
+		Corrupted:        c.Corrupted,
+		Crashes:          c.Crashes,
+		Restarts:         c.Restarts,
+		RetransmitRounds: c.RetransmitRounds,
+		DelayRounds:      c.DelayRounds,
+		FailedPhases:     c.FailedPhases,
+	}
+}
+
+// WithFaultPlan arms the solve's simulated network with a deterministic
+// fault schedule. The plan is part of a result's identity: a Solver caches
+// armed and unarmed solves of the same graph separately.
+func WithFaultPlan(p FaultPlan) Option {
+	return func(o *options) { o.faults = p }
+}
+
+// WithDegradation opts a Solver solve into the graceful-degradation
+// ladder: when the requested strategy exhausts its stage-retry budget,
+// hits its open circuit breaker, or runs out of deadline, the solve falls
+// back to a cheaper approximate strategy the input admits (exact →
+// ApproxQuantum → ApproxSkeleton) instead of failing. A degraded result is
+// marked with APSPResult.Degraded and reports the rung that answered in
+// Strategy and its contract in GuaranteedStretch. Honored by Solver
+// methods only — the ladder lives in the serving layer, and the one-shot
+// SolveAPSP rejects the option rather than silently ignoring it.
+func WithDegradation() Option {
+	return func(o *options) { o.degrade = true }
+}
+
+// FaultExhaustedError reports a solve that ran out of stage-retry budget
+// under an armed fault plan: the injected faults outlasted every retry
+// (and, with WithDegradation, every ladder rung the input admitted).
+type FaultExhaustedError struct {
+	// Faults is the injected-fault accounting of the failed run.
+	Faults FaultCounters
+	err    error
+}
+
+func (e *FaultExhaustedError) Error() string {
+	return fmt.Sprintf("qclique: fault-injection retries exhausted (%d unrecovered faults): %v",
+		e.Faults.Corrupted+e.Faults.Crashes, e.err)
+}
+
+func (e *FaultExhaustedError) Unwrap() error { return e.err }
+
+// BreakerOpenError reports a solve refused because the strategy's circuit
+// breaker is open after repeated fault failures; RetryAfter is the
+// remaining cooldown.
+type BreakerOpenError struct {
+	Strategy   Strategy
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("qclique: %v circuit breaker open, retry in %v", e.Strategy, e.RetryAfter)
+}
+
+// mapServeErr rewraps the serving layer's resilience errors into their
+// public mirrors so callers can errors.As against exported types.
+func mapServeErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var fx *serve.FaultExhaustedError
+	if errors.As(err, &fx) {
+		return &FaultExhaustedError{Faults: countersFromCore(fx.Faults), err: err}
+	}
+	var be *serve.BreakerOpenError
+	if errors.As(err, &be) {
+		s, serr := ParseStrategy(be.Strategy)
+		if serr != nil {
+			s = Quantum
+		}
+		return &BreakerOpenError{Strategy: s, RetryAfter: be.RetryAfter}
+	}
+	return err
+}

@@ -10,11 +10,20 @@ package approx
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"qclique/internal/congest"
 	"qclique/internal/distprod"
 	"qclique/internal/engine"
 	"qclique/internal/matrix"
+)
+
+// Stage-retry budgets for unrecovered injected faults, mirroring the exact
+// pipelines' scale: the chain shares the search pipelines' budget, the
+// skeleton's four lighter phases get a middle budget.
+var (
+	chainRetry    = engine.RetryPolicy{MaxRetries: 4, Backoff: 250 * time.Microsecond}
+	skeletonRetry = engine.RetryPolicy{MaxRetries: 3, Backoff: 250 * time.Microsecond}
 )
 
 func init() {
@@ -36,7 +45,7 @@ func (chainStrategy) Stages(req *engine.Request, out *engine.Outcome) (*engine.P
 	n := req.G.N()
 	// Same 3n-clique reduction substrate as the exact quantum pipeline;
 	// only the per-product search is ladder-indexed.
-	net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096))
+	net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096), congest.WithFaults(req.Faults))
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +95,7 @@ func (chainStrategy) Stages(req *engine.Request, out *engine.Outcome) (*engine.P
 			return nil
 		}},
 	)
-	return &engine.Plan{Net: net, Stages: stages, Cleanup: func() {
+	return &engine.Plan{Net: net, Stages: stages, Retry: chainRetry, Cleanup: func() {
 		if run != nil {
 			run.release()
 		}
@@ -102,7 +111,7 @@ func (skeletonStrategy) Approximate() bool             { return true }
 func (skeletonStrategy) Guarantee(eps float64) float64 { return 2 + eps }
 
 func (skeletonStrategy) Stages(req *engine.Request, out *engine.Outcome) (*engine.Plan, error) {
-	net, err := congest.NewNetwork(req.G.N())
+	net, err := congest.NewNetwork(req.G.N(), congest.WithFaults(req.Faults))
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +121,7 @@ func (skeletonStrategy) Stages(req *engine.Request, out *engine.Outcome) (*engin
 		return nil, err
 	}
 	skipPhases := func() bool { return run.trivial() }
-	return &engine.Plan{Net: net, Stages: []engine.Stage{
+	return &engine.Plan{Net: net, Retry: skeletonRetry, Stages: []engine.Stage{
 		{Name: "knn-balls", Run: run.knnBalls, Skip: skipPhases},
 		{Name: "skeleton-sample", Run: run.sampleSkeleton, Skip: skipPhases},
 		{Name: "mssp-ladder", Run: run.mssp, Skip: skipPhases},

@@ -113,7 +113,10 @@ type Metrics struct {
 	Phases      int64 // number of accounting events
 	Words       int64 // total words moved
 	MaxLinkLoad int64 // max words placed on one link within a single phase
-	Trace       []PhaseStat
+	// Faults tallies injected faults and their recovery surcharges; all
+	// zeros unless the network was armed with WithFaults.
+	Faults FaultCounters
+	Trace  []PhaseStat
 }
 
 func (m *Metrics) record(st PhaseStat) {
@@ -134,6 +137,7 @@ func (m *Metrics) Add(other Metrics) {
 	if other.MaxLinkLoad > m.MaxLinkLoad {
 		m.MaxLinkLoad = other.MaxLinkLoad
 	}
+	m.Faults.Add(other.Faults)
 	m.Trace = append(m.Trace, other.Trace...)
 }
 
@@ -172,6 +176,10 @@ type Network struct {
 	// same lifetime as the inboxes that reference them.
 	payloads [2]payloadArena
 	payGen   int
+
+	// faults is the armed fault injector (see faults.go); nil — the
+	// default — keeps every phase method on its fault-free fast path.
+	faults *faultState
 }
 
 // payloadBlockWords is the minimum block size the payload arena grows by;
@@ -336,6 +344,12 @@ func NewNetwork(n int, opts ...Option) (*Network, error) {
 	for _, o := range opts {
 		o(nw)
 	}
+	if nw.faults != nil {
+		if err := nw.faults.plan.Validate(); err != nil {
+			return nil, err
+		}
+		nw.faults.init()
+	}
 	return nw, nil
 }
 
@@ -402,6 +416,10 @@ func (nw *Network) checkEndpoints(src, dst NodeID) error {
 // buffer and remain valid only until the next Exchange call on this
 // network; callers that need them longer must copy.
 func (nw *Network) ExchangeDirect(label string, msgs []Message) ([][]Message, error) {
+	fs, ferr := nw.faultBegin(label)
+	if ferr != nil {
+		return nil, fmt.Errorf("exchange %q: %w", label, ferr)
+	}
 	nw.sc.begin(nw.n)
 	var total int64
 	for _, m := range msgs {
@@ -411,15 +429,25 @@ func (nw *Network) ExchangeDirect(label string, msgs []Message) ([][]Message, er
 		w := m.Words()
 		nw.sc.addLink(nw.n, m.Src, m.Dst, w)
 		total += w
+		if fs != nil {
+			fs.onWords(w, &nw.metrics.Faults)
+		}
 	}
 	maxLink := nw.sc.maxLink()
-	nw.record(PhaseStat{
+	st := PhaseStat{
 		Kind:        PhaseDirect,
 		Label:       label,
 		Rounds:      maxLink,
 		Words:       total,
 		MaxLinkLoad: maxLink,
-	})
+	}
+	if fs != nil {
+		fs.finish(&st, &nw.metrics.Faults)
+	}
+	nw.record(st)
+	if fs != nil && fs.pendErr != nil {
+		return nil, fmt.Errorf("exchange %q: %w", label, fs.pendErr)
+	}
 	return nw.deliver(msgs), nil
 }
 
@@ -431,6 +459,10 @@ func (nw *Network) ExchangeDirect(label string, msgs []Message) ([][]Message, er
 // verified against the one-word-per-link-per-round constraint. The returned
 // inboxes follow the same borrow contract as ExchangeDirect.
 func (nw *Network) ExchangeBalanced(label string, msgs []Message) ([][]Message, error) {
+	fs, ferr := nw.faultBegin(label)
+	if ferr != nil {
+		return nil, fmt.Errorf("exchange %q: %w", label, ferr)
+	}
 	nw.sc.begin(nw.n)
 	var total, maxLink int64
 	for _, m := range msgs {
@@ -443,6 +475,9 @@ func (nw *Network) ExchangeBalanced(label string, msgs []Message) ([][]Message, 
 			maxLink = l
 		}
 		total += w
+		if fs != nil {
+			fs.onWords(w, &nw.metrics.Faults)
+		}
 	}
 	srcLoad, dstLoad := nw.sc.maxNode(nw.n)
 	rounds := balancedRounds(srcLoad, dstLoad, int64(nw.n))
@@ -451,13 +486,20 @@ func (nw *Network) ExchangeBalanced(label string, msgs []Message) ([][]Message, 
 			return nil, fmt.Errorf("exchange %q: schedule validation: %w", label, err)
 		}
 	}
-	nw.record(PhaseStat{
+	st := PhaseStat{
 		Kind:        PhaseBalanced,
 		Label:       label,
 		Rounds:      rounds,
 		Words:       total,
 		MaxLinkLoad: maxLink,
-	})
+	}
+	if fs != nil {
+		fs.finish(&st, &nw.metrics.Faults)
+	}
+	nw.record(st)
+	if fs != nil && fs.pendErr != nil {
+		return nil, fmt.Errorf("exchange %q: %w", label, fs.pendErr)
+	}
 	return nw.deliver(msgs), nil
 }
 
@@ -503,6 +545,10 @@ func (nw *Network) deliver(msgs []Message) [][]Message {
 
 // ChargeDirect accounts a bulk phase without materializing payloads.
 func (nw *Network) ChargeDirect(label string, loads []Load) error {
+	fs, ferr := nw.faultBegin(label)
+	if ferr != nil {
+		return fmt.Errorf("charge %q: %w", label, ferr)
+	}
 	nw.sc.begin(nw.n)
 	var total, maxLink int64
 	for _, l := range loads {
@@ -516,20 +562,34 @@ func (nw *Network) ChargeDirect(label string, loads []Load) error {
 			maxLink = w
 		}
 		total += l.Words
+		if fs != nil {
+			fs.onWords(l.Words, &nw.metrics.Faults)
+		}
 	}
-	nw.record(PhaseStat{
+	st := PhaseStat{
 		Kind:        PhaseDirect,
 		Label:       label,
 		Rounds:      maxLink,
 		Words:       total,
 		MaxLinkLoad: maxLink,
-	})
+	}
+	if fs != nil {
+		fs.finish(&st, &nw.metrics.Faults)
+	}
+	nw.record(st)
+	if fs != nil && fs.pendErr != nil {
+		return fmt.Errorf("charge %q: %w", label, fs.pendErr)
+	}
 	return nil
 }
 
 // ChargeBalanced accounts a bulk Lemma-1 phase without materializing
 // payloads.
 func (nw *Network) ChargeBalanced(label string, loads []Load) error {
+	fs, ferr := nw.faultBegin(label)
+	if ferr != nil {
+		return fmt.Errorf("charge %q: %w", label, ferr)
+	}
 	nw.sc.begin(nw.n)
 	var total, maxLink int64
 	for _, l := range loads {
@@ -544,15 +604,25 @@ func (nw *Network) ChargeBalanced(label string, loads []Load) error {
 			maxLink = w
 		}
 		total += l.Words
+		if fs != nil {
+			fs.onWords(l.Words, &nw.metrics.Faults)
+		}
 	}
 	srcLoad, dstLoad := nw.sc.maxNode(nw.n)
-	nw.record(PhaseStat{
+	st := PhaseStat{
 		Kind:        PhaseBalanced,
 		Label:       label,
 		Rounds:      balancedRounds(srcLoad, dstLoad, int64(nw.n)),
 		Words:       total,
 		MaxLinkLoad: maxLink,
-	})
+	}
+	if fs != nil {
+		fs.finish(&st, &nw.metrics.Faults)
+	}
+	nw.record(st)
+	if fs != nil && fs.pendErr != nil {
+		return fmt.Errorf("charge %q: %w", label, fs.pendErr)
+	}
 	return nil
 }
 
@@ -572,13 +642,32 @@ func (nw *Network) Broadcast(label string, src NodeID, words int64) error {
 	if words < 0 {
 		return fmt.Errorf("broadcast %q: negative word count", label)
 	}
-	nw.record(PhaseStat{
+	return nw.recordBulk(label, PhaseStat{
 		Kind:        PhaseBroadcast,
 		Label:       label,
 		Rounds:      words,
 		Words:       words * int64(nw.n-1),
 		MaxLinkLoad: words,
-	})
+	}, words)
+}
+
+// recordBulk records a single-payload bulk phase (broadcast, gather,
+// all-to-all, transpose) through the fault injector: the phase consults
+// the crash/corruption draws and its one payload takes the per-message
+// draw.
+func (nw *Network) recordBulk(label string, st PhaseStat, words int64) error {
+	fs, ferr := nw.faultBegin(label)
+	if ferr != nil {
+		return fmt.Errorf("phase %q: %w", label, ferr)
+	}
+	if fs != nil {
+		fs.onWords(words, &nw.metrics.Faults)
+		fs.finish(&st, &nw.metrics.Faults)
+	}
+	nw.record(st)
+	if fs != nil && fs.pendErr != nil {
+		return fmt.Errorf("phase %q: %w", label, fs.pendErr)
+	}
 	return nil
 }
 
@@ -608,6 +697,7 @@ func (nw *Network) DeltaSince(baseline Metrics) Metrics {
 		Phases:      nw.metrics.Phases - baseline.Phases,
 		Words:       nw.metrics.Words - baseline.Words,
 		MaxLinkLoad: nw.metrics.MaxLinkLoad,
+		Faults:      nw.metrics.Faults.delta(baseline.Faults),
 	}
 }
 
@@ -617,12 +707,11 @@ func (nw *Network) BroadcastAll(label string, words int64) error {
 	if words < 0 {
 		return fmt.Errorf("broadcast %q: negative word count", label)
 	}
-	nw.record(PhaseStat{
+	return nw.recordBulk(label, PhaseStat{
 		Kind:        PhaseBroadcast,
 		Label:       label,
 		Rounds:      words,
 		Words:       words * int64(nw.n) * int64(nw.n-1),
 		MaxLinkLoad: words,
-	})
-	return nil
+	}, words)
 }

@@ -18,14 +18,13 @@ func (nw *Network) Gather(label string, collector NodeID, words int64) error {
 	if words < 0 {
 		return fmt.Errorf("gather %q: negative word count", label)
 	}
-	nw.record(PhaseStat{
+	return nw.recordBulk(label, PhaseStat{
 		Kind:        PhaseDirect,
 		Label:       label,
 		Rounds:      words,
 		Words:       words * int64(nw.n-1),
 		MaxLinkLoad: words,
-	})
-	return nil
+	}, words)
 }
 
 // AllToAll accounts a full personalized exchange: every node sends a
@@ -35,14 +34,13 @@ func (nw *Network) AllToAll(label string, words int64) error {
 	if words < 0 {
 		return fmt.Errorf("all-to-all %q: negative word count", label)
 	}
-	nw.record(PhaseStat{
+	return nw.recordBulk(label, PhaseStat{
 		Kind:        PhaseDirect,
 		Label:       label,
 		Rounds:      words,
 		Words:       words * int64(nw.n) * int64(nw.n-1),
 		MaxLinkLoad: words,
-	})
-	return nil
+	}, words)
 }
 
 // Transpose delivers a distributed matrix transpose with payloads: node i
@@ -67,12 +65,14 @@ func (nw *Network) Transpose(label string, rows [][]Word) ([][]Word, error) {
 			cols[j][i] = rows[i][j]
 		}
 	}
-	nw.record(PhaseStat{
+	if err := nw.recordBulk(label, PhaseStat{
 		Kind:        PhaseDirect,
 		Label:       label,
 		Rounds:      1,
 		Words:       int64(nw.n) * int64(nw.n-1),
 		MaxLinkLoad: 1,
-	})
+	}, 1); err != nil {
+		return nil, err
+	}
 	return cols, nil
 }

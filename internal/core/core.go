@@ -123,6 +123,15 @@ type Config struct {
 	// cancel-at-every-boundary regression drives it; it must not mutate
 	// solve state and must not be relied on for protocol logic.
 	StageHook func(i int, name string)
+	// Faults arms the pipeline's network(s) with a deterministic fault
+	// schedule (see congest.FaultPlan). The zero value disables injection
+	// and keeps rounds bit-identical to an unarmed solve. Recovered faults
+	// (drop, duplication, delay) only surcharge rounds; unrecovered ones
+	// (corruption, crash) fail a stage, which the engine retries within
+	// the strategy's budget — on exhaustion the solve fails with an error
+	// matching errors.As(*congest.FaultError), carrying the partial stage
+	// telemetry like a cancellation does.
+	Faults congest.FaultPlan
 }
 
 // Workspace aggregates the reusable state of a solve: the matrix freelist
@@ -246,11 +255,15 @@ func SolveContext(ctx context.Context, g *graph.Digraph, cfg Config) (*Result, e
 		MX:        &ws.mx,
 		DP:        ws.dp,
 		StageHook: cfg.StageHook,
+		Faults:    cfg.Faults,
 	})
 	if err != nil {
-		if out != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-			// Cancelled mid-pipeline: surface the partial stage telemetry
-			// (no distances) so the serving layer can report what ran.
+		var fe *congest.FaultError
+		if out != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.As(err, &fe)) {
+			// Cancelled mid-pipeline, or an injected fault exhausted the
+			// stage retry budget: surface the partial stage telemetry (no
+			// distances) so the serving layer can report what ran — and,
+			// for faults, how many were injected before the stop.
 			res.Rounds = out.Rounds
 			res.Metrics = out.Metrics
 			res.Products = out.Products

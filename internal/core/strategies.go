@@ -12,12 +12,24 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"qclique/internal/congest"
 	"qclique/internal/distprod"
 	"qclique/internal/engine"
 	"qclique/internal/matrix"
 	"qclique/internal/xrand"
+)
+
+// Stage-retry budgets for unrecovered injected faults (congest.FaultError):
+// the search pipelines spend many phases per stage, so they get the larger
+// budget; gossip's stages are single broadcasts. The backoff base is small
+// — the simulator retries in-process, the backoff exists to be measured
+// (StageStat.BackoffNs) and to model the recovery pause a real transport
+// would take.
+var (
+	searchRetry = engine.RetryPolicy{MaxRetries: 4, Backoff: 250 * time.Microsecond}
+	gossipRetry = engine.RetryPolicy{MaxRetries: 2, Backoff: 250 * time.Microsecond}
 )
 
 func init() {
@@ -69,7 +81,7 @@ func (p *searchPipeline) Stages(req *engine.Request, out *engine.Outcome) (*engi
 	// The reduction runs on tripartite instances with 3n vertices; each
 	// network node simulates three of them (constant-factor overhead),
 	// realized as a 3n-node clique.
-	net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096))
+	net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096), congest.WithFaults(req.Faults))
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +91,7 @@ func (p *searchPipeline) Stages(req *engine.Request, out *engine.Outcome) (*engi
 		stages = append(stages, engine.Stage{Name: fmt.Sprintf("square-%d", i+1), Run: st.square})
 	}
 	stages = append(stages, engine.Stage{Name: "extract", Run: st.extract})
-	return &engine.Plan{Net: net, Stages: stages, Cleanup: st.release}, nil
+	return &engine.Plan{Net: net, Stages: stages, Cleanup: st.release, Retry: searchRetry}, nil
 }
 
 // searchRun is the mutable state the stages of one searchPipeline solve
@@ -157,12 +169,12 @@ func (gossipPipeline) Guarantee(float64) float64 { return 1 }
 
 func (gossipPipeline) Stages(req *engine.Request, out *engine.Outcome) (*engine.Plan, error) {
 	n := req.G.N()
-	net, err := congest.NewNetwork(n)
+	net, err := congest.NewNetwork(n, congest.WithFaults(req.Faults))
 	if err != nil {
 		return nil, err
 	}
 	var ag *matrix.Matrix
-	return &engine.Plan{Net: net, Stages: []engine.Stage{
+	return &engine.Plan{Net: net, Retry: gossipRetry, Stages: []engine.Stage{
 		{Name: "encode", Run: func(context.Context) error {
 			ag = matrix.FromDigraph(req.G)
 			return nil

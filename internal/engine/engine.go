@@ -22,6 +22,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/metrics"
 	"time"
@@ -52,6 +53,10 @@ type Request struct {
 	// DP is the distance-product workspace (tripartite instance, search
 	// buffers, triangles scratch).
 	DP *distprod.Workspace
+	// Faults is the fault-injection plan the strategy arms its network(s)
+	// with; the zero value keeps injection fully disabled (bit-identical
+	// rounds).
+	Faults congest.FaultPlan
 	// StageHook, when non-nil, is invoked at every stage boundary — before
 	// the stage's cancellation checkpoint — with the stage index and name.
 	// It is an observability and test seam (the cancel-at-every-boundary
@@ -93,6 +98,13 @@ type StageStat struct {
 	WallNs  int64  `json:"wall_ns"`
 	Allocs  uint64 `json:"allocs"`
 	Skipped bool   `json:"skipped,omitempty"`
+	// Retries counts re-runs of the stage after unrecovered injected
+	// faults (congest.FaultError); the stage's other columns aggregate
+	// across all attempts, so the stage-rounds-sum invariant holds under
+	// retry.
+	Retries int `json:"retries,omitempty"`
+	// BackoffNs is the wall time spent waiting between retry attempts.
+	BackoffNs int64 `json:"backoff_ns,omitempty"`
 }
 
 // Wall returns the stage's wall-clock time.
@@ -122,6 +134,20 @@ type Stage struct {
 	Skip func() bool
 }
 
+// RetryPolicy bounds the engine's stage-level fault recovery: a stage that
+// fails with a congest.FaultError (an unrecovered injected fault) is re-run
+// up to MaxRetries times, with exponential backoff between attempts. Every
+// other error class fails fast — retry is reserved for the failure mode
+// that is transient by construction.
+type RetryPolicy struct {
+	// MaxRetries is the per-stage retry budget (0 disables retry).
+	MaxRetries int
+	// Backoff is the base wait before the first retry, doubled per further
+	// attempt; 0 retries immediately. The wait is context-aware: a solve
+	// deadline expiring mid-backoff aborts with the context error.
+	Backoff time.Duration
+}
+
 // Plan is a built pipeline: an ordered stage list over one network.
 type Plan struct {
 	// Net is the network every stage charges; per-stage round deltas are
@@ -134,6 +160,11 @@ type Plan struct {
 	// pipeline returns borrowed workspace buffers so pooled state stays
 	// reusable. It is not invoked after a fully successful run.
 	Cleanup func()
+	// Retry is the strategy's stage-retry budget for unrecovered injected
+	// faults. Stages must be re-runnable for this to be sound: each
+	// strategy's stage closures re-derive their seeds and reset their
+	// phase outputs on entry (the chaos suite pins this).
+	Retry RetryPolicy
 }
 
 // Run executes the strategy's staged pipeline for req. On success the
@@ -162,7 +193,7 @@ func Run(ctx context.Context, s Strategy, req *Request) (*Outcome, error) {
 			out.Stages = append(out.Stages, StageStat{Name: st.Name, Skipped: true})
 			continue
 		}
-		stat, err := runStage(ctx, plan.Net, st)
+		stat, err := runStageWithRetry(ctx, plan, st)
 		out.Stages = append(out.Stages, stat)
 		if err != nil {
 			return abort(plan, out, err)
@@ -199,6 +230,57 @@ func mallocCount() uint64 {
 		return 0
 	}
 	return sample[0].Value.Uint64()
+}
+
+// runStageWithRetry executes one stage under the plan's retry policy: an
+// attempt that fails with a congest.FaultError (an unrecovered injected
+// fault — crash or detected corruption) is re-run after a context-aware
+// backoff, up to the policy's budget. The returned StageStat aggregates
+// every attempt — its network deltas are measured back-to-back against the
+// same network, so the per-stage rounds still sum exactly to the pipeline
+// total. Any other error (including a context error during backoff) fails
+// fast.
+func runStageWithRetry(ctx context.Context, plan *Plan, st Stage) (StageStat, error) {
+	stat, err := runStage(ctx, plan.Net, st)
+	var fe *congest.FaultError
+	for err != nil && errors.As(err, &fe) && stat.Retries < plan.Retry.MaxRetries {
+		wait, werr := backoff(ctx, plan.Retry.Backoff, stat.Retries)
+		stat.BackoffNs += wait.Nanoseconds()
+		if werr != nil {
+			return stat, werr
+		}
+		again, rerr := runStage(ctx, plan.Net, st)
+		stat.Rounds += again.Rounds
+		stat.Words += again.Words
+		stat.Phases += again.Phases
+		stat.WallNs += again.WallNs
+		stat.Allocs += again.Allocs
+		stat.Retries++
+		err = rerr
+	}
+	return stat, err
+}
+
+// backoff waits base<<attempt (exponential), honoring the context; it
+// returns the time actually waited.
+func backoff(ctx context.Context, base time.Duration, attempt int) (time.Duration, error) {
+	if base <= 0 {
+		return 0, ctx.Err()
+	}
+	const maxShift = 16
+	if attempt > maxShift {
+		attempt = maxShift
+	}
+	d := base << attempt
+	start := time.Now()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return time.Since(start), nil
+	case <-ctx.Done():
+		return time.Since(start), ctx.Err()
+	}
 }
 
 // runStage executes one stage and measures its cost: network deltas from

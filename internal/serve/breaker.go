@@ -1,0 +1,108 @@
+package serve
+
+// Per-strategy circuit breaker: a strategy whose solves keep exhausting
+// their fault-retry budgets is marked open for a cooldown, during which the
+// service answers (or ladders past) it immediately instead of burning a
+// full pipeline run per request. Only unrecovered-fault exhaustion trips
+// the breaker — protocol errors (negative cycles, bad specs) say nothing
+// about the transport's health, and cancellations belong to the caller.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 30 * time.Second
+)
+
+// BreakerOpenError reports a solve refused because the strategy's circuit
+// breaker is open. The HTTP layer maps it to 503 with a Retry-After header;
+// the degradation ladder treats it like retry exhaustion and falls through
+// to the next rung.
+type BreakerOpenError struct {
+	// Strategy is the refused strategy's canonical name.
+	Strategy string
+	// RetryAfter is the remaining cooldown.
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("serve: circuit breaker open for strategy %q (retry after %s)", e.Strategy, e.RetryAfter.Round(time.Millisecond))
+}
+
+// breaker tracks consecutive fault failures per strategy. threshold
+// consecutive failures open the circuit for cooldown; any success closes
+// it. The clock is injectable for tests.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	states    map[string]*breakerState
+}
+
+type breakerState struct {
+	fails     int
+	openUntil time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now, states: make(map[string]*breakerState)}
+}
+
+// allow reports whether a solve on name may proceed; when the circuit is
+// open it returns the remaining cooldown. A circuit whose cooldown has
+// elapsed closes (half-open would add little over re-counting to the
+// threshold: the simulator has no partial-probe cheaper than a solve).
+func (b *breaker) allow(name string) (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.states[name]
+	if !ok {
+		return 0, true
+	}
+	if remaining := st.openUntil.Sub(b.now()); remaining > 0 {
+		return remaining, false
+	}
+	if !st.openUntil.IsZero() {
+		// Cooldown elapsed: close and start counting afresh.
+		st.openUntil = time.Time{}
+		st.fails = 0
+	}
+	return 0, true
+}
+
+// failure records one fault-retry exhaustion; the threshold-th consecutive
+// one opens the circuit.
+func (b *breaker) failure(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.states[name]
+	if !ok {
+		st = &breakerState{}
+		b.states[name] = st
+	}
+	st.fails++
+	if st.fails >= b.threshold {
+		st.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// success closes the circuit and resets the consecutive-failure count.
+func (b *breaker) success(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st, ok := b.states[name]; ok {
+		st.fails = 0
+		st.openUntil = time.Time{}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"qclique/internal/congest"
 	"qclique/internal/core"
 	"qclique/internal/graph"
 )
@@ -19,13 +20,16 @@ import (
 // cacheKey is the full identity of a solve. epsilon is part of it: the
 // approximate strategies produce different distances (and rounds) per
 // epsilon, so two solves differing only in epsilon must never share an
-// entry.
+// entry. faults is part of it for the same reason — an armed plan changes
+// the round trajectory (and telemetry) of the cached result; FaultPlan is
+// all scalars, so the key stays comparable.
 type cacheKey struct {
 	hash     string
 	strategy core.Strategy
 	preset   Preset
 	seed     uint64
 	epsilon  float64
+	faults   congest.FaultPlan
 }
 
 // entry is one cached solve: the private graph clone the simulator ran on,

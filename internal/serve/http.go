@@ -13,11 +13,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
 
 	"qclique/internal/approx"
+	"qclique/internal/congest"
 	"qclique/internal/core"
 	"qclique/internal/engine"
 	"qclique/internal/graph"
@@ -72,6 +74,40 @@ type solveParamsJSON struct {
 	Seed      uint64  `json:"seed,omitempty"`
 	Epsilon   float64 `json:"epsilon,omitempty"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	// Faults arms the solve with a deterministic fault-injection plan
+	// (chaos testing over the wire); absent means no injection.
+	Faults *FaultPlanJSON `json:"faults,omitempty"`
+	// Degrade opts the request into the graceful-degradation ladder: on
+	// retry exhaustion, deadline pressure or an open breaker the response
+	// is a degraded approximate result instead of a 503.
+	Degrade bool `json:"degrade,omitempty"`
+}
+
+// FaultPlanJSON is the JSON mirror of congest.FaultPlan.
+type FaultPlanJSON struct {
+	Seed            uint64  `json:"seed,omitempty"`
+	DropRate        float64 `json:"drop_rate,omitempty"`
+	DupRate         float64 `json:"dup_rate,omitempty"`
+	DelayRate       float64 `json:"delay_rate,omitempty"`
+	MaxDelayRounds  int     `json:"max_delay_rounds,omitempty"`
+	CorruptRate     float64 `json:"corrupt_rate,omitempty"`
+	CrashRate       float64 `json:"crash_rate,omitempty"`
+	CrashDownPhases int     `json:"crash_down_phases,omitempty"`
+	MaxFaults       int     `json:"max_faults,omitempty"`
+}
+
+func (f FaultPlanJSON) plan() congest.FaultPlan {
+	return congest.FaultPlan{
+		Seed:            f.Seed,
+		DropRate:        f.DropRate,
+		DupRate:         f.DupRate,
+		DelayRate:       f.DelayRate,
+		MaxDelayRounds:  f.MaxDelayRounds,
+		CorruptRate:     f.CorruptRate,
+		CrashRate:       f.CrashRate,
+		CrashDownPhases: f.CrashDownPhases,
+		MaxFaults:       f.MaxFaults,
+	}
 }
 
 // solveCtx derives the request's solve context: the HTTP request context
@@ -100,7 +136,11 @@ func (p solveParamsJSON) spec() (SolveSpec, error) {
 	// assembled (query parameters can add epsilon after this point): the
 	// handlers validate explicitly or rely on Service.solve, and
 	// solveStatus maps ErrInvalidSpec to 400.
-	return SolveSpec{Strategy: strat, Preset: preset, Seed: p.Seed, Epsilon: p.Epsilon}, nil
+	spec := SolveSpec{Strategy: strat, Preset: preset, Seed: p.Seed, Epsilon: p.Epsilon, Degrade: p.Degrade}
+	if p.Faults != nil {
+		spec.Faults = p.Faults.plan()
+	}
+	return spec, nil
 }
 
 // SolveJSON is the solve response. The stretch fields are present for the
@@ -119,6 +159,18 @@ type SolveJSON struct {
 	GuaranteedStretch float64 `json:"guaranteed_stretch,omitempty"`
 	ObservedStretch   float64 `json:"observed_stretch,omitempty"`
 	Cached            bool    `json:"cached"`
+	// Degraded marks a response the degradation ladder answered with a
+	// fallback strategy: Strategy (and GuaranteedStretch) describe the rung
+	// that actually ran, DegradedFrom the one the client asked for.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedFrom  string `json:"degraded_from,omitempty"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
+	// Faults is the solve's injected-fault accounting (present only when
+	// faults were injected).
+	Faults *congest.FaultCounters `json:"faults,omitempty"`
+	// Retries totals the stage re-runs spent recovering from injected
+	// faults.
+	Retries int `json:"retries,omitempty"`
 	// Stages is the engine's per-stage breakdown of the solve that
 	// produced this result (present on fresh and cached responses alike —
 	// the cache retains the original run's telemetry). Stage rounds sum
@@ -354,8 +406,10 @@ func NewHandler(s *Service) http.Handler {
 
 func solveResponse(res *SolveResult, spec SolveSpec) SolveJSON {
 	sj := SolveJSON{
-		ID:             res.GraphID,
-		Strategy:       spec.strategy().String(),
+		ID: res.GraphID,
+		// The strategy that actually ran — under degradation this is the
+		// ladder rung that answered, not the one requested.
+		Strategy:       res.Res.Strategy.String(),
 		Preset:         spec.Preset.String(),
 		Seed:           spec.Seed,
 		Epsilon:        res.Res.Epsilon,
@@ -369,20 +423,38 @@ func solveResponse(res *SolveResult, spec SolveSpec) SolveJSON {
 		sj.GuaranteedStretch = res.Res.GuaranteedStretch
 		sj.ObservedStretch = res.Res.ObservedStretch
 	}
+	if res.Degraded {
+		sj.Degraded = true
+		sj.DegradedFrom = res.DegradedFrom.String()
+		sj.DegradeReason = res.DegradeReason
+		// A degraded response always reports its stretch contract, even if
+		// a future exact rung were to answer with stretch 1.
+		sj.GuaranteedStretch = res.Res.GuaranteedStretch
+	}
+	if f := res.Res.Metrics.Faults; f.Injected() > 0 {
+		sj.Faults = &f
+	}
+	for _, sg := range res.Res.Stages {
+		sj.Retries += sg.Retries
+	}
 	return sj
 }
 
 // solveStatus maps solve errors to HTTP statuses: unknown graphs are 404,
 // malformed specs are 400, inputs the strategy cannot answer (negative
 // cycles; negative or asymmetric weights under an approximate strategy)
-// are 422, cancelled or deadline-expired solves are 503, the rest 500.
+// are 422, transient failures — cancelled or deadline-expired solves,
+// fault-retry exhaustion, an open circuit breaker — are 503, the rest 500.
 func solveStatus(err error) int {
+	var fe *congest.FaultError
+	var be *BreakerOpenError
 	switch {
 	case errors.Is(err, core.ErrNegativeCycle),
 		errors.Is(err, approx.ErrNegativeWeight),
 		errors.Is(err, approx.ErrAsymmetric):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
+		errors.As(err, &fe), errors.As(err, &be):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrInvalidSpec):
 		return http.StatusBadRequest
@@ -393,20 +465,47 @@ func solveStatus(err error) int {
 	}
 }
 
-// solveError writes a solve failure. A cancellation carries the partial
-// per-stage telemetry in the body next to the error, so a timed-out
-// request still reports the stages (and rounds) the deadline bought.
+// setRetryAfter advertises when the client should try again (whole
+// seconds, minimum 1 — the 503 class is transient by definition).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// solveError writes a solve failure. Every 503 carries a Retry-After
+// header and a retryable marker in the body — the failure class is
+// transient (deadline, injected faults, open breaker) and clients should
+// distinguish "try again" from "this request can never work". A
+// cancellation additionally carries the partial per-stage telemetry, so a
+// timed-out request still reports the stages (and rounds) the deadline
+// bought.
 func solveError(w http.ResponseWriter, err error) {
-	var cancelled *CancelledError
-	if errors.As(err, &cancelled) {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"error":  err.Error(),
-			"stages": cancelled.Stages,
-			"rounds": cancelled.Rounds,
-		})
+	status := solveStatus(err)
+	if status != http.StatusServiceUnavailable {
+		httpError(w, status, err)
 		return
 	}
-	httpError(w, solveStatus(err), err)
+	body := map[string]any{"error": err.Error(), "retryable": true}
+	wait := time.Second
+	var cancelled *CancelledError
+	var exhausted *FaultExhaustedError
+	var be *BreakerOpenError
+	switch {
+	case errors.As(err, &cancelled):
+		body["stages"] = cancelled.Stages
+		body["rounds"] = cancelled.Rounds
+	case errors.As(err, &exhausted):
+		body["stages"] = exhausted.Stages
+		body["rounds"] = exhausted.Rounds
+		body["faults"] = exhausted.Faults
+	case errors.As(err, &be):
+		wait = be.RetryAfter
+	}
+	setRetryAfter(w, wait)
+	writeJSON(w, http.StatusServiceUnavailable, body)
 }
 
 // distJSON maps a distance entry to its JSON form: (nil, false) for +∞

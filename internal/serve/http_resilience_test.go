@@ -1,0 +1,128 @@
+package serve
+
+// HTTP surface of the resilience features: fault plans and degradation
+// over the wire, Retry-After plus a retryable marker on every 503, and the
+// degraded-response shape clients key on.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPFaultInjectionAndDegradation(t *testing.T) {
+	svc := New(Config{})
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	g := symDigraph(t, 8)
+	var put struct {
+		ID string `json:"id"`
+	}
+	gj := GraphJSON{N: g.N()}
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if w, ok := g.Weight(u, v); ok {
+				gj.Arcs = append(gj.Arcs, ArcJSON{U: u, V: v, W: w})
+			}
+		}
+	}
+	if resp := doJSON(t, srv, http.MethodPut, "/graphs", gj, &put); resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %d", resp.StatusCode)
+	}
+
+	// A recovered-faults plan over the wire: success with fault counters
+	// and a retry count in the body.
+	var sj SolveJSON
+	resp := doJSON(t, srv, http.MethodPost, "/graphs/"+put.ID+"/solve", solveParamsJSON{
+		Strategy: "quantum",
+		Faults:   &FaultPlanJSON{Seed: 9, DropRate: 1},
+	}, &sj)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered-fault solve: %d", resp.StatusCode)
+	}
+	if sj.Faults == nil || sj.Faults.Dropped == 0 {
+		t.Errorf("fault counters missing from response: %+v", sj.Faults)
+	}
+	if sj.Degraded {
+		t.Error("recovered faults reported as degradation")
+	}
+
+	// An outage with degradation enabled: 200 with the degraded marker and
+	// the rung that answered.
+	resp = doJSON(t, srv, http.MethodPost, "/graphs/"+put.ID+"/solve", solveParamsJSON{
+		Strategy: "quantum",
+		Degrade:  true,
+		Faults:   &FaultPlanJSON{Seed: 7, CorruptRate: 1, MaxFaults: 5},
+	}, &sj)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded solve: %d", resp.StatusCode)
+	}
+	if !sj.Degraded || sj.DegradedFrom != "quantum" || sj.DegradeReason != "retries-exhausted" {
+		t.Fatalf("degradation fields: %+v", sj)
+	}
+	if sj.Strategy != "approx-quantum" || sj.GuaranteedStretch != 1+fallbackEpsilon {
+		t.Errorf("degraded rung reporting: strategy=%q stretch=%v", sj.Strategy, sj.GuaranteedStretch)
+	}
+
+	// The same outage without degradation: 503 with Retry-After, the
+	// retryable marker, and the partial fault telemetry.
+	var fail struct {
+		Error     string         `json:"error"`
+		Retryable bool           `json:"retryable"`
+		Rounds    int64          `json:"rounds"`
+		Faults    map[string]any `json:"faults"`
+	}
+	resp = doJSON(t, srv, http.MethodPost, "/graphs/"+put.ID+"/solve", solveParamsJSON{
+		Strategy: "quantum",
+		Faults:   &FaultPlanJSON{Seed: 7, CorruptRate: 1, MaxFaults: 5},
+	}, &fail)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted solve: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+	if !fail.Retryable {
+		t.Error("503 without retryable marker")
+	}
+	if len(fail.Faults) == 0 {
+		t.Errorf("503 without fault telemetry: %+v", fail)
+	}
+
+	// A malformed plan is a 400, not a 503.
+	resp = doJSON(t, srv, http.MethodPost, "/graphs/"+put.ID+"/solve", solveParamsJSON{
+		Faults: &FaultPlanJSON{DropRate: 1.5},
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed plan: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPDeadline503CarriesRetryAfter(t *testing.T) {
+	svc := New(Config{})
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	g := testDigraph(t, 24, 5)
+	id, err := svc.PutGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail struct {
+		Error     string `json:"error"`
+		Retryable bool   `json:"retryable"`
+	}
+	// A 1ms deadline expires inside the pipeline; the 503 must advertise a
+	// retry.
+	resp := doJSON(t, srv, http.MethodPost, "/graphs/"+id+"/solve", solveParamsJSON{
+		Strategy: "quantum", TimeoutMS: 1,
+	}, &fail)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline solve: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" || !fail.Retryable {
+		t.Errorf("deadline 503 missing Retry-After/retryable: header=%q body=%+v",
+			resp.Header.Get("Retry-After"), fail)
+	}
+}

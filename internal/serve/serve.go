@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"qclique/internal/approx"
+	"qclique/internal/congest"
 	"qclique/internal/core"
 	"qclique/internal/engine"
 	"qclique/internal/graph"
@@ -126,6 +128,31 @@ func (e *CancelledError) Error() string {
 
 func (e *CancelledError) Unwrap() error { return e.Err }
 
+// FaultExhaustedError reports a solve that spent its whole stage-retry
+// budget on unrecovered injected faults. It carries the partial telemetry
+// of the failed run — the stages that ran, the rounds they charged, and the
+// fault counters — and wraps the underlying *congest.FaultError chain, so
+// errors.As keeps working through it. The degradation ladder uses the
+// counters to thread a transient-outage budget (FaultPlan.MaxFaults) into
+// the fallback rung; the HTTP layer maps it to 503 with a Retry-After.
+type FaultExhaustedError struct {
+	// Stages is the partial per-stage breakdown, retries included.
+	Stages []engine.StageStat
+	// Rounds is the simulator rounds charged before the stop.
+	Rounds int64
+	// Faults is the injected-fault accounting of the failed run.
+	Faults congest.FaultCounters
+	// Err is the underlying error (wraps *congest.FaultError).
+	Err error
+}
+
+func (e *FaultExhaustedError) Error() string {
+	return fmt.Sprintf("serve: solve exhausted its fault-retry budget after %d stage(s), %d rounds (%d faults injected): %v",
+		len(e.Stages), e.Rounds, e.Faults.Injected(), e.Err)
+}
+
+func (e *FaultExhaustedError) Unwrap() error { return e.Err }
+
 // ErrApproxPaths rejects path reconstruction against approximate solves:
 // the successor walk relies on exact tightness (w(u,k) + d(k,dst) ==
 // d(u,dst)), which ladder-snapped distances do not satisfy — once the
@@ -149,6 +176,18 @@ type SolveSpec struct {
 	// silently ignoring it would alias distinct cache entries).
 	Epsilon float64
 	Workers int
+	// Faults arms the solve's network(s) with a deterministic fault plan
+	// (zero disables injection). It is part of the cache identity: fault
+	// surcharges change the round trajectory, and under an aggressive plan
+	// the telemetry of a cached result must match what that plan produced.
+	Faults congest.FaultPlan
+	// Degrade enables the graceful-degradation ladder: a solve that
+	// exhausts its fault-retry budget, runs out of deadline headroom, or
+	// hits an open circuit breaker falls back exact → approx-quantum →
+	// approx-skeleton (honoring each rung's weight constraints) and returns
+	// a degraded result instead of an error. Not part of the cache
+	// identity — each rung solves, and caches, under its own spec.
+	Degrade bool
 }
 
 func (s SolveSpec) strategy() core.Strategy {
@@ -170,11 +209,14 @@ func (s SolveSpec) Validate() error {
 	} else if s.Epsilon != 0 {
 		return fmt.Errorf("%w: epsilon %v is only valid for approximate strategies", ErrInvalidSpec, s.Epsilon)
 	}
+	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
 	return nil
 }
 
 func (s SolveSpec) key(hash string) cacheKey {
-	return cacheKey{hash: hash, strategy: s.strategy(), preset: s.Preset, seed: s.Seed, epsilon: s.Epsilon}
+	return cacheKey{hash: hash, strategy: s.strategy(), preset: s.Preset, seed: s.Seed, epsilon: s.Epsilon, faults: s.Faults}
 }
 
 // Config configures a Service.
@@ -186,25 +228,33 @@ type Config struct {
 	// Workers is the default host-parallelism bound for solves and batch
 	// queries (<= 0 selects GOMAXPROCS).
 	Workers int
+	// BreakerThreshold is the consecutive fault-retry exhaustions that open
+	// a strategy's circuit breaker (<= 0 selects 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit refuses solves before
+	// closing again (<= 0 selects 30s).
+	BreakerCooldown time.Duration
 }
 
 // Service is the solve layer. Safe for concurrent use.
 type Service struct {
-	cfg    Config
-	store  *graphStore
-	cache  *lruMap[cacheKey, *entry]
-	flight *flightGroup
-	stats  *statsCollector
+	cfg     Config
+	store   *graphStore
+	cache   *lruMap[cacheKey, *entry]
+	flight  *flightGroup
+	stats   *statsCollector
+	breaker *breaker
 }
 
 // New returns a Service with the given configuration.
 func New(cfg Config) *Service {
 	return &Service{
-		cfg:    cfg,
-		store:  newGraphStore(cfg.MaxGraphs),
-		cache:  newLRUCache(cfg.CacheSize),
-		flight: newFlightGroup(),
-		stats:  newStatsCollector(),
+		cfg:     cfg,
+		store:   newGraphStore(cfg.MaxGraphs),
+		cache:   newLRUCache(cfg.CacheSize),
+		flight:  newFlightGroup(),
+		stats:   newStatsCollector(),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 }
 
@@ -222,6 +272,16 @@ type SolveResult struct {
 	// served from the cache or deduplicated onto a concurrent identical
 	// solve.
 	Cached bool
+	// Degraded reports the degradation ladder answered with a fallback
+	// strategy; Res.Strategy and Res.GuaranteedStretch describe the rung
+	// that actually ran.
+	Degraded bool
+	// DegradedFrom is the originally requested strategy (set only when
+	// Degraded).
+	DegradedFrom core.Strategy
+	// DegradeReason is why the ladder stepped down: "retries-exhausted",
+	// "deadline" or "breaker-open".
+	DegradeReason string
 }
 
 // PutGraph stores a private copy of g and returns its content id.
@@ -279,10 +339,163 @@ func (s *Service) SolveGraphContext(ctx context.Context, g *graph.Digraph, spec 
 	return s.solve(ctx, HashDigraph(g), g, spec)
 }
 
+// fallbackEpsilon is the stretch budget a ladder rung assumes when the
+// original (exact) spec carried none.
+const fallbackEpsilon = 0.5
+
+// solve validates the spec and runs it — directly, or through the
+// degradation ladder when the spec opts in.
 func (s *Service) solve(ctx context.Context, id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if !spec.Degrade {
+		return s.solveAllowed(ctx, id, g, spec)
+	}
+	rungs := s.ladderRungs(spec, g)
+	primary := spec.strategy().String()
+	var reason string
+	spent := 0
+	for i, rs := range rungs {
+		// A transient-outage plan (MaxFaults > 0) carries its remaining
+		// budget into each rung: the faults a failed rung already absorbed
+		// are spent for the whole request, not per network.
+		rs.Faults = threadBudget(spec.Faults, spent)
+		rctx, cancel := rungContext(ctx, i, len(rungs))
+		res, err := s.solveAllowed(rctx, id, g, rs)
+		cancel()
+		if err == nil {
+			if i > 0 {
+				res.Degraded = true
+				res.DegradedFrom = spec.strategy()
+				res.DegradeReason = reason
+				s.stats.degraded(primary)
+			}
+			return res, nil
+		}
+		r, ok := degradeReason(err, ctx)
+		if !ok || i == len(rungs)-1 {
+			return nil, err
+		}
+		if i == 0 {
+			reason = r
+		}
+		var fx *FaultExhaustedError
+		if errors.As(err, &fx) {
+			spent += int(fx.Faults.Corrupted + fx.Faults.Crashes)
+		}
+	}
+	// ladderRungs always returns at least the spec itself.
+	return nil, fmt.Errorf("serve: empty degradation ladder for %v", spec.strategy())
+}
+
+// ladderRungs returns the degradation ladder for spec over g: the spec
+// itself, then every viable fallback rung in order of decreasing fidelity
+// (approx-quantum guarantees 1+ε but needs nonnegative weights;
+// approx-skeleton guarantees 2+ε and additionally needs weight symmetry).
+func (s *Service) ladderRungs(spec SolveSpec, g *graph.Digraph) []SolveSpec {
+	rungs := []SolveSpec{spec}
+	eps := spec.Epsilon
+	if !approx.ValidEpsilon(eps) {
+		eps = fallbackEpsilon
+	}
+	add := func(st core.Strategy) {
+		f := spec
+		f.Strategy = st
+		f.Epsilon = eps
+		rungs = append(rungs, f)
+	}
+	switch spec.strategy() {
+	case core.StrategyApproxSkeleton:
+		// Already the bottom rung.
+	case core.StrategyApproxQuantum:
+		if !g.HasNegativeArc() && g.IsSymmetric() {
+			add(core.StrategyApproxSkeleton)
+		}
+	default: // exact strategies
+		if !g.HasNegativeArc() {
+			add(core.StrategyApproxQuantum)
+			if g.IsSymmetric() {
+				add(core.StrategyApproxSkeleton)
+			}
+		}
+	}
+	return rungs
+}
+
+// threadBudget returns the fault plan a later ladder rung runs under after
+// spent unrecovered faults: a transient-outage plan (MaxFaults > 0)
+// carries its remaining budget forward, and a fully spent budget disarms
+// the unrecovered rates — the outage has injected everything it had.
+// Unbounded plans (MaxFaults == 0) pass through unchanged.
+func threadBudget(p congest.FaultPlan, spent int) congest.FaultPlan {
+	if p.MaxFaults <= 0 || spent <= 0 {
+		return p
+	}
+	remaining := p.MaxFaults - spent
+	if remaining <= 0 {
+		p.CorruptRate, p.CrashRate = 0, 0
+		p.MaxFaults = 0
+		return p
+	}
+	p.MaxFaults = remaining
+	return p
+}
+
+// rungContext budgets a non-final ladder rung to ~60% of the remaining
+// deadline, reserving headroom for the fallback; the final rung (and any
+// rung without a deadline) runs under the caller's context unchanged.
+func rungContext(ctx context.Context, i, total int) (context.Context, context.CancelFunc) {
+	dl, ok := ctx.Deadline()
+	if !ok || i == total-1 {
+		return ctx, func() {}
+	}
+	remaining := time.Until(dl)
+	if remaining <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, remaining*3/5)
+}
+
+// degradeReason classifies an error as a ladder trigger: fault-retry
+// exhaustion, an open circuit breaker, or a rung-budget deadline whose
+// parent request still has time. Everything else (bad specs, negative
+// cycles, the caller's own cancellation) propagates unchanged.
+func degradeReason(err error, parent context.Context) (string, bool) {
+	var fe *congest.FaultError
+	var be *BreakerOpenError
+	switch {
+	case errors.As(err, &fe):
+		return "retries-exhausted", true
+	case errors.As(err, &be):
+		return "breaker-open", true
+	case errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil:
+		return "deadline", true
+	}
+	return "", false
+}
+
+// solveAllowed gates one rung through the strategy's circuit breaker and
+// feeds the breaker the outcome: fault-retry exhaustion counts against the
+// threshold, any completed solve closes the circuit.
+func (s *Service) solveAllowed(ctx context.Context, id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
+	name := spec.strategy().String()
+	if remaining, ok := s.breaker.allow(name); !ok {
+		s.stats.breakerSkip(name)
+		return nil, &BreakerOpenError{Strategy: name, RetryAfter: remaining}
+	}
+	res, err := s.solveOne(ctx, id, g, spec)
+	var fe *congest.FaultError
+	switch {
+	case errors.As(err, &fe):
+		s.breaker.failure(name)
+	case err == nil:
+		s.breaker.success(name)
+	}
+	return res, err
+}
+
+func (s *Service) solveOne(ctx context.Context, id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
 	name := spec.strategy().String()
 	s.stats.request(name)
 	key := spec.key(id)
@@ -323,12 +536,21 @@ func (s *Service) solve(ctx context.Context, id string, g *graph.Digraph, spec S
 				Epsilon:   spec.Epsilon,
 				Workers:   workers,
 				Workspace: ws,
+				Faults:    spec.Faults,
 			})
 			// A cancelled pipeline released its borrowed buffers through the
 			// engine's cleanup hook, so the workspace goes back to the pool in
 			// a reusable state on every path.
 			workspacePool.Put(ws)
 			if err != nil {
+				var fe *congest.FaultError
+				if res != nil && errors.As(err, &fe) {
+					// Retry exhaustion: wrap with the partial telemetry (the
+					// FaultError chain stays reachable for the ladder and the
+					// breaker), and land the fault counters in /metrics.
+					s.stats.faultFailure(name, res)
+					return nil, &FaultExhaustedError{Stages: res.Stages, Rounds: res.Rounds, Faults: res.Metrics.Faults, Err: err}
+				}
 				if res != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 					s.stats.cancelled(name)
 					return nil, &CancelledError{Stages: res.Stages, Rounds: res.Rounds, Err: err}

@@ -3,6 +3,7 @@ package serve
 import (
 	"sync"
 
+	"qclique/internal/congest"
 	"qclique/internal/core"
 )
 
@@ -40,6 +41,21 @@ type StrategyStats struct {
 	// Cancelled counts executions stopped by their context (request
 	// deadline or client disconnect) before completing.
 	Cancelled int64 `json:"cancelled,omitempty"`
+	// FaultFailures counts executions that exhausted their stage-retry
+	// budget on unrecovered injected faults.
+	FaultFailures int64 `json:"fault_failures,omitempty"`
+	// Retries totals the stage re-runs spent recovering from injected
+	// faults, across successful and failed executions.
+	Retries int64 `json:"retries,omitempty"`
+	// Degraded counts requests to this strategy that the degradation ladder
+	// answered with a fallback rung.
+	Degraded int64 `json:"degraded,omitempty"`
+	// BreakerSkips counts solves refused because this strategy's circuit
+	// breaker was open.
+	BreakerSkips int64 `json:"breaker_skips,omitempty"`
+	// Faults is the cumulative injected-fault accounting across this
+	// strategy's executions (successful and fault-failed alike).
+	Faults congest.FaultCounters `json:"faults"`
 	// RoundsCharged totals the simulated CONGEST-CLIQUE rounds across all
 	// executions; cache hits and deduped requests charge nothing here.
 	RoundsCharged int64 `json:"rounds_charged"`
@@ -104,7 +120,18 @@ func (s *statsCollector) solved(name string, res *core.Result) {
 	st := s.forStrategy(name)
 	st.Solves++
 	st.RoundsCharged += res.Rounds
+	st.addFaults(res)
 	st.addStages(res)
+}
+
+// addFaults rolls a solve's injected-fault and retry telemetry into the
+// strategy's cumulative accounting (also called for fault-failed solves,
+// whose partial result still carries the counters).
+func (st *StrategyStats) addFaults(res *core.Result) {
+	st.Faults.Add(res.Metrics.Faults)
+	for _, sg := range res.Stages {
+		st.Retries += int64(sg.Retries)
+	}
 }
 
 // addStages rolls a solve's per-stage telemetry into the strategy's
@@ -139,6 +166,31 @@ func (s *statsCollector) cancelled(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.forStrategy(name).Cancelled++
+}
+
+// faultFailure records a retry-budget exhaustion, folding in the partial
+// run's fault and retry counters.
+func (s *statsCollector) faultFailure(name string, res *core.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.forStrategy(name)
+	st.FaultFailures++
+	if res != nil {
+		st.RoundsCharged += res.Rounds
+		st.addFaults(res)
+	}
+}
+
+func (s *statsCollector) degraded(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forStrategy(name).Degraded++
+}
+
+func (s *statsCollector) breakerSkip(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forStrategy(name).BreakerSkips++
 }
 
 func (s *statsCollector) pathQueriesAdd(n int) {

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"qclique/internal/congest"
 	"qclique/internal/core"
 	"qclique/internal/engine"
 	"qclique/internal/graph"
@@ -240,6 +241,8 @@ type options struct {
 	workers   int
 	cacheSize int
 	timeout   time.Duration
+	faults    FaultPlan
+	degrade   bool
 }
 
 // Option configures SolveAPSP, FindNegativeTriangleEdges and
@@ -398,6 +401,17 @@ type APSPResult struct {
 	// distances over the exact reference for this input (1 for exact
 	// strategies).
 	ObservedStretch float64
+	// Degraded marks a result the graceful-degradation ladder answered
+	// with a fallback strategy (see WithDegradation): Strategy and
+	// GuaranteedStretch describe the rung that actually ran, DegradedFrom
+	// the strategy that was asked for, DegradeReason why it stepped down
+	// ("retries-exhausted", "breaker-open" or "deadline").
+	Degraded      bool
+	DegradedFrom  Strategy
+	DegradeReason string
+	// Faults is the injected-fault accounting of the solve (all zeros
+	// without WithFaultPlan).
+	Faults FaultCounters
 	// Stages is the engine's per-stage breakdown of the pipeline that
 	// produced this result, in execution order: for cached results, the
 	// telemetry of the original run. Stage rounds sum exactly to Rounds.
@@ -427,6 +441,10 @@ type StageStat struct {
 	// Skipped marks a stage the pipeline proved unnecessary (e.g. squaring
 	// products after the approximate chain's fixpoint vote converged).
 	Skipped bool
+	// Retries counts re-runs of the stage after injected-fault failures;
+	// Backoff is the total wall time slept between those attempts.
+	Retries int
+	Backoff time.Duration
 }
 
 // stagesFromCore converts engine stage telemetry to the public form.
@@ -443,6 +461,8 @@ func stagesFromCore(stages []engine.StageStat) []StageStat {
 			Wall:    time.Duration(s.WallNs),
 			Allocs:  s.Allocs,
 			Skipped: s.Skipped,
+			Retries: s.Retries,
+			Backoff: time.Duration(s.BackoffNs),
 		}
 	}
 	return out
@@ -464,6 +484,11 @@ func SolveAPSPContext(ctx context.Context, g *Digraph, opts ...Option) (*APSPRes
 		return nil, errors.New("qclique: nil graph")
 	}
 	o := buildOptions(opts)
+	if o.degrade {
+		// The degradation ladder lives in the serving layer; rejecting here
+		// beats silently ignoring a resilience request.
+		return nil, errors.New("qclique: WithDegradation requires a Solver")
+	}
 	ctx, cancel := o.solveCtx(ctx)
 	defer cancel()
 	res, err := core.SolveContext(ctx, g.g, core.Config{
@@ -472,8 +497,13 @@ func SolveAPSPContext(ctx context.Context, g *Digraph, opts ...Option) (*APSPRes
 		Seed:     o.seed,
 		Epsilon:  o.epsilon,
 		Workers:  o.workers,
+		Faults:   o.faults.toCore(),
 	})
 	if err != nil {
+		var fe *congest.FaultError
+		if res != nil && errors.As(err, &fe) {
+			return nil, &FaultExhaustedError{Faults: countersFromCore(res.Metrics.Faults), err: err}
+		}
 		return nil, err
 	}
 	n := g.N()
@@ -490,6 +520,7 @@ func SolveAPSPContext(ctx context.Context, g *Digraph, opts ...Option) (*APSPRes
 		Epsilon:           res.Epsilon,
 		GuaranteedStretch: res.GuaranteedStretch,
 		ObservedStretch:   res.ObservedStretch,
+		Faults:            countersFromCore(res.Metrics.Faults),
 		Stages:            stagesFromCore(res.Stages),
 		dist:              res.Dist,
 	}, nil

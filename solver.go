@@ -51,6 +51,8 @@ func (o options) spec() serve.SolveSpec {
 		Seed:     o.seed,
 		Epsilon:  o.epsilon,
 		Workers:  o.workers,
+		Faults:   o.faults.toCore(),
+		Degrade:  o.degrade,
 	}
 }
 
@@ -65,7 +67,7 @@ func resultFromServe(sr *serve.SolveResult, strategy Strategy) *APSPResult {
 	for i := range dist {
 		dist[i] = sr.Res.Dist.Row(i)
 	}
-	return &APSPResult{
+	res := &APSPResult{
 		Dist:              dist,
 		Rounds:            sr.Res.Rounds,
 		Products:          sr.Res.Products,
@@ -75,9 +77,19 @@ func resultFromServe(sr *serve.SolveResult, strategy Strategy) *APSPResult {
 		Epsilon:           sr.Res.Epsilon,
 		GuaranteedStretch: sr.Res.GuaranteedStretch,
 		ObservedStretch:   sr.Res.ObservedStretch,
+		Faults:            countersFromCore(sr.Res.Metrics.Faults),
 		Stages:            stagesFromCore(sr.Res.Stages),
 		dist:              sr.Res.Dist,
 	}
+	if sr.Degraded {
+		// The ladder answered with a fallback rung: report the strategy that
+		// actually ran, and the requested one in DegradedFrom.
+		res.Degraded = true
+		res.Strategy = fromCore(sr.Res.Strategy)
+		res.DegradedFrom = fromCore(sr.DegradedFrom)
+		res.DegradeReason = sr.DegradeReason
+	}
+	return res
 }
 
 // Solve computes (or serves from cache) exact APSP distances for g. A
@@ -105,7 +117,7 @@ func (s *Solver) SolveContext(ctx context.Context, g *Digraph, opts ...Option) (
 	defer cancel()
 	sr, err := s.svc.SolveGraphContext(ctx, g.g, o.spec())
 	if err != nil {
-		return nil, err
+		return nil, mapServeErr(err)
 	}
 	return resultFromServe(sr, o.strategy), nil
 }
@@ -126,7 +138,7 @@ func (s *Solver) SSSP(g *Digraph, src int, opts ...Option) ([]int64, *APSPResult
 	o := s.merged(opts)
 	sr, err := s.svc.SolveGraph(g.g, o.spec())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, mapServeErr(err)
 	}
 	return sr.Res.Dist.Row(src), resultFromServe(sr, o.strategy), nil
 }
@@ -148,7 +160,7 @@ func (s *Solver) ShortestPath(g *Digraph, src, dst int, opts ...Option) ([]int, 
 	}
 	sr, err := s.svc.SolveGraph(g.g, o.spec())
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, mapServeErr(err)
 	}
 	path, err := sr.Oracle.Path(src, dst)
 	if err != nil {
@@ -195,7 +207,7 @@ func (s *Solver) PathsBatch(g *Digraph, queries []PathQuery, opts ...Option) ([]
 	}
 	answers, sr, err := s.svc.PathsBatchGraph(g.g, o.spec(), qs)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, mapServeErr(err)
 	}
 	out := make([]PathAnswer, len(answers))
 	for i, a := range answers {
@@ -220,6 +232,19 @@ type StrategyStats struct {
 	// Cancelled counts executions stopped by their context before
 	// completing.
 	Cancelled int64
+	// FaultFailures counts executions that exhausted their stage-retry
+	// budget on injected faults; Retries totals the stage re-runs spent
+	// recovering.
+	FaultFailures int64
+	Retries       int64
+	// Degraded counts requests the degradation ladder answered with a
+	// fallback strategy; BreakerSkips counts solves refused by this
+	// strategy's open circuit breaker.
+	Degraded     int64
+	BreakerSkips int64
+	// Faults is the cumulative injected-fault accounting across this
+	// strategy's executions.
+	Faults FaultCounters
 	// RoundsCharged totals simulated rounds across executions; cache hits
 	// charge nothing.
 	RoundsCharged int64
@@ -258,6 +283,11 @@ func (s *Solver) Stats() SolverStats {
 			Solves:        v.Solves,
 			Errors:        v.Errors,
 			Cancelled:     v.Cancelled,
+			FaultFailures: v.FaultFailures,
+			Retries:       v.Retries,
+			Degraded:      v.Degraded,
+			BreakerSkips:  v.BreakerSkips,
+			Faults:        countersFromCore(v.Faults),
 			RoundsCharged: v.RoundsCharged,
 		}
 		if len(v.Stages) > 0 {
