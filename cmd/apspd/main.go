@@ -5,11 +5,15 @@
 //
 //	go run ./cmd/apspd -addr :8719
 //
-//	PUT  /graphs                   {"n":4,"arcs":[{"u":0,"v":1,"w":3},…]} → {"id":"sha256:…"}
-//	POST /graphs/{id}/solve        {"strategy":"quantum","preset":"scaled","seed":42}
-//	GET  /graphs/{id}/dist         ?src=&dst= (pair), ?src= (row), none (matrix)
-//	POST /graphs/{id}/paths:batch  {"queries":[{"src":0,"dst":3},…]}
-//	GET  /metrics                  per-strategy cache and round accounting
+//	PUT  /v1/graphs                   {"n":4,"arcs":[{"u":0,"v":1,"w":3},…]} → {"id":"sha256:…"}
+//	POST /v1/graphs/{id}/solve        {"strategy":"quantum","preset":"scaled","seed":42}
+//	GET  /v1/graphs/{id}/dist         ?src=&dst= (pair), ?src= (row), none (matrix)
+//	POST /v1/graphs/{id}/paths:batch  {"queries":[{"src":0,"dst":3},…]}
+//	GET  /v1/metrics                  per-strategy and per-transport accounting
+//
+// The unprefixed legacy paths still answer identically, marked with a
+// "Deprecation: true" header and a Link to their /v1 successor. Failures
+// share one envelope: {"error":{"code","message","retryable",…}}.
 //
 // Solve-bearing requests additionally accept "epsilon" with the
 // approximate strategies ("approx-quantum" for 1+ε, "approx-skeleton" for
@@ -131,10 +135,13 @@ func selftest(cfg serve.Config) error {
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			var e struct {
-				Error string `json:"error"`
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
 			}
 			_ = json.NewDecoder(resp.Body).Decode(&e)
-			return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, e.Error)
+			return fmt.Errorf("%s %s: status %d: %s: %s", method, path, resp.StatusCode, e.Error.Code, e.Error.Message)
 		}
 		if out != nil {
 			return json.NewDecoder(resp.Body).Decode(out)
@@ -142,30 +149,70 @@ func selftest(cfg serve.Config) error {
 		return nil
 	}
 
-	// 1. PUT the graph.
+	// 1. PUT the graph on the /v1 surface, then re-upload through the
+	// legacy unprefixed alias: same content hash, but the alias must mark
+	// itself deprecated and point at its successor.
 	var put struct {
 		ID string `json:"id"`
 	}
-	if err := call(http.MethodPut, "/graphs", map[string]any{"n": n, "arcs": arcs}, &put); err != nil {
+	if err := call(http.MethodPut, "/v1/graphs", map[string]any{"n": n, "arcs": arcs}, &put); err != nil {
 		return err
 	}
-
-	// 2. Solve fresh, then cached: identical accounting, zero new rounds.
-	solveBody := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed}
-	var fresh, cached struct {
-		Rounds int64 `json:"rounds"`
-		Cached bool  `json:"cached"`
+	{
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(map[string]any{"n": n, "arcs": arcs}); err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPut, base+"/graphs", &buf)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		var legacy struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&legacy)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if legacy.ID != put.ID {
+			return fmt.Errorf("legacy upload hashed to %s, /v1 to %s", legacy.ID, put.ID)
+		}
+		if resp.Header.Get("Deprecation") != "true" {
+			return fmt.Errorf("legacy alias answered without a Deprecation header")
+		}
+		if link := resp.Header.Get("Link"); !bytes.Contains([]byte(link), []byte("/v1/graphs")) {
+			return fmt.Errorf("legacy alias Link header %q does not name the /v1 successor", link)
+		}
 	}
-	if err := call(http.MethodPost, "/graphs/"+put.ID+"/solve", solveBody, &fresh); err != nil {
+
+	// 2. Solve fresh on the sharded transport, then re-solve without naming
+	// a backend: the cache is keyed by what was computed, not where, so the
+	// second call must hit — with identical accounting and zero new rounds.
+	solveBody := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed, "transport": "sharded"}
+	var fresh, cached struct {
+		Rounds    int64  `json:"rounds"`
+		Cached    bool   `json:"cached"`
+		Transport string `json:"transport"`
+	}
+	if err := call(http.MethodPost, "/v1/graphs/"+put.ID+"/solve", solveBody, &fresh); err != nil {
 		return err
 	}
 	if fresh.Cached {
 		return fmt.Errorf("first solve reported cached")
 	}
+	if fresh.Transport != "sharded" {
+		return fmt.Errorf("solve ran on transport %q, want sharded", fresh.Transport)
+	}
 	if fresh.Rounds != want.Rounds {
 		return fmt.Errorf("daemon rounds %d != library rounds %d", fresh.Rounds, want.Rounds)
 	}
-	if err := call(http.MethodPost, "/graphs/"+put.ID+"/solve", solveBody, &cached); err != nil {
+	retrySolve := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed}
+	if err := call(http.MethodPost, "/v1/graphs/"+put.ID+"/solve", retrySolve, &cached); err != nil {
 		return err
 	}
 	if !cached.Cached || cached.Rounds != want.Rounds {
@@ -176,7 +223,7 @@ func selftest(cfg serve.Config) error {
 	var dist struct {
 		Dist [][]*int64 `json:"dist"`
 	}
-	q := fmt.Sprintf("/graphs/%s/dist?strategy=quantum&preset=scaled&seed=%d", put.ID, seed)
+	q := fmt.Sprintf("/v1/graphs/%s/dist?strategy=quantum&preset=scaled&seed=%d", put.ID, seed)
 	if err := call(http.MethodGet, q, nil, &dist); err != nil {
 		return err
 	}
@@ -213,7 +260,7 @@ func selftest(cfg serve.Config) error {
 			Error string `json:"error"`
 		} `json:"results"`
 	}
-	if err := call(http.MethodPost, "/graphs/"+put.ID+"/paths:batch", batchBody, &batch); err != nil {
+	if err := call(http.MethodPost, "/v1/graphs/"+put.ID+"/paths:batch", batchBody, &batch); err != nil {
 		return err
 	}
 	if !batch.Cached {
@@ -265,7 +312,7 @@ func selftest(cfg serve.Config) error {
 	var putApprox struct {
 		ID string `json:"id"`
 	}
-	if err := call(http.MethodPut, "/graphs", map[string]any{"n": n, "arcs": approxArcs}, &putApprox); err != nil {
+	if err := call(http.MethodPut, "/v1/graphs", map[string]any{"n": n, "arcs": approxArcs}, &putApprox); err != nil {
 		return err
 	}
 	const eps = 0.5
@@ -275,7 +322,7 @@ func selftest(cfg serve.Config) error {
 		ObservedStretch   float64 `json:"observed_stretch"`
 	}
 	approxBody := map[string]any{"strategy": "approx-quantum", "preset": "scaled", "seed": seed, "epsilon": eps}
-	if err := call(http.MethodPost, "/graphs/"+putApprox.ID+"/solve", approxBody, &approxSolve); err != nil {
+	if err := call(http.MethodPost, "/v1/graphs/"+putApprox.ID+"/solve", approxBody, &approxSolve); err != nil {
 		return err
 	}
 	if approxSolve.Epsilon != eps || approxSolve.GuaranteedStretch != 1+eps {
@@ -288,7 +335,7 @@ func selftest(cfg serve.Config) error {
 	var approxDist struct {
 		Dist [][]*int64 `json:"dist"`
 	}
-	q = fmt.Sprintf("/graphs/%s/dist?strategy=approx-quantum&preset=scaled&seed=%d&epsilon=%v", putApprox.ID, seed, eps)
+	q = fmt.Sprintf("/v1/graphs/%s/dist?strategy=approx-quantum&preset=scaled&seed=%d&epsilon=%v", putApprox.ID, seed, eps)
 	if err := call(http.MethodGet, q, nil, &approxDist); err != nil {
 		return err
 	}
@@ -317,12 +364,12 @@ func selftest(cfg serve.Config) error {
 	var putCyc struct {
 		ID string `json:"id"`
 	}
-	if err := call(http.MethodPut, "/graphs", cyc, &putCyc); err != nil {
+	if err := call(http.MethodPut, "/v1/graphs", cyc, &putCyc); err != nil {
 		return err
 	}
 	for _, probe := range []struct{ method, path string }{
-		{http.MethodPost, "/graphs/" + putCyc.ID + "/solve"},
-		{http.MethodPost, "/graphs/" + putCyc.ID + "/paths:batch"},
+		{http.MethodPost, "/v1/graphs/" + putCyc.ID + "/solve"},
+		{http.MethodPost, "/v1/graphs/" + putCyc.ID + "/paths:batch"},
 	} {
 		var buf bytes.Buffer
 		body := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed}
@@ -363,7 +410,7 @@ func selftest(cfg serve.Config) error {
 	var putDeadline struct {
 		ID string `json:"id"`
 	}
-	if err := call(http.MethodPut, "/graphs", map[string]any{"n": 24, "arcs": deadlineArcs}, &putDeadline); err != nil {
+	if err := call(http.MethodPut, "/v1/graphs", map[string]any{"n": 24, "arcs": deadlineArcs}, &putDeadline); err != nil {
 		return err
 	}
 	deadlineBody := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed, "timeout_ms": 1}
@@ -372,7 +419,7 @@ func selftest(cfg serve.Config) error {
 		if err := json.NewEncoder(&buf).Encode(deadlineBody); err != nil {
 			return err
 		}
-		req, err := http.NewRequest(http.MethodPost, base+"/graphs/"+putDeadline.ID+"/solve", &buf)
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/graphs/"+putDeadline.ID+"/solve", &buf)
 		if err != nil {
 			return err
 		}
@@ -381,12 +428,12 @@ func selftest(cfg serve.Config) error {
 			return err
 		}
 		var timedOut struct {
-			Error     string `json:"error"`
-			Retryable bool   `json:"retryable"`
-			Stages    []struct {
-				Name   string `json:"name"`
-				Rounds int64  `json:"rounds"`
-			} `json:"stages"`
+			Error struct {
+				Code         string `json:"code"`
+				Message      string `json:"message"`
+				Retryable    bool   `json:"retryable"`
+				RetryAfterMS int64  `json:"retry_after_ms"`
+			} `json:"error"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&timedOut)
 		resp.Body.Close()
@@ -396,15 +443,16 @@ func selftest(cfg serve.Config) error {
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			return fmt.Errorf("1ms-deadline solve: status %d, want 503", resp.StatusCode)
 		}
-		if timedOut.Error == "" {
-			return fmt.Errorf("1ms-deadline solve: 503 without an error message")
+		if timedOut.Error.Code != "cancelled" || timedOut.Error.Message == "" {
+			return fmt.Errorf("1ms-deadline solve: 503 envelope %+v, want code \"cancelled\" with a message", timedOut.Error)
 		}
-		// Every 503 is a transient condition: it must advertise the retry.
+		// Every 503 is a transient condition: it must advertise the retry,
+		// in the header and in the envelope.
 		if resp.Header.Get("Retry-After") == "" {
 			return fmt.Errorf("1ms-deadline solve: 503 without a Retry-After header")
 		}
-		if !timedOut.Retryable {
-			return fmt.Errorf("1ms-deadline solve: 503 without retryable marker")
+		if !timedOut.Error.Retryable || timedOut.Error.RetryAfterMS <= 0 {
+			return fmt.Errorf("1ms-deadline solve: 503 without retryable marker/wait: %+v", timedOut.Error)
 		}
 	}
 	var afterDeadline struct {
@@ -432,7 +480,9 @@ func selftest(cfg serve.Config) error {
 
 	// 8. Metrics: the main flow ran the exact simulator once, the deadline
 	// probe once more (its timed-out attempt counts as cancelled, not
-	// solved), and the per-stage rollup must agree with the charged rounds.
+	// solved), the per-stage rollup must agree with the charged rounds, and
+	// the per-transport rollup must show the sharded backend moving the main
+	// flow's traffic.
 	var stats struct {
 		Strategies map[string]struct {
 			Solves        int64 `json:"solves"`
@@ -443,9 +493,21 @@ func selftest(cfg serve.Config) error {
 				Rounds int64 `json:"rounds"`
 			} `json:"stages"`
 		} `json:"strategies"`
+		Transports map[string]struct {
+			Solves     int64 `json:"solves"`
+			Deliveries int64 `json:"deliveries"`
+			Messages   int64 `json:"messages"`
+		} `json:"transports"`
 	}
-	if err := call(http.MethodGet, "/metrics", nil, &stats); err != nil {
+	if err := call(http.MethodGet, "/v1/metrics", nil, &stats); err != nil {
 		return err
+	}
+	sharded := stats.Transports["sharded"]
+	if sharded.Solves != 1 || sharded.Deliveries == 0 || sharded.Messages == 0 {
+		return fmt.Errorf("sharded transport rollup %+v, want 1 solve with delivered traffic", sharded)
+	}
+	if local := stats.Transports["local"]; local.Solves == 0 {
+		return fmt.Errorf("local transport rollup %+v, want the remaining executions", local)
 	}
 	qs := stats.Strategies["quantum"]
 	if qs.Solves != 2 {
@@ -481,7 +543,7 @@ func selftest(cfg serve.Config) error {
 		GuaranteedStretch float64 `json:"guaranteed_stretch"`
 	}
 	degradeBody := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed, "degrade": true, "faults": faultsBody}
-	if err := call(http.MethodPost, "/graphs/"+putDeadline.ID+"/solve", degradeBody, &degradedRes); err != nil {
+	if err := call(http.MethodPost, "/v1/graphs/"+putDeadline.ID+"/solve", degradeBody, &degradedRes); err != nil {
 		return err
 	}
 	if !degradedRes.Degraded || degradedRes.DegradedFrom != "quantum" || degradedRes.DegradeReason != "retries-exhausted" {
@@ -496,7 +558,7 @@ func selftest(cfg serve.Config) error {
 		if err := json.NewEncoder(&buf).Encode(exhaustBody); err != nil {
 			return err
 		}
-		req, err := http.NewRequest(http.MethodPost, base+"/graphs/"+putDeadline.ID+"/solve", &buf)
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/graphs/"+putDeadline.ID+"/solve", &buf)
 		if err != nil {
 			return err
 		}
@@ -505,9 +567,11 @@ func selftest(cfg serve.Config) error {
 			return err
 		}
 		var exhausted struct {
-			Error     string         `json:"error"`
-			Retryable bool           `json:"retryable"`
-			Faults    map[string]any `json:"faults"`
+			Error struct {
+				Code      string         `json:"code"`
+				Retryable bool           `json:"retryable"`
+				Faults    map[string]any `json:"faults"`
+			} `json:"error"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&exhausted)
 		resp.Body.Close()
@@ -517,10 +581,13 @@ func selftest(cfg serve.Config) error {
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			return fmt.Errorf("fault-exhausted solve: status %d, want 503", resp.StatusCode)
 		}
-		if resp.Header.Get("Retry-After") == "" || !exhausted.Retryable {
-			return fmt.Errorf("fault-exhausted 503 missing Retry-After/retryable: %+v", exhausted)
+		if exhausted.Error.Code != "fault_exhausted" {
+			return fmt.Errorf("fault-exhausted 503 coded %q, want fault_exhausted", exhausted.Error.Code)
 		}
-		if len(exhausted.Faults) == 0 {
+		if resp.Header.Get("Retry-After") == "" || !exhausted.Error.Retryable {
+			return fmt.Errorf("fault-exhausted 503 missing Retry-After/retryable: %+v", exhausted.Error)
+		}
+		if len(exhausted.Error.Faults) == 0 {
 			return fmt.Errorf("fault-exhausted 503 without fault telemetry")
 		}
 	}
@@ -534,7 +601,7 @@ func selftest(cfg serve.Config) error {
 			} `json:"faults"`
 		} `json:"strategies"`
 	}
-	if err := call(http.MethodGet, "/metrics", nil, &chaosStats); err != nil {
+	if err := call(http.MethodGet, "/v1/metrics", nil, &chaosStats); err != nil {
 		return err
 	}
 	cq := chaosStats.Strategies["quantum"]

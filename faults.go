@@ -110,7 +110,7 @@ func countersFromCore(c congest.FaultCounters) FaultCounters {
 // fault schedule. The plan is part of a result's identity: a Solver caches
 // armed and unarmed solves of the same graph separately.
 func WithFaultPlan(p FaultPlan) Option {
-	return func(o *options) { o.faults = p }
+	return func(o *Options) { o.Faults = p }
 }
 
 // WithDegradation opts a Solver solve into the graceful-degradation
@@ -123,7 +123,7 @@ func WithFaultPlan(p FaultPlan) Option {
 // methods only — the ladder lives in the serving layer, and the one-shot
 // SolveAPSP rejects the option rather than silently ignoring it.
 func WithDegradation() Option {
-	return func(o *options) { o.degrade = true }
+	return func(o *Options) { o.Degrade = true }
 }
 
 // FaultExhaustedError reports a solve that ran out of stage-retry budget

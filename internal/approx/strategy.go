@@ -45,7 +45,8 @@ func (chainStrategy) Stages(req *engine.Request, out *engine.Outcome) (*engine.P
 	n := req.G.N()
 	// Same 3n-clique reduction substrate as the exact quantum pipeline;
 	// only the per-product search is ladder-indexed.
-	net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096), congest.WithFaults(req.Faults))
+	net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096), congest.WithFaults(req.Faults),
+		congest.WithTransport(req.Transport), congest.WithTransportShards(req.Workers))
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +112,8 @@ func (skeletonStrategy) Approximate() bool             { return true }
 func (skeletonStrategy) Guarantee(eps float64) float64 { return 2 + eps }
 
 func (skeletonStrategy) Stages(req *engine.Request, out *engine.Outcome) (*engine.Plan, error) {
-	net, err := congest.NewNetwork(req.G.N(), congest.WithFaults(req.Faults))
+	net, err := congest.NewNetwork(req.G.N(), congest.WithFaults(req.Faults),
+		congest.WithTransport(req.Transport), congest.WithTransportShards(req.Workers))
 	if err != nil {
 		return nil, err
 	}

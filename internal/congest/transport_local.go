@@ -1,0 +1,117 @@
+package congest
+
+// The local transport: the original single-goroutine delivery path, moved
+// verbatim from Network. It is the bit-identical reference every other
+// backend is tested against.
+
+func init() {
+	RegisterTransport(DefaultTransport, func(n, shards int) Transport {
+		return &localTransport{n: n}
+	})
+}
+
+// payloadBlockWords is the minimum block size the payload arena grows by;
+// large single acquisitions get a dedicated block.
+const payloadBlockWords = 1 << 14
+
+// payloadArena is one generation of pooled Message.Data storage: a list of
+// retained backing blocks carved sequentially. Blocks are never moved or
+// grown in place, so previously returned slices stay valid for the whole
+// generation.
+type payloadArena struct {
+	blocks [][]Word
+	bi     int // block currently being carved
+	off    int // words used within blocks[bi]
+}
+
+func (a *payloadArena) reset() { a.bi, a.off = 0, 0 }
+
+// alloc carves a zero-length slice with capacity n.
+func (a *payloadArena) alloc(n int) []Word {
+	for {
+		if a.bi < len(a.blocks) {
+			b := a.blocks[a.bi]
+			if len(b)-a.off >= n {
+				s := b[a.off : a.off : a.off+n]
+				a.off += n
+				return s
+			}
+			a.bi++
+			a.off = 0
+			continue
+		}
+		size := n
+		if size < payloadBlockWords {
+			size = payloadBlockWords
+		}
+		a.blocks = append(a.blocks, make([]Word, size))
+	}
+}
+
+// localTransport delivers on the calling goroutine with one shared inbox
+// buffer and a two-generation payload arena.
+type localTransport struct {
+	n int
+
+	// inboxes is the reusable per-destination delivery buffer handed out by
+	// Deliver; borrowed by the caller until the next Deliver call.
+	inboxes [][]Message
+
+	// payloads is the two-generation word arena behind AcquirePayload;
+	// payGen indexes the generation currently being carved. Each Deliver
+	// flips the generation and recycles the other one, giving payloads the
+	// same lifetime as the inboxes that reference them.
+	payloads [2]payloadArena
+	payGen   int
+
+	stats TransportStats
+}
+
+func (t *localTransport) Name() string { return DefaultTransport }
+
+func (t *localTransport) AcquirePayload(words int) []Word {
+	if words < 0 {
+		words = 0
+	}
+	return t.payloads[t.payGen].alloc(words)
+}
+
+// Deliver groups messages by destination, preserving input order. The
+// per-destination slices are pooled on the transport and recycled by the
+// next Deliver call.
+func (t *localTransport) Deliver(msgs []Message) [][]Message {
+	// Flip the payload generations: slices acquired since the previous
+	// Exchange are now referenced by the inboxes being built, so the
+	// generation recycled here is the one the previous inboxes pointed at.
+	t.payGen ^= 1
+	t.payloads[t.payGen].reset()
+	if t.inboxes == nil {
+		t.inboxes = make([][]Message, t.n)
+	}
+	inboxes := t.inboxes
+	for i := range inboxes {
+		// Clear before truncating: stale Message values past the new length
+		// would otherwise pin the previous phase's payload arenas at the
+		// largest exchange's high-water mark.
+		clear(inboxes[i])
+		inboxes[i] = inboxes[i][:0]
+	}
+	for _, m := range msgs {
+		inboxes[m.Dst] = append(inboxes[m.Dst], m)
+	}
+	t.stats.Deliveries++
+	t.stats.Messages += int64(len(msgs))
+	t.stats.IntraShard += int64(len(msgs))
+	return inboxes
+}
+
+func (t *localTransport) Barrier() {}
+
+func (t *localTransport) Stats() TransportStats {
+	s := t.stats
+	s.Transport = DefaultTransport
+	s.Shards = 1
+	return s
+}
+
+func (t *localTransport) Close() {}

@@ -1,0 +1,221 @@
+package congest
+
+// The sharded transport: nodes are partitioned into contiguous ranges across
+// worker shards, each shard owning its nodes' inbox rows. A Deliver runs in
+// two parallel waves — scatter: each worker walks one contiguous chunk of
+// the input and batches messages into per-destination-shard buffers; gather:
+// each destination shard drains the batches addressed to it, in chunk order,
+// into the inbox rows it owns. Batching the inter-shard traffic into
+// per-(chunk, shard) buffers flushed once per exchange is the congested-
+// clique routing structure in miniature (Lemma 1's balanced sub-batches),
+// and it is what kills per-message contention: no locks, no atomics on the
+// delivery path, disjoint writes only.
+//
+// Determinism: concatenating the chunks' batches in chunk order reproduces
+// exactly the input order per destination, so the inboxes are bit-identical
+// to the local transport's — which the cross-backend equivalence suite
+// enforces for every strategy. All accounting and fault injection happen in
+// Network before Deliver, so rounds, words, and fault schedules cannot
+// diverge by construction.
+
+import "qclique/internal/par"
+
+func init() {
+	RegisterTransport(TransportSharded, newShardedTransport)
+}
+
+// shardedSerialThreshold is the message count below which Deliver takes the
+// serial path: two parallel waves over a handful of messages cost more in
+// goroutine wakeups than they save. Both paths produce identical inboxes.
+const shardedSerialThreshold = 128
+
+func newShardedTransport(n, shards int) Transport {
+	s := par.Workers(shards)
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	chunk := (n + s - 1) / s
+	s = (n + chunk - 1) / chunk // re-derive: drops empty trailing shards
+	t := &shardedTransport{
+		n:               n,
+		shards:          s,
+		chunkNodes:      chunk,
+		inboxes:         make([][]Message, n),
+		out:             make([][][]Message, s),
+		chunkIntra:      make([]int64, s),
+		chunkCross:      make([]int64, s),
+		chunkFlushes:    make([]int64, s),
+		serialThreshold: shardedSerialThreshold,
+	}
+	for c := range t.out {
+		t.out[c] = make([][]Message, s)
+	}
+	return t
+}
+
+type shardedTransport struct {
+	n          int
+	shards     int
+	chunkNodes int // nodes per shard (last shard may own fewer)
+
+	// inboxes is the shared per-destination delivery buffer; row i is
+	// written only by the shard owning node i, so the parallel gather wave
+	// performs disjoint writes.
+	inboxes [][]Message
+
+	// out[c][s] is the reusable batch buffer carrying source-chunk c's
+	// messages addressed to destination shard s; written by scatter worker
+	// c, drained by gather worker s.
+	out [][][]Message
+
+	// chunkIntra/chunkCross/chunkFlushes are per-worker counters summed
+	// serially after each Deliver, keeping the hot path atomics-free.
+	chunkIntra   []int64
+	chunkCross   []int64
+	chunkFlushes []int64
+
+	// payloads/payGen: same two-generation arena as the local transport.
+	// AcquirePayload is only ever called from the accounting goroutine
+	// between delivers, so the arena needs no synchronization.
+	payloads [2]payloadArena
+	payGen   int
+
+	// serialThreshold is shardedSerialThreshold, overridable in tests to
+	// force the parallel path on small message sets.
+	serialThreshold int
+
+	stats TransportStats
+}
+
+func (t *shardedTransport) Name() string { return TransportSharded }
+
+// shardOf maps a node to its owning shard.
+func (t *shardedTransport) shardOf(id NodeID) int { return int(id) / t.chunkNodes }
+
+func (t *shardedTransport) AcquirePayload(words int) []Word {
+	if words < 0 {
+		words = 0
+	}
+	return t.payloads[t.payGen].alloc(words)
+}
+
+func (t *shardedTransport) Deliver(msgs []Message) [][]Message {
+	// Generation flip first, exactly as in the local transport: the arena
+	// recycled here is the one the previous inboxes pointed at.
+	t.payGen ^= 1
+	t.payloads[t.payGen].reset()
+	t.stats.Deliveries++
+	t.stats.Messages += int64(len(msgs))
+	if t.shards == 1 || len(msgs) < t.serialThreshold {
+		t.deliverSerial(msgs)
+		return t.inboxes
+	}
+	t.deliverParallel(msgs)
+	return t.inboxes
+}
+
+// deliverSerial is the local-transport path with shard attribution counted.
+func (t *shardedTransport) deliverSerial(msgs []Message) {
+	for i := range t.inboxes {
+		// Clear before truncating — the stale-Message arena-pinning rule
+		// (see the Transport contract in transport.go).
+		clear(t.inboxes[i])
+		t.inboxes[i] = t.inboxes[i][:0]
+	}
+	var intra, cross int64
+	for _, m := range msgs {
+		t.inboxes[m.Dst] = append(t.inboxes[m.Dst], m)
+		if t.shardOf(m.Src) == t.shardOf(m.Dst) {
+			intra++
+		} else {
+			cross++
+		}
+	}
+	t.stats.IntraShard += intra
+	t.stats.CrossShard += cross
+}
+
+func (t *shardedTransport) deliverParallel(msgs []Message) {
+	s := t.shards
+	per := (len(msgs) + s - 1) / s
+
+	// Scatter wave: worker c batches its contiguous input chunk into
+	// per-destination-shard buffers. Chunks are contiguous and in input
+	// order, so chunk-order concatenation per destination preserves the
+	// input order exactly.
+	par.For(s, s, func(c int) {
+		lo := c * per
+		hi := lo + per
+		if hi > len(msgs) {
+			hi = len(msgs)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		out := t.out[c]
+		for d := range out {
+			clear(out[d])
+			out[d] = out[d][:0]
+		}
+		var intra, cross int64
+		for _, m := range msgs[lo:hi] {
+			ds := t.shardOf(m.Dst)
+			out[ds] = append(out[ds], m)
+			if t.shardOf(m.Src) == ds {
+				intra++
+			} else {
+				cross++
+			}
+		}
+		t.chunkIntra[c] = intra
+		t.chunkCross[c] = cross
+	})
+
+	// Gather wave: destination shard d drains the batches addressed to it
+	// in chunk order into the inbox rows it owns. Writes are disjoint by
+	// construction (row i belongs to exactly one shard).
+	par.For(s, s, func(d int) {
+		lo := d * t.chunkNodes
+		hi := lo + t.chunkNodes
+		if hi > t.n {
+			hi = t.n
+		}
+		for i := lo; i < hi; i++ {
+			clear(t.inboxes[i])
+			t.inboxes[i] = t.inboxes[i][:0]
+		}
+		var flushes int64
+		for c := 0; c < s; c++ {
+			batch := t.out[c][d]
+			if len(batch) == 0 {
+				continue
+			}
+			flushes++
+			for _, m := range batch {
+				t.inboxes[m.Dst] = append(t.inboxes[m.Dst], m)
+			}
+		}
+		t.chunkFlushes[d] = flushes
+	})
+
+	for c := 0; c < s; c++ {
+		t.stats.IntraShard += t.chunkIntra[c]
+		t.stats.CrossShard += t.chunkCross[c]
+		t.stats.Flushes += t.chunkFlushes[c]
+		t.chunkIntra[c], t.chunkCross[c], t.chunkFlushes[c] = 0, 0, 0
+	}
+}
+
+func (t *shardedTransport) Barrier() {}
+
+func (t *shardedTransport) Stats() TransportStats {
+	s := t.stats
+	s.Transport = TransportSharded
+	s.Shards = t.shards
+	return s
+}
+
+func (t *shardedTransport) Close() {}

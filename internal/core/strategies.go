@@ -81,7 +81,8 @@ func (p *searchPipeline) Stages(req *engine.Request, out *engine.Outcome) (*engi
 	// The reduction runs on tripartite instances with 3n vertices; each
 	// network node simulates three of them (constant-factor overhead),
 	// realized as a 3n-node clique.
-	net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096), congest.WithFaults(req.Faults))
+	net, err := congest.NewNetwork(3*n, congest.WithTraceLimit(4096), congest.WithFaults(req.Faults),
+		congest.WithTransport(req.Transport), congest.WithTransportShards(req.Workers))
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +170,8 @@ func (gossipPipeline) Guarantee(float64) float64 { return 1 }
 
 func (gossipPipeline) Stages(req *engine.Request, out *engine.Outcome) (*engine.Plan, error) {
 	n := req.G.N()
-	net, err := congest.NewNetwork(n, congest.WithFaults(req.Faults))
+	net, err := congest.NewNetwork(n, congest.WithFaults(req.Faults),
+		congest.WithTransport(req.Transport), congest.WithTransportShards(req.Workers))
 	if err != nil {
 		return nil, err
 	}

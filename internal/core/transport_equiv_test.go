@@ -1,0 +1,126 @@
+package core
+
+// The cross-backend equivalence suite: the sharded transport must be
+// bit-identical to the local reference — distances, rounds, words, per-stage
+// sums, and armed fault schedules — for every registered strategy. This is
+// the gate that makes transport selection a pure host-side choice, and what
+// a future multi-process backend will be held to.
+
+import (
+	"fmt"
+	"testing"
+
+	"qclique/internal/congest"
+	"qclique/internal/engine"
+	"qclique/internal/graph"
+)
+
+var equivStrategies = []Strategy{
+	StrategyQuantum, StrategyClassicalSearch, StrategyDolev, StrategyGossip,
+	StrategyApproxQuantum, StrategyApproxSkeleton,
+}
+
+// solveOn runs one solve on the named transport. Workers=4 on the sharded
+// backend keeps multiple shards in play at every test size.
+func solveOn(t *testing.T, g *graph.Digraph, base Config, transport string) *Result {
+	t.Helper()
+	cfg := base
+	cfg.Transport = transport
+	if transport == congest.TransportSharded {
+		cfg.Workers = 4
+	}
+	res, err := Solve(g, cfg)
+	if err != nil {
+		t.Fatalf("transport %q: %v", transport, err)
+	}
+	return res
+}
+
+// requireEquivalent fails on any divergence between a local and a sharded
+// run of the same solve.
+func requireEquivalent(t *testing.T, tag string, local, sharded *Result) {
+	t.Helper()
+	if !sharded.Dist.Equal(local.Dist) {
+		t.Errorf("%s: distances diverge across transports", tag)
+	}
+	if sharded.Rounds != local.Rounds {
+		t.Errorf("%s: rounds diverge: local %d, sharded %d", tag, local.Rounds, sharded.Rounds)
+	}
+	if sharded.Metrics.Words != local.Metrics.Words || sharded.Metrics.Phases != local.Metrics.Phases {
+		t.Errorf("%s: words/phases diverge: local %d/%d, sharded %d/%d", tag,
+			local.Metrics.Words, local.Metrics.Phases, sharded.Metrics.Words, sharded.Metrics.Phases)
+	}
+	if len(sharded.Stages) != len(local.Stages) {
+		t.Errorf("%s: stage counts diverge: local %d, sharded %d", tag, len(local.Stages), len(sharded.Stages))
+		return
+	}
+	for i := range local.Stages {
+		ls, ss := local.Stages[i], sharded.Stages[i]
+		if ls.Name != ss.Name || ls.Rounds != ss.Rounds || ls.Words != ss.Words || ls.Phases != ss.Phases {
+			t.Errorf("%s: stage %q diverges: local %d/%d/%d, sharded %d/%d/%d", tag, ls.Name,
+				ls.Rounds, ls.Words, ls.Phases, ss.Rounds, ss.Words, ss.Phases)
+		}
+	}
+	if sum := engine.SumRounds(sharded.Stages); sum != sharded.Rounds {
+		t.Errorf("%s: sharded stage rounds %d do not sum to total %d", tag, sum, sharded.Rounds)
+	}
+	if got := sharded.Transport.Transport; got != congest.TransportSharded {
+		t.Errorf("%s: result attributes transport %q, want %q", tag, got, congest.TransportSharded)
+	}
+}
+
+// TestTransportEquivalenceAllStrategies: all strategies × n ∈ {8, 16, 32} ×
+// seeds {0, 1, 2}, distances + rounds + words + per-stage sums bit-identical
+// local vs sharded.
+func TestTransportEquivalenceAllStrategies(t *testing.T) {
+	sizes := []int{8, 16, 32}
+	seeds := []uint64{0, 1, 2}
+	if testing.Short() {
+		sizes = []int{8, 16}
+		seeds = []uint64{0}
+	}
+	for _, s := range equivStrategies {
+		for _, n := range sizes {
+			for _, seed := range seeds {
+				tag := fmt.Sprintf("%v/n=%d/seed=%d", s, n, seed)
+				g := chaosInput(t, s, n, seed+uint64(n))
+				cfg := chaosConfig(s)
+				cfg.Seed = seed
+				local := solveOn(t, g, cfg, congest.DefaultTransport)
+				sharded := solveOn(t, g, cfg, congest.TransportSharded)
+				requireEquivalent(t, tag, local, sharded)
+			}
+		}
+	}
+}
+
+// TestTransportEquivalenceFaultSchedules: an armed FaultPlan must replay
+// the identical fault schedule on every backend — injection happens in the
+// Network above the transport, so counters, surcharged rounds and distances
+// all have to match.
+func TestTransportEquivalenceFaultSchedules(t *testing.T) {
+	plan := congest.FaultPlan{
+		Seed: 42, DropRate: 0.2, DupRate: 0.1, DelayRate: 0.1, MaxDelayRounds: 2,
+		CorruptRate: 0.05, CrashRate: 0.02, CrashDownPhases: 1, MaxFaults: 1,
+	}
+	sizes := []int{8, 16}
+	strategies := equivStrategies
+	if testing.Short() {
+		strategies = []Strategy{StrategyQuantum, StrategyApproxSkeleton}
+	}
+	for _, s := range strategies {
+		for _, n := range sizes {
+			tag := fmt.Sprintf("%v/n=%d", s, n)
+			g := chaosInput(t, s, n, uint64(n))
+			cfg := chaosConfig(s)
+			cfg.Faults = plan
+			local := solveOn(t, g, cfg, congest.DefaultTransport)
+			sharded := solveOn(t, g, cfg, congest.TransportSharded)
+			requireEquivalent(t, tag, local, sharded)
+			if local.Metrics.Faults != sharded.Metrics.Faults {
+				t.Errorf("%s: fault schedules diverge: local %+v, sharded %+v",
+					tag, local.Metrics.Faults, sharded.Metrics.Faults)
+			}
+		}
+	}
+}

@@ -205,16 +205,13 @@ func TestHTTPDeadlineAnswers503WithPartialStages(t *testing.T) {
 		t.Fatalf("status = %d, want 503 (body %s)", rec.Code, rec.Body.String())
 	}
 	var out struct {
-		Error  string `json:"error"`
-		Stages []struct {
-			Name string `json:"name"`
-		} `json:"stages"`
+		Error ErrorJSON `json:"error"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 		t.Fatalf("503 body is not JSON: %v (%s)", err, rec.Body.String())
 	}
-	if out.Error == "" {
-		t.Fatal("503 body missing the error message")
+	if out.Error.Message == "" || out.Error.Code != "cancelled" {
+		t.Fatalf("503 envelope missing message/code: %+v", out.Error)
 	}
 
 	// Without the deadline the same request succeeds, uncached, and its

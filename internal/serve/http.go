@@ -69,11 +69,15 @@ func (gj GraphJSON) Digraph() (*graph.Digraph, error) {
 // checkpoints between stages and inside its inner loops, and a deadline
 // that expires answers 503 with the partial per-stage telemetry.
 type solveParamsJSON struct {
-	Strategy  string  `json:"strategy,omitempty"`
-	Preset    string  `json:"preset,omitempty"`
-	Seed      uint64  `json:"seed,omitempty"`
-	Epsilon   float64 `json:"epsilon,omitempty"`
-	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	Strategy string  `json:"strategy,omitempty"`
+	Preset   string  `json:"preset,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
+	// Transport selects the congest delivery backend ("local", "sharded";
+	// empty = local). Results are bit-identical across backends, so the
+	// choice only moves host-side execution; unknown names answer 400.
+	Transport string `json:"transport,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 	// Faults arms the solve with a deterministic fault-injection plan
 	// (chaos testing over the wire); absent means no injection.
 	Faults *FaultPlanJSON `json:"faults,omitempty"`
@@ -136,7 +140,7 @@ func (p solveParamsJSON) spec() (SolveSpec, error) {
 	// assembled (query parameters can add epsilon after this point): the
 	// handlers validate explicitly or rely on Service.solve, and
 	// solveStatus maps ErrInvalidSpec to 400.
-	spec := SolveSpec{Strategy: strat, Preset: preset, Seed: p.Seed, Epsilon: p.Epsilon, Degrade: p.Degrade}
+	spec := SolveSpec{Strategy: strat, Preset: preset, Seed: p.Seed, Epsilon: p.Epsilon, Transport: p.Transport, Degrade: p.Degrade}
 	if p.Faults != nil {
 		spec.Faults = p.Faults.plan()
 	}
@@ -158,7 +162,12 @@ type SolveJSON struct {
 	FindEdgesCalls    int     `json:"find_edges_calls"`
 	GuaranteedStretch float64 `json:"guaranteed_stretch,omitempty"`
 	ObservedStretch   float64 `json:"observed_stretch,omitempty"`
-	Cached            bool    `json:"cached"`
+	// Transport is the delivery backend that executed the solve producing
+	// this result. Transport choice is excluded from the cache identity
+	// (results are bit-identical across backends), so a cached response
+	// echoes the backend of the original execution, not the request's.
+	Transport string `json:"transport,omitempty"`
+	Cached    bool   `json:"cached"`
 	// Degraded marks a response the degradation ladder answered with a
 	// fallback strategy: Strategy (and GuaranteedStretch) describe the rung
 	// that actually ran, DegradedFrom the one the client asked for.
@@ -197,16 +206,86 @@ type batchRequestJSON struct {
 	Queries []PathQuery `json:"queries"`
 }
 
-// NewHandler mounts the service's HTTP API:
+// ErrorJSON is the single error envelope every non-2xx response carries,
+// wrapped as {"error": {...}}: a stable machine-readable code, the human
+// message, whether the failure class is transient, and — for retryable
+// failures — the suggested wait. Transient solve failures additionally
+// attach the partial telemetry (stages, rounds, fault counters) of the work
+// done before the stop.
+type ErrorJSON struct {
+	// Code classifies the failure: "invalid_spec", "not_found",
+	// "unprocessable", "cancelled", "fault_exhausted", "breaker_open",
+	// "internal".
+	Code string `json:"code"`
+	// Message is the human-readable error text.
+	Message string `json:"message"`
+	// Retryable marks transient failures (the 503 class): the identical
+	// request may succeed later.
+	Retryable bool `json:"retryable"`
+	// RetryAfterMS suggests the wait before retrying (retryable only);
+	// mirrored in the Retry-After header (whole seconds).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Stages/Rounds carry the partial per-stage telemetry of a cancelled or
+	// fault-exhausted solve — what the deadline (or the retry budget)
+	// bought before the stop.
+	Stages []engine.StageStat `json:"stages,omitempty"`
+	Rounds int64              `json:"rounds,omitempty"`
+	// Faults is the injected-fault accounting of a fault-exhausted solve.
+	Faults *congest.FaultCounters `json:"faults,omitempty"`
+}
+
+// errorEnvelope is the response body shape: {"error": {...}}.
+type errorEnvelope struct {
+	Error ErrorJSON `json:"error"`
+}
+
+// errorCode maps an HTTP status to its envelope code for failures without a
+// more specific classification.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_spec"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusServiceUnavailable:
+		return "cancelled"
+	default:
+		return "internal"
+	}
+}
+
+// apiPrefix is the current API version mount point. Legacy unprefixed
+// routes stay mounted as aliases for one release, answering with a
+// Deprecation header and a successor-version Link.
+const apiPrefix = "/v1"
+
+// NewHandler mounts the service's HTTP API under /v1 (legacy unprefixed
+// aliases answer identically plus deprecation headers):
 //
-//	PUT  /graphs                   upload a graph, returns its content id
-//	POST /graphs/{id}/solve        solve (cache-aware), returns round accounting
-//	GET  /graphs/{id}/dist         distances: full matrix, one row (?src=), or one pair (?src=&dst=)
-//	POST /graphs/{id}/paths:batch  many shortest-path queries against one solve
-//	GET  /metrics                  per-strategy cache/round accounting
+//	PUT  /v1/graphs                   upload a graph, returns its content id
+//	POST /v1/graphs/{id}/solve        solve (cache-aware), returns round accounting
+//	GET  /v1/graphs/{id}/dist         distances: full matrix, one row (?src=), or one pair (?src=&dst=)
+//	POST /v1/graphs/{id}/paths:batch  many shortest-path queries against one solve
+//	GET  /v1/metrics                  per-strategy and per-transport cache/round accounting
+//
+// Every non-2xx response body is the {"error": {code, message, retryable,
+// retry_after_ms}} envelope (see ErrorJSON).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /graphs", func(w http.ResponseWriter, r *http.Request) {
+	// handle mounts h at /v1+pattern and at the legacy unprefixed pattern;
+	// the legacy alias advertises its successor so clients can migrate
+	// before the unprefixed routes go away.
+	handle := func(method, pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+apiPrefix+pattern, h)
+		mux.HandleFunc(method+" "+pattern, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=\"successor-version\"", apiPrefix, r.URL.Path))
+			h(w, r)
+		})
+	}
+	handle("PUT", "/graphs", func(w http.ResponseWriter, r *http.Request) {
 		var gj GraphJSON
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&gj); err != nil {
 			httpError(w, http.StatusBadRequest, err)
@@ -225,7 +304,7 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"id": id, "n": g.N(), "arcs": g.ArcCount()})
 	})
 
-	mux.HandleFunc("POST /graphs/{id}/solve", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/graphs/{id}/solve", func(w http.ResponseWriter, r *http.Request) {
 		var body solveParamsJSON
 		if r.ContentLength != 0 {
 			if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&body); err != nil {
@@ -248,10 +327,11 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, solveResponse(res, spec))
 	})
 
-	mux.HandleFunc("GET /graphs/{id}/dist", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/graphs/{id}/dist", func(w http.ResponseWriter, r *http.Request) {
 		spec, err := solveParamsJSON{
-			Strategy: r.URL.Query().Get("strategy"),
-			Preset:   r.URL.Query().Get("preset"),
+			Strategy:  r.URL.Query().Get("strategy"),
+			Preset:    r.URL.Query().Get("preset"),
+			Transport: r.URL.Query().Get("transport"),
 		}.spec()
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
@@ -361,7 +441,7 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 
-	mux.HandleFunc("POST /graphs/{id}/paths:batch", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/graphs/{id}/paths:batch", func(w http.ResponseWriter, r *http.Request) {
 		var body batchRequestJSON
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&body); err != nil {
 			httpError(w, http.StatusBadRequest, err)
@@ -398,7 +478,7 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"id": res.GraphID, "cached": res.Cached, "results": out})
 	})
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	return mux
@@ -416,6 +496,7 @@ func solveResponse(res *SolveResult, spec SolveSpec) SolveJSON {
 		Rounds:         res.Res.Rounds,
 		Products:       res.Res.Products,
 		FindEdgesCalls: res.Res.FindEdgesCalls,
+		Transport:      res.Res.Transport.Transport,
 		Cached:         res.Cached,
 		Stages:         res.Res.Stages,
 	}
@@ -475,9 +556,9 @@ func setRetryAfter(w http.ResponseWriter, d time.Duration) {
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
-// solveError writes a solve failure. Every 503 carries a Retry-After
-// header and a retryable marker in the body — the failure class is
-// transient (deadline, injected faults, open breaker) and clients should
+// solveError writes a solve failure in the error envelope. Every 503
+// carries a Retry-After header and the retryable marker — the failure class
+// is transient (deadline, injected faults, open breaker) and clients should
 // distinguish "try again" from "this request can never work". A
 // cancellation additionally carries the partial per-stage telemetry, so a
 // timed-out request still reports the stages (and rounds) the deadline
@@ -488,24 +569,38 @@ func solveError(w http.ResponseWriter, err error) {
 		httpError(w, status, err)
 		return
 	}
-	body := map[string]any{"error": err.Error(), "retryable": true}
+	ej := ErrorJSON{Code: "cancelled", Message: err.Error(), Retryable: true}
 	wait := time.Second
 	var cancelled *CancelledError
 	var exhausted *FaultExhaustedError
 	var be *BreakerOpenError
 	switch {
 	case errors.As(err, &cancelled):
-		body["stages"] = cancelled.Stages
-		body["rounds"] = cancelled.Rounds
+		ej.Stages = cancelled.Stages
+		ej.Rounds = cancelled.Rounds
 	case errors.As(err, &exhausted):
-		body["stages"] = exhausted.Stages
-		body["rounds"] = exhausted.Rounds
-		body["faults"] = exhausted.Faults
+		ej.Code = "fault_exhausted"
+		ej.Stages = exhausted.Stages
+		ej.Rounds = exhausted.Rounds
+		f := exhausted.Faults
+		ej.Faults = &f
 	case errors.As(err, &be):
+		ej.Code = "breaker_open"
 		wait = be.RetryAfter
 	}
+	ej.RetryAfterMS = retryAfterMS(wait)
 	setRetryAfter(w, wait)
-	writeJSON(w, http.StatusServiceUnavailable, body)
+	writeJSON(w, http.StatusServiceUnavailable, errorEnvelope{Error: ej})
+}
+
+// retryAfterMS floors the advertised wait at one millisecond — a retryable
+// response always suggests a positive wait.
+func retryAfterMS(d time.Duration) int64 {
+	ms := d.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
 }
 
 // distJSON maps a distance entry to its JSON form: (nil, false) for +∞
@@ -542,5 +637,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, errorEnvelope{Error: ErrorJSON{
+		Code:    errorCode(status),
+		Message: err.Error(),
+	}})
 }

@@ -36,14 +36,14 @@ func TestHTTPNegativeCycle422(t *testing.T) {
 			map[string]any{"strategy": "gossip", "queries": []map[string]int{{"src": 0, "dst": 1}}}},
 	} {
 		var e struct {
-			Error string `json:"error"`
+			Error ErrorJSON `json:"error"`
 		}
 		resp := doJSON(t, srv, probe.method, probe.path, probe.body, &e)
 		if resp.StatusCode != http.StatusUnprocessableEntity {
 			t.Errorf("%s %s: status %d, want 422", probe.method, probe.path, resp.StatusCode)
 		}
-		if e.Error == "" {
-			t.Errorf("%s %s: missing error body", probe.method, probe.path)
+		if e.Error.Message == "" || e.Error.Code != "unprocessable" {
+			t.Errorf("%s %s: envelope %+v, want unprocessable with message", probe.method, probe.path, e.Error)
 		}
 	}
 }
@@ -114,12 +114,12 @@ func TestHTTPApproxSolve(t *testing.T) {
 
 	// The skeleton strategy rejects this (asymmetric) graph with 422.
 	var e struct {
-		Error string `json:"error"`
+		Error ErrorJSON `json:"error"`
 	}
 	resp = doJSON(t, srv, http.MethodPost, "/graphs/"+put.ID+"/solve",
 		map[string]any{"strategy": "approx-skeleton", "preset": "scaled", "epsilon": 0.5}, &e)
-	if resp.StatusCode != http.StatusUnprocessableEntity || e.Error == "" {
-		t.Errorf("skeleton on asymmetric graph: status %d body %q, want 422", resp.StatusCode, e.Error)
+	if resp.StatusCode != http.StatusUnprocessableEntity || e.Error.Message == "" {
+		t.Errorf("skeleton on asymmetric graph: status %d body %+v, want 422", resp.StatusCode, e.Error)
 	}
 
 	// Path queries under an approximate strategy are a client error:
@@ -127,8 +127,8 @@ func TestHTTPApproxSolve(t *testing.T) {
 	resp = doJSON(t, srv, http.MethodPost, "/graphs/"+put.ID+"/paths:batch",
 		map[string]any{"strategy": "approx-quantum", "preset": "scaled", "epsilon": 0.5,
 			"queries": []map[string]int{{"src": 0, "dst": 1}}}, &e)
-	if resp.StatusCode != http.StatusBadRequest || e.Error == "" {
-		t.Errorf("paths:batch under approx strategy: status %d body %q, want 400", resp.StatusCode, e.Error)
+	if resp.StatusCode != http.StatusBadRequest || e.Error.Message == "" {
+		t.Errorf("paths:batch under approx strategy: status %d body %+v, want 400", resp.StatusCode, e.Error)
 	}
 }
 

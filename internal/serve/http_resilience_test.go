@@ -66,12 +66,9 @@ func TestHTTPFaultInjectionAndDegradation(t *testing.T) {
 	}
 
 	// The same outage without degradation: 503 with Retry-After, the
-	// retryable marker, and the partial fault telemetry.
+	// retryable envelope, and the partial fault telemetry.
 	var fail struct {
-		Error     string         `json:"error"`
-		Retryable bool           `json:"retryable"`
-		Rounds    int64          `json:"rounds"`
-		Faults    map[string]any `json:"faults"`
+		Error ErrorJSON `json:"error"`
 	}
 	resp = doJSON(t, srv, http.MethodPost, "/graphs/"+put.ID+"/solve", solveParamsJSON{
 		Strategy: "quantum",
@@ -83,11 +80,14 @@ func TestHTTPFaultInjectionAndDegradation(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("503 without Retry-After header")
 	}
-	if !fail.Retryable {
-		t.Error("503 without retryable marker")
+	if !fail.Error.Retryable || fail.Error.RetryAfterMS <= 0 {
+		t.Errorf("503 envelope missing retryable/retry_after_ms: %+v", fail.Error)
 	}
-	if len(fail.Faults) == 0 {
-		t.Errorf("503 without fault telemetry: %+v", fail)
+	if fail.Error.Code != "fault_exhausted" {
+		t.Errorf("503 code = %q, want fault_exhausted", fail.Error.Code)
+	}
+	if fail.Error.Faults == nil || fail.Error.Faults.Injected() == 0 {
+		t.Errorf("503 without fault telemetry: %+v", fail.Error)
 	}
 
 	// A malformed plan is a 400, not a 503.
@@ -110,8 +110,7 @@ func TestHTTPDeadline503CarriesRetryAfter(t *testing.T) {
 		t.Fatal(err)
 	}
 	var fail struct {
-		Error     string `json:"error"`
-		Retryable bool   `json:"retryable"`
+		Error ErrorJSON `json:"error"`
 	}
 	// A 1ms deadline expires inside the pipeline; the 503 must advertise a
 	// retry.
@@ -121,8 +120,8 @@ func TestHTTPDeadline503CarriesRetryAfter(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("deadline solve: %d, want 503", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" || !fail.Retryable {
+	if resp.Header.Get("Retry-After") == "" || !fail.Error.Retryable {
 		t.Errorf("deadline 503 missing Retry-After/retryable: header=%q body=%+v",
-			resp.Header.Get("Retry-After"), fail)
+			resp.Header.Get("Retry-After"), fail.Error)
 	}
 }

@@ -176,6 +176,13 @@ type SolveSpec struct {
 	// silently ignoring it would alias distinct cache entries).
 	Epsilon float64
 	Workers int
+	// Transport selects the congest delivery backend by registered name
+	// ("" = "local"). Like Workers it is execution detail only — backends
+	// are bit-identical in results by contract — so it is excluded from the
+	// cache identity: a request may be served from a result another
+	// transport computed, and the result's Transport echo describes the
+	// execution that actually produced it.
+	Transport string
 	// Faults arms the solve's network(s) with a deterministic fault plan
 	// (zero disables injection). It is part of the cache identity: fault
 	// surcharges change the round trajectory, and under an aggressive plan
@@ -211,6 +218,10 @@ func (s SolveSpec) Validate() error {
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	if !congest.ValidTransport(s.Transport) {
+		return fmt.Errorf("%w: unknown transport %q (registered: %s)",
+			ErrInvalidSpec, s.Transport, strings.Join(congest.Transports(), ", "))
 	}
 	return nil
 }
@@ -535,6 +546,7 @@ func (s *Service) solveOne(ctx context.Context, id string, g *graph.Digraph, spe
 				Seed:      spec.Seed,
 				Epsilon:   spec.Epsilon,
 				Workers:   workers,
+				Transport: spec.Transport,
 				Workspace: ws,
 				Faults:    spec.Faults,
 			})

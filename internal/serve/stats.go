@@ -64,6 +64,26 @@ type StrategyStats struct {
 	Stages map[string]StageStats `json:"stages,omitempty"`
 }
 
+// TransportUsage is the per-transport rollup of executed solves: which
+// delivery backend ran, how often, and the traffic it moved. Cache hits and
+// deduplicated requests execute nothing and contribute nothing here.
+type TransportUsage struct {
+	// Solves counts simulator executions on this backend (fault-failed
+	// partial runs included — their traffic was moved).
+	Solves int64 `json:"solves"`
+	// Shards is the largest worker-shard count observed (1 for local).
+	Shards int `json:"shards"`
+	// Deliveries/Messages count communication phases with materialized
+	// payloads and the messages they moved.
+	Deliveries int64 `json:"deliveries"`
+	Messages   int64 `json:"messages"`
+	// IntraShard/CrossShard split Messages by shard locality; Flushes
+	// counts inter-shard batch-buffer flushes. All zero on local.
+	IntraShard int64 `json:"intra_shard"`
+	CrossShard int64 `json:"cross_shard"`
+	Flushes    int64 `json:"flushes"`
+}
+
 // Stats is a point-in-time snapshot of a Service's accounting.
 type Stats struct {
 	// Graphs is the number of graphs in the store.
@@ -75,16 +95,44 @@ type Stats struct {
 	PathQueries int64 `json:"path_queries"`
 	// Strategies maps strategy name to its accounting.
 	Strategies map[string]StrategyStats `json:"strategies"`
+	// Transports maps delivery-backend name to its execution rollup.
+	Transports map[string]TransportUsage `json:"transports,omitempty"`
 }
 
 type statsCollector struct {
 	mu          sync.Mutex
 	pathQueries int64
 	byStrategy  map[string]*StrategyStats
+	byTransport map[string]*TransportUsage
 }
 
 func newStatsCollector() *statsCollector {
-	return &statsCollector{byStrategy: make(map[string]*StrategyStats)}
+	return &statsCollector{
+		byStrategy:  make(map[string]*StrategyStats),
+		byTransport: make(map[string]*TransportUsage),
+	}
+}
+
+// addTransport rolls a run's delivery-backend accounting into the
+// per-transport usage map. Caller holds the mutex.
+func (s *statsCollector) addTransport(ts congest.TransportStats) {
+	if ts.Transport == "" {
+		return
+	}
+	u, ok := s.byTransport[ts.Transport]
+	if !ok {
+		u = &TransportUsage{}
+		s.byTransport[ts.Transport] = u
+	}
+	u.Solves++
+	if ts.Shards > u.Shards {
+		u.Shards = ts.Shards
+	}
+	u.Deliveries += ts.Deliveries
+	u.Messages += ts.Messages
+	u.IntraShard += ts.IntraShard
+	u.CrossShard += ts.CrossShard
+	u.Flushes += ts.Flushes
 }
 
 func (s *statsCollector) forStrategy(name string) *StrategyStats {
@@ -122,6 +170,7 @@ func (s *statsCollector) solved(name string, res *core.Result) {
 	st.RoundsCharged += res.Rounds
 	st.addFaults(res)
 	st.addStages(res)
+	s.addTransport(res.Transport)
 }
 
 // addFaults rolls a solve's injected-fault and retry telemetry into the
@@ -178,6 +227,7 @@ func (s *statsCollector) faultFailure(name string, res *core.Result) {
 	if res != nil {
 		st.RoundsCharged += res.Rounds
 		st.addFaults(res)
+		s.addTransport(res.Transport)
 	}
 }
 
@@ -219,6 +269,12 @@ func (s *statsCollector) snapshot(graphs, cached int) Stats {
 			}
 		}
 		out.Strategies[name] = cp
+	}
+	if len(s.byTransport) > 0 {
+		out.Transports = make(map[string]TransportUsage, len(s.byTransport))
+		for name, u := range s.byTransport {
+			out.Transports[name] = *u
+		}
 	}
 	return out
 }

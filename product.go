@@ -8,20 +8,22 @@ import (
 
 // productFor dispatches a distance product to the solver selected by the
 // options.
-func productFor(a, b *matrix.Matrix, o options) (*matrix.Matrix, int64, error) {
-	if o.strategy == Gossip {
-		net, err := congest.NewNetwork(maxInt(a.N(), 1))
+func productFor(a, b *matrix.Matrix, o Options) (*matrix.Matrix, int64, error) {
+	if o.Strategy == Gossip {
+		net, err := congest.NewNetwork(maxInt(a.N(), 1),
+			congest.WithTransport(o.Transport), congest.WithTransportShards(o.Workers))
 		if err != nil {
 			return nil, 0, err
 		}
-		c, err := distprod.GossipProductPar(net, o.workers)(a, b)
+		c, err := distprod.GossipProductPar(net, o.Workers)(a, b)
 		if err != nil {
 			return nil, 0, err
 		}
+		defer net.Close()
 		return c, net.Rounds(), nil
 	}
 	solver := distprod.SolverQuantum
-	switch o.strategy {
+	switch o.Strategy {
 	case ClassicalSearch:
 		solver = distprod.SolverClassicalScan
 	case DolevListing:
@@ -30,8 +32,8 @@ func productFor(a, b *matrix.Matrix, o options) (*matrix.Matrix, int64, error) {
 	c, stats, err := distprod.Product(a, b, distprod.Options{
 		Solver:  solver,
 		Params:  o.params(),
-		Seed:    o.seed,
-		Workers: o.workers,
+		Seed:    o.Seed,
+		Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, 0, err

@@ -231,38 +231,87 @@ const (
 	ScaledConstants
 )
 
-// options collects the functional options shared by the public entry
-// points.
-type options struct {
-	strategy  Strategy
-	preset    ParamPreset
-	seed      uint64
-	epsilon   float64
-	workers   int
-	cacheSize int
-	timeout   time.Duration
-	faults    FaultPlan
-	degrade   bool
+// Options is the full configuration of the public entry points, with every
+// knob the functional With* options set, as one validatable value. The
+// With* options mutate an Options; callers holding a complete configuration
+// (a config file, a request body) can instead build an Options directly,
+// check it once with Validate, and pass it through WithOptions.
+type Options struct {
+	// Strategy selects the pipeline (zero value selects Quantum).
+	Strategy Strategy
+	// Preset selects the protocol-constant preset (zero value selects
+	// PaperConstants).
+	Preset ParamPreset
+	// Seed fixes the protocol randomness; equal seeds reproduce.
+	Seed uint64
+	// Epsilon is the stretch budget of the approximate strategies; it must
+	// be > 0 with an approximate strategy and 0 with an exact one.
+	Epsilon float64
+	// Workers bounds the host-side parallelism of node-local phases
+	// (<= 0 selects GOMAXPROCS). Results are worker-invariant.
+	Workers int
+	// CacheSize bounds the results a Solver retains (NewSolver only;
+	// <= 0 selects a small built-in capacity).
+	CacheSize int
+	// Timeout bounds the wall-clock time of a solve (0 = no deadline).
+	Timeout time.Duration
+	// Transport selects the congest delivery backend by registered name
+	// ("" = "local"). Backends are bit-identical in results by contract;
+	// the choice only moves host-side execution.
+	Transport string
+	// Faults arms the solve with a deterministic fault-injection plan
+	// (zero disables injection).
+	Faults FaultPlan
+	// Degrade opts Solver solves into the graceful-degradation ladder
+	// (see WithDegradation).
+	Degrade bool
+}
+
+// Validate rejects configurations no solve can run: an epsilon that
+// disagrees with the strategy class (or falls outside the supported
+// domain), a malformed fault plan, an unknown transport, or a negative
+// timeout. It shares the serving layer's validation, so the library, the
+// Solver, and the HTTP daemon accept and refuse exactly the same
+// configurations.
+func (o Options) Validate() error {
+	if o.Timeout < 0 {
+		return fmt.Errorf("qclique: negative timeout %v", o.Timeout)
+	}
+	if err := o.spec().Validate(); err != nil {
+		return fmt.Errorf("qclique: %w", err)
+	}
+	return nil
 }
 
 // Option configures SolveAPSP, FindNegativeTriangleEdges and
 // DistanceProduct.
-type Option func(*options)
+type Option func(*Options)
+
+// WithOptions overlays a complete Options value, replacing every knob at
+// once (zero Strategy/Preset still select the Quantum/PaperConstants
+// defaults). Later options in the same call keep overriding individual
+// fields.
+func WithOptions(o Options) Option {
+	return func(dst *Options) {
+		*dst = o
+		dst.normalize()
+	}
+}
 
 // WithStrategy selects the pipeline strategy.
 func WithStrategy(s Strategy) Option {
-	return func(o *options) { o.strategy = s }
+	return func(o *Options) { o.Strategy = s }
 }
 
 // WithSeed fixes the protocol randomness; runs with equal seeds are
 // reproducible.
 func WithSeed(seed uint64) Option {
-	return func(o *options) { o.seed = seed }
+	return func(o *Options) { o.Seed = seed }
 }
 
 // WithParams selects the protocol-constant preset.
 func WithParams(p ParamPreset) Option {
-	return func(o *options) { o.preset = p }
+	return func(o *Options) { o.Preset = p }
 }
 
 // WithEpsilon sets the multiplicative stretch budget of the approximate
@@ -271,23 +320,24 @@ func WithParams(p ParamPreset) Option {
 // epsilon is part of a result's identity (it changes both distances and
 // rounds), so it is rejected rather than silently ignored.
 func WithEpsilon(eps float64) Option {
-	return func(o *options) { o.epsilon = eps }
+	return func(o *Options) { o.Epsilon = eps }
 }
 
 // WithWorkers bounds the host-side parallelism used for node-local phases
 // of the simulation (oracle evaluation, Grover state-vector updates, local
-// min-plus work). The default (0) uses GOMAXPROCS. Results — distances and
-// simulated round counts — are identical for every worker count; only
-// wall-clock time changes.
+// min-plus work) and, on the sharded transport, its worker-shard count.
+// The default (0) uses GOMAXPROCS. Results — distances and simulated round
+// counts — are identical for every worker count; only wall-clock time
+// changes.
 func WithWorkers(n int) Option {
-	return func(o *options) { o.workers = n }
+	return func(o *Options) { o.Workers = n }
 }
 
 // WithCacheSize bounds the number of solved results a Solver retains
 // (least-recently-used eviction). It is read by NewSolver only; the
 // default (0) selects a small built-in capacity.
 func WithCacheSize(n int) Option {
-	return func(o *options) { o.cacheSize = n }
+	return func(o *Options) { o.CacheSize = n }
 }
 
 // WithTimeout bounds the wall-clock time of a solve: the pipeline
@@ -298,22 +348,43 @@ func WithCacheSize(n int) Option {
 // composes with SolveAPSPContext / Solver.SolveContext: the effective
 // deadline is the earlier of the two.
 func WithTimeout(d time.Duration) Option {
-	return func(o *options) { o.timeout = d }
+	return func(o *Options) { o.Timeout = d }
+}
+
+// WithTransport selects the congest delivery backend by registered name
+// ("local" — the single-goroutine reference — or "sharded", which
+// partitions nodes across worker shards; the empty string keeps the
+// default "local"). Backends are bit-identical in distances, rounds, and
+// fault schedules by contract, so the choice only moves host-side
+// execution; unknown names fail the solve before any pipeline runs.
+func WithTransport(name string) Option {
+	return func(o *Options) { o.Transport = name }
 }
 
 // solveCtx applies the timeout option onto the caller's context.
-func (o options) solveCtx(ctx context.Context) (context.Context, context.CancelFunc) {
-	if o.timeout > 0 {
-		return context.WithTimeout(ctx, o.timeout)
+func (o Options) solveCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if o.Timeout > 0 {
+		return context.WithTimeout(ctx, o.Timeout)
 	}
 	return ctx, func() {}
 }
 
-func buildOptions(opts []Option) options {
-	o := options{strategy: Quantum, preset: PaperConstants}
+// normalize maps zero selectors to their documented defaults.
+func (o *Options) normalize() {
+	if o.Strategy == 0 {
+		o.Strategy = Quantum
+	}
+	if o.Preset == 0 {
+		o.Preset = PaperConstants
+	}
+}
+
+func buildOptions(opts []Option) Options {
+	o := Options{Strategy: Quantum, Preset: PaperConstants}
 	for _, fn := range opts {
 		fn(&o)
 	}
+	o.normalize()
 	return o
 }
 
@@ -327,8 +398,8 @@ func (p ParamPreset) servePreset() serve.Preset {
 	return serve.PresetPaper
 }
 
-func (o options) params() *triangles.Params {
-	return o.preset.servePreset().Params()
+func (o Options) params() *triangles.Params {
+	return o.Preset.servePreset().Params()
 }
 
 // Digraph is a weighted directed graph on vertices 0..n-1, the input to
@@ -387,6 +458,11 @@ type APSPResult struct {
 	FindEdgesCalls int
 	// Strategy records which pipeline ran.
 	Strategy Strategy
+	// Transport names the delivery backend that executed the solve ("local",
+	// "sharded"). For cached results this echoes the original execution's
+	// backend — transport choice is excluded from the cache identity because
+	// backends are bit-identical in results.
+	Transport string
 	// Cached reports whether this result was served from a Solver cache
 	// (or deduplicated onto a concurrent identical solve) instead of
 	// running the simulator; cached results charge zero new rounds.
@@ -484,20 +560,24 @@ func SolveAPSPContext(ctx context.Context, g *Digraph, opts ...Option) (*APSPRes
 		return nil, errors.New("qclique: nil graph")
 	}
 	o := buildOptions(opts)
-	if o.degrade {
+	if o.Degrade {
 		// The degradation ladder lives in the serving layer; rejecting here
 		// beats silently ignoring a resilience request.
 		return nil, errors.New("qclique: WithDegradation requires a Solver")
 	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	ctx, cancel := o.solveCtx(ctx)
 	defer cancel()
 	res, err := core.SolveContext(ctx, g.g, core.Config{
-		Strategy: o.strategy.toCore(),
-		Params:   o.params(),
-		Seed:     o.seed,
-		Epsilon:  o.epsilon,
-		Workers:  o.workers,
-		Faults:   o.faults.toCore(),
+		Strategy:  o.Strategy.toCore(),
+		Params:    o.params(),
+		Seed:      o.Seed,
+		Epsilon:   o.Epsilon,
+		Workers:   o.Workers,
+		Transport: o.Transport,
+		Faults:    o.Faults.toCore(),
 	})
 	if err != nil {
 		var fe *congest.FaultError
@@ -516,7 +596,8 @@ func SolveAPSPContext(ctx context.Context, g *Digraph, opts ...Option) (*APSPRes
 		Rounds:            res.Rounds,
 		Products:          res.Products,
 		FindEdgesCalls:    res.FindEdgesCalls,
-		Strategy:          o.strategy,
+		Strategy:          o.Strategy,
+		Transport:         res.Transport.Transport,
 		Epsilon:           res.Epsilon,
 		GuaranteedStretch: res.GuaranteedStretch,
 		ObservedStretch:   res.ObservedStretch,
@@ -569,18 +650,18 @@ func FindNegativeTriangleEdges(g *Graph, opts ...Option) (*TriangleReport, error
 		return nil, errors.New("qclique: nil graph")
 	}
 	o := buildOptions(opts)
-	if !findEdgesRole(o.strategy) {
-		return nil, fmt.Errorf("qclique: strategy %v has no FindEdges role (see StrategyInfo.FindEdges)", o.strategy)
+	if !findEdgesRole(o.Strategy) {
+		return nil, fmt.Errorf("qclique: strategy %v has no FindEdges role (see StrategyInfo.FindEdges)", o.Strategy)
 	}
-	if o.epsilon != 0 {
-		return nil, fmt.Errorf("qclique: epsilon %v is not meaningful for FindNegativeTriangleEdges", o.epsilon)
+	if o.Epsilon != 0 {
+		return nil, fmt.Errorf("qclique: epsilon %v is not meaningful for FindNegativeTriangleEdges", o.Epsilon)
 	}
 	inst := triangles.Instance{G: g.g}
 	var (
 		edges  map[graph.Pair]bool
 		rounds int64
 	)
-	switch o.strategy {
+	switch o.Strategy {
 	case DolevListing:
 		rep, err := triangles.DolevFindEdges(inst, nil)
 		if err != nil {
@@ -589,14 +670,14 @@ func FindNegativeTriangleEdges(g *Graph, opts ...Option) (*TriangleReport, error
 		edges, rounds = rep.Edges, rep.Rounds
 	default:
 		mode := triangles.SearchQuantum
-		if o.strategy == ClassicalSearch {
+		if o.Strategy == ClassicalSearch {
 			mode = triangles.SearchClassicalScan
 		}
 		rep, err := triangles.FindEdges(inst, triangles.Options{
 			Params:  o.params(),
 			Mode:    mode,
-			Seed:    o.seed,
-			Workers: o.workers,
+			Seed:    o.Seed,
+			Workers: o.Workers,
 		})
 		if err != nil {
 			return nil, err

@@ -19,7 +19,7 @@ import (
 // pool. Safe for concurrent use; the zero value is not usable — construct
 // with NewSolver.
 type Solver struct {
-	defaults options
+	defaults Options
 	svc      *serve.Service
 }
 
@@ -31,28 +31,34 @@ func NewSolver(opts ...Option) *Solver {
 	o := buildOptions(opts)
 	return &Solver{
 		defaults: o,
-		svc:      serve.New(serve.Config{CacheSize: o.cacheSize, Workers: o.workers}),
+		svc:      serve.New(serve.Config{CacheSize: o.CacheSize, Workers: o.Workers}),
 	}
 }
 
 // merged applies per-call options over the solver defaults.
-func (s *Solver) merged(opts []Option) options {
+func (s *Solver) merged(opts []Option) Options {
 	o := s.defaults
 	for _, fn := range opts {
 		fn(&o)
 	}
+	o.normalize()
 	return o
 }
 
-func (o options) spec() serve.SolveSpec {
+// spec translates the public configuration into the serving layer's solve
+// identity — the one place the two vocabularies meet, which is also what
+// lets Options.Validate reuse serve's SolveSpec.Validate verbatim.
+func (o Options) spec() serve.SolveSpec {
+	o.normalize()
 	return serve.SolveSpec{
-		Strategy: o.strategy.toCore(),
-		Preset:   o.preset.servePreset(),
-		Seed:     o.seed,
-		Epsilon:  o.epsilon,
-		Workers:  o.workers,
-		Faults:   o.faults.toCore(),
-		Degrade:  o.degrade,
+		Strategy:  o.Strategy.toCore(),
+		Preset:    o.Preset.servePreset(),
+		Seed:      o.Seed,
+		Epsilon:   o.Epsilon,
+		Workers:   o.Workers,
+		Transport: o.Transport,
+		Faults:    o.Faults.toCore(),
+		Degrade:   o.Degrade,
 	}
 }
 
@@ -73,6 +79,7 @@ func resultFromServe(sr *serve.SolveResult, strategy Strategy) *APSPResult {
 		Products:          sr.Res.Products,
 		FindEdgesCalls:    sr.Res.FindEdgesCalls,
 		Strategy:          strategy,
+		Transport:         sr.Res.Transport.Transport,
 		Cached:            sr.Cached,
 		Epsilon:           sr.Res.Epsilon,
 		GuaranteedStretch: sr.Res.GuaranteedStretch,
@@ -119,7 +126,7 @@ func (s *Solver) SolveContext(ctx context.Context, g *Digraph, opts ...Option) (
 	if err != nil {
 		return nil, mapServeErr(err)
 	}
-	return resultFromServe(sr, o.strategy), nil
+	return resultFromServe(sr, o.Strategy), nil
 }
 
 // SSSP computes single-source shortest distances from src, sharing the
@@ -140,7 +147,7 @@ func (s *Solver) SSSP(g *Digraph, src int, opts ...Option) ([]int64, *APSPResult
 	if err != nil {
 		return nil, nil, mapServeErr(err)
 	}
-	return sr.Res.Dist.Row(src), resultFromServe(sr, o.strategy), nil
+	return sr.Res.Dist.Row(src), resultFromServe(sr, o.Strategy), nil
 }
 
 // ShortestPath returns one shortest path src→dst and its length, solving
@@ -155,7 +162,7 @@ func (s *Solver) ShortestPath(g *Digraph, src, dst int, opts ...Option) ([]int, 
 		return nil, 0, errors.New("qclique: nil graph")
 	}
 	o := s.merged(opts)
-	if o.strategy.toCore().IsApproximate() {
+	if o.Strategy.toCore().IsApproximate() {
 		return nil, 0, ErrApproxPaths
 	}
 	sr, err := s.svc.SolveGraph(g.g, o.spec())
@@ -213,7 +220,7 @@ func (s *Solver) PathsBatch(g *Digraph, queries []PathQuery, opts ...Option) ([]
 	for i, a := range answers {
 		out[i] = PathAnswer{Src: a.Src, Dst: a.Dst, Dist: a.Dist, Path: a.Path, Err: a.Err}
 	}
-	return out, resultFromServe(sr, o.strategy), nil
+	return out, resultFromServe(sr, o.Strategy), nil
 }
 
 // StrategyStats is the per-strategy accounting of a Solver.
