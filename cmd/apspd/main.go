@@ -9,7 +9,17 @@
 //	POST /v1/graphs/{id}/solve        {"strategy":"quantum","preset":"scaled","seed":42}
 //	GET  /v1/graphs/{id}/dist         ?src=&dst= (pair), ?src= (row), none (matrix)
 //	POST /v1/graphs/{id}/paths:batch  {"queries":[{"src":0,"dst":3},…]}
-//	GET  /v1/metrics                  per-strategy and per-transport accounting
+//	GET  /v1/metrics                  per-strategy, per-transport and admission accounting
+//	GET  /v1/healthz                  liveness
+//	GET  /v1/readyz                   readiness (503 while draining or queue-saturated)
+//
+// The daemon is overload-resilient: -max-inflight bounds concurrently
+// executing solves, -queue-depth bounds the FIFO wait queue behind them
+// (excess requests answer 503 "overloaded" with a Retry-After), and
+// -overload-degrade answers degradable requests with the cheapest
+// approximate strategy while under pressure. SIGINT/SIGTERM drain
+// gracefully: readiness flips to 503, queued solves are shed, in-flight
+// ones finish within -drain-timeout.
 //
 // The unprefixed legacy paths still answer identically, marked with a
 // "Deprecation: true" header and a Link to their /v1 successor. Failures
@@ -32,13 +42,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"qclique"
@@ -50,10 +68,22 @@ func main() {
 	cacheSize := flag.Int("cache-size", 64, "solve results retained (LRU)")
 	maxGraphs := flag.Int("max-graphs", 1024, "graphs retained in the store (LRU)")
 	workers := flag.Int("workers", 0, "host-parallelism bound (0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", runtime.GOMAXPROCS(0), "concurrently executing solves (0 = unbounded)")
+	queueDepth := flag.Int("queue-depth", 64, "admission wait queue behind a saturated -max-inflight")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline after SIGINT/SIGTERM")
+	overloadDegrade := flag.Bool("overload-degrade", false, "answer degradable requests with the cheapest approximate rung while under overload pressure")
 	selftestFlag := flag.Bool("selftest", false, "run the end-to-end smoke against an ephemeral daemon and exit")
+	soakFlag := flag.Duration("soak", 0, "hammer an ephemeral daemon with mixed concurrent clients for this long, then SIGTERM-drain it, and exit")
 	flag.Parse()
 
-	cfg := serve.Config{CacheSize: *cacheSize, MaxGraphs: *maxGraphs, Workers: *workers}
+	cfg := serve.Config{
+		CacheSize:       *cacheSize,
+		MaxGraphs:       *maxGraphs,
+		Workers:         *workers,
+		MaxInflight:     *maxInflight,
+		QueueDepth:      *queueDepth,
+		OverloadDegrade: *overloadDegrade,
+	}
 	if *selftestFlag {
 		if err := selftest(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "apspd selftest:", err)
@@ -62,15 +92,213 @@ func main() {
 		fmt.Println("apspd selftest ok")
 		return
 	}
+	if *soakFlag > 0 {
+		if err := soak(cfg, *soakFlag, *drainTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, "apspd soak:", err)
+			os.Exit(1)
+		}
+		fmt.Println("apspd soak ok")
+		return
+	}
 
 	svc := serve.New(cfg)
-	log.Printf("apspd listening on %s (cache=%d graphs=%d)", *addr, *cacheSize, *maxGraphs)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("apspd listening on %s (cache=%d graphs=%d max-inflight=%d queue-depth=%d)",
+		*addr, *cacheSize, *maxGraphs, *maxInflight, *queueDepth)
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           serve.NewHandler(svc),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+	if err := serveAndDrain(svc, srv, ln, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("apspd drained cleanly")
+}
+
+// serveAndDrain runs srv on ln until SIGINT/SIGTERM, then drains gracefully:
+// the admission gate closes first (readyz flips to 503 and queued solves are
+// shed with "overloaded"/draining), then http.Server.Shutdown stops the
+// listener and waits for in-flight requests under the drain deadline. A
+// second signal during the drain kills the process the usual way — the
+// NotifyContext registration is already released by then.
+func serveAndDrain(svc *serve.Service, srv *http.Server, ln net.Listener, drainTimeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	svc.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain exceeded its %s deadline: %w", drainTimeout, err)
+	}
+	return nil
+}
+
+// soak is the CI overload drill: an ephemeral daemon under cfg is hammered
+// by mixed concurrent clients (exact and approximate strategies,
+// cache-hitting and cache-missing seeds, occasional tight deadlines) for
+// dur, then the process sends itself a real SIGTERM to exercise the
+// production drain path. It fails on any status outside {2xx, 503}, on a
+// drain exceeding its deadline, or on goroutines leaked past the drain.
+func soak(cfg serve.Config, dur, drainTimeout time.Duration) error {
+	baseline := runtime.NumGoroutine()
+	svc := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewHandler(svc)}
+	done := make(chan error, 1)
+	go func() { done <- serveAndDrain(svc, srv, ln, drainTimeout) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// One modest graph; the load mix comes from the spec axis — repeated
+	// seeds hit the cache, fresh seeds force full pipeline runs, the
+	// approximate strategy exercises the cheap rung, and tight deadlines
+	// exercise cancellation under load.
+	const n = 16
+	var arcs []map[string]any
+	for i := 0; i < n; i++ {
+		for _, off := range []int{1, 4} {
+			arcs = append(arcs, map[string]any{"u": i, "v": (i + off) % n, "w": 1 + (i+off)%7})
+		}
+	}
+	body, err := json.Marshal(map[string]any{"n": n, "arcs": arcs})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/graphs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	var put struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&put)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		seedGen  atomic.Uint64
+		requests atomic.Int64
+		failures atomic.Int64
+		sigSent  atomic.Bool
+		firstBad atomic.Value
+	)
+	stopLoad := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				spec := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": uint64(1)}
+				switch i % 4 {
+				case 1:
+					spec["strategy"] = "approx-quantum"
+					spec["epsilon"] = 0.5
+					spec["seed"] = seedGen.Add(1)
+				case 2:
+					spec["seed"] = seedGen.Add(1)
+					spec["timeout_ms"] = 50
+				case 3:
+					spec["seed"] = seedGen.Add(1)
+				}
+				b, err := json.Marshal(spec)
+				if err != nil {
+					failures.Add(1)
+					firstBad.CompareAndSwap(nil, err.Error())
+					return
+				}
+				resp, err := client.Post(base+"/v1/graphs/"+put.ID+"/solve", "application/json", bytes.NewReader(b))
+				if err != nil {
+					if sigSent.Load() {
+						return // the listener is closing under us — expected
+					}
+					failures.Add(1)
+					firstBad.CompareAndSwap(nil, err.Error())
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+				if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusServiceUnavailable {
+					failures.Add(1)
+					firstBad.CompareAndSwap(nil, fmt.Sprintf("status %d", resp.StatusCode))
+				}
+			}
+		}()
+	}
+
+	time.Sleep(dur)
+	// SIGTERM while clients are still firing: the genuine production drain,
+	// with in-flight solves to finish and queued ones to shed.
+	sigSent.Store(true)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		close(stopLoad)
+		return err
+	}
+	drainStart := time.Now()
+	var drainErr error
+	select {
+	case drainErr = <-done:
+	case <-time.After(drainTimeout + 10*time.Second):
+		close(stopLoad)
+		return fmt.Errorf("drain did not complete within %s past its deadline", drainTimeout)
+	}
+	drainTook := time.Since(drainStart)
+	close(stopLoad)
+	wg.Wait()
+	if drainErr != nil {
+		return drainErr
+	}
+	if drainTook > drainTimeout {
+		return fmt.Errorf("drain took %s, over the %s deadline", drainTook, drainTimeout)
+	}
+	if bad := failures.Load(); bad > 0 {
+		return fmt.Errorf("%d request(s) failed outside the 2xx/503 contract (first: %v)", bad, firstBad.Load())
+	}
+	if requests.Load() == 0 {
+		return errors.New("soak issued no requests")
+	}
+	// Goroutine recovery: everything the daemon and its solves spawned must
+	// be gone once the drain returns (pool goroutines unwind asynchronously,
+	// so poll briefly).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutines leaked after drain: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("soak: %d requests, drain %s\n", requests.Load(), drainTook.Round(time.Millisecond))
+	return nil
 }
 
 // selftest boots a real daemon on an ephemeral port and exercises every
@@ -610,6 +838,195 @@ func selftest(cfg serve.Config) error {
 	}
 	if cq.Retries == 0 || cq.Faults.Corrupted != 10 {
 		return fmt.Errorf("chaos metrics: retries=%d corrupted=%d, want >0 and 10", cq.Retries, cq.Faults.Corrupted)
+	}
+
+	// 10. Overload probe: a deliberately tiny daemon (one execution slot,
+	// one queue seat) must shed the third concurrent solve with 503
+	// "overloaded" plus Retry-After, flip readyz to 503 while saturated,
+	// and recover once the slot frees.
+	if err := overloadProbe(); err != nil {
+		return fmt.Errorf("overload probe: %w", err)
+	}
+	return nil
+}
+
+// overloadProbe saturates a one-slot daemon over the wire and checks the
+// shed / readiness contract end to end.
+func overloadProbe() error {
+	svc := serve.New(serve.Config{CacheSize: 4, MaxInflight: 1, QueueDepth: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewHandler(svc)}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// A graph big enough that an uncached exact solve occupies the single
+	// execution slot for a while; each request's own timeout_ms bounds how
+	// long, so the probe always terminates.
+	const n = 32
+	var arcs []map[string]any
+	for i := 0; i < n; i++ {
+		for _, off := range []int{1, 3, 5} {
+			arcs = append(arcs, map[string]any{"u": i, "v": (i + off) % n, "w": 1 + (i*off)%9})
+		}
+	}
+	body, err := json.Marshal(map[string]any{"n": n, "arcs": arcs})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/graphs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	var put struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&put)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+
+	// solveReq fires one solve (fresh seed = guaranteed cache miss) and
+	// reports the status, envelope code, and Retry-After header.
+	solveReq := func(seed uint64, timeoutMS int64) (status int, code, retryAfter string, err error) {
+		spec := map[string]any{"strategy": "quantum", "preset": "scaled", "seed": seed}
+		if timeoutMS > 0 {
+			spec["timeout_ms"] = timeoutMS
+		}
+		b, err := json.Marshal(spec)
+		if err != nil {
+			return 0, "", "", err
+		}
+		resp, err := client.Post(base+"/v1/graphs/"+put.ID+"/solve", "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, "", "", err
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e.Error.Code, resp.Header.Get("Retry-After"), nil
+	}
+
+	gauges := func() (inflight, queuedNow int, shed, queued int64, err error) {
+		resp, err := client.Get(base + "/v1/metrics")
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer resp.Body.Close()
+		var m struct {
+			Admission struct {
+				Inflight  int   `json:"inflight"`
+				QueuedNow int   `json:"queued_now"`
+				Shed      int64 `json:"shed"`
+				Queued    int64 `json:"queued"`
+			} `json:"admission"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		a := m.Admission
+		return a.Inflight, a.QueuedNow, a.Shed, a.Queued, nil
+	}
+	waitGauge := func(what string, ok func(inflight, queuedNow int) bool) error {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			inflight, queuedNow, _, _, err := gauges()
+			if err != nil {
+				return err
+			}
+			if ok(inflight, queuedNow) {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("gave up waiting for %s (inflight=%d queued_now=%d)", what, inflight, queuedNow)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Occupy the slot, then the queue seat, confirming each over /metrics
+	// before the next step so the sequence is race-free.
+	var wg sync.WaitGroup
+	launch := func(seed uint64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _, _ = solveReq(seed, 8000)
+		}()
+	}
+	launch(9001)
+	if err := waitGauge("the occupier to hold the slot", func(inflight, _ int) bool { return inflight >= 1 }); err != nil {
+		return err
+	}
+	launch(9002)
+	if err := waitGauge("the queue seat to fill", func(_, queuedNow int) bool { return queuedNow >= 1 }); err != nil {
+		return err
+	}
+
+	// Saturated: readyz must advertise it...
+	resp, err = client.Get(base + "/v1/readyz")
+	if err != nil {
+		return err
+	}
+	var rd struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rd)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || rd.Ready || rd.Reason != "queue-saturated" {
+		return fmt.Errorf("saturated readyz answered %d %+v, want 503 queue-saturated", resp.StatusCode, rd)
+	}
+	// ...and the next solve must shed.
+	status, code, retryAfter, err := solveReq(9003, 0)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusServiceUnavailable || code != "overloaded" || retryAfter == "" {
+		return fmt.Errorf("shed solve answered status=%d code=%q retry-after=%q, want 503 overloaded with a Retry-After", status, code, retryAfter)
+	}
+
+	// Recovery: once the occupier and the queued solve finish (their own
+	// deadlines bound this), readiness returns.
+	wg.Wait()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get(base + "/v1/readyz")
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("readyz did not recover after the overload cleared (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_, _, shed, queuedTotal, err := gauges()
+	if err != nil {
+		return err
+	}
+	if shed < 1 || queuedTotal < 1 {
+		return fmt.Errorf("admission counters shed=%d queued=%d, want both >= 1", shed, queuedTotal)
 	}
 	return nil
 }

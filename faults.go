@@ -154,11 +154,34 @@ func (e *BreakerOpenError) Error() string {
 	return fmt.Sprintf("qclique: %v circuit breaker open, retry in %v", e.Strategy, e.RetryAfter)
 }
 
+// OverloadError reports a solve refused (or abandoned) by the Solver's
+// admission controller: the wait queue behind WithMaxInflight overflowed,
+// the call's context deadline could not outlive its likely service time,
+// or nothing could be admitted at all. RetryAfter is the suggested wait
+// before retrying — roughly one service time, so a saturated slot has had
+// a chance to free.
+type OverloadError struct {
+	// Reason is "queue-full", "deadline", or "draining".
+	Reason     string
+	RetryAfter time.Duration
+	err        error
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("qclique: solver overloaded (%s), retry after %v", e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+func (e *OverloadError) Unwrap() error { return e.err }
+
 // mapServeErr rewraps the serving layer's resilience errors into their
 // public mirrors so callers can errors.As against exported types.
 func mapServeErr(err error) error {
 	if err == nil {
 		return nil
+	}
+	var oe *serve.OverloadError
+	if errors.As(err, &oe) {
+		return &OverloadError{Reason: oe.Reason, RetryAfter: oe.RetryAfter, err: err}
 	}
 	var fx *serve.FaultExhaustedError
 	if errors.As(err, &fx) {

@@ -215,7 +215,7 @@ type batchRequestJSON struct {
 type ErrorJSON struct {
 	// Code classifies the failure: "invalid_spec", "not_found",
 	// "unprocessable", "cancelled", "fault_exhausted", "breaker_open",
-	// "internal".
+	// "overloaded", "internal".
 	Code string `json:"code"`
 	// Message is the human-readable error text.
 	Message string `json:"message"`
@@ -268,10 +268,14 @@ const apiPrefix = "/v1"
 //	POST /v1/graphs/{id}/solve        solve (cache-aware), returns round accounting
 //	GET  /v1/graphs/{id}/dist         distances: full matrix, one row (?src=), or one pair (?src=&dst=)
 //	POST /v1/graphs/{id}/paths:batch  many shortest-path queries against one solve
-//	GET  /v1/metrics                  per-strategy and per-transport cache/round accounting
+//	GET  /v1/metrics                  per-strategy, per-transport and admission accounting
+//	GET  /v1/healthz                  liveness (always 200 while the process serves)
+//	GET  /v1/readyz                   readiness (503 while draining or queue-saturated)
 //
 // Every non-2xx response body is the {"error": {code, message, retryable,
-// retry_after_ms}} envelope (see ErrorJSON).
+// retry_after_ms}} envelope (see ErrorJSON). The whole mux is wrapped in
+// panic-recovery middleware: a panicking handler answers 500 "internal"
+// instead of killing the daemon's connection serving.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	// handle mounts h at /v1+pattern and at the legacy unprefixed pattern;
@@ -481,7 +485,49 @@ func NewHandler(s *Service) http.Handler {
 	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	return mux
+
+	handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the process is up and serving connections. Deliberately
+		// unconditional — a draining or saturated daemon is still alive, and
+		// conflating the two teaches orchestrators to kill a busy process.
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	handle("GET", "/readyz", func(w http.ResponseWriter, r *http.Request) {
+		rd := s.Readiness()
+		status := http.StatusOK
+		if !rd.Ready {
+			status = http.StatusServiceUnavailable
+			setRetryAfter(w, time.Second)
+		}
+		writeJSON(w, status, rd)
+	})
+	return recoverHandler(s, mux)
+}
+
+// recoverHandler is the outermost panic boundary of the HTTP surface: a
+// panicking handler (or anything below it that escaped the solve-level
+// recovery) answers a 500 "internal" envelope and counts in
+// PanicsRecovered, instead of net/http's default of killing the connection
+// with an empty reply. ErrAbortHandler keeps its contractual meaning —
+// deliberate aborts re-panic.
+func recoverHandler(s *Service, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel by identity, per net/http contract
+				panic(rec)
+			}
+			s.stats.panicRecovered()
+			// Best effort: if the handler already wrote a response the
+			// header set fails silently, which is all that can be done.
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: handler panicked: %v", rec))
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func solveResponse(res *SolveResult, spec SolveSpec) SolveJSON {
@@ -525,17 +571,19 @@ func solveResponse(res *SolveResult, spec SolveSpec) SolveJSON {
 // malformed specs are 400, inputs the strategy cannot answer (negative
 // cycles; negative or asymmetric weights under an approximate strategy)
 // are 422, transient failures — cancelled or deadline-expired solves,
-// fault-retry exhaustion, an open circuit breaker — are 503, the rest 500.
+// fault-retry exhaustion, an open circuit breaker, admission-controller
+// sheds — are 503, the rest (including recovered panics) 500.
 func solveStatus(err error) int {
 	var fe *congest.FaultError
 	var be *BreakerOpenError
+	var oe *OverloadError
 	switch {
 	case errors.Is(err, core.ErrNegativeCycle),
 		errors.Is(err, approx.ErrNegativeWeight),
 		errors.Is(err, approx.ErrAsymmetric):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
-		errors.As(err, &fe), errors.As(err, &be):
+		errors.As(err, &fe), errors.As(err, &be), errors.As(err, &oe):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrInvalidSpec):
 		return http.StatusBadRequest
@@ -574,7 +622,11 @@ func solveError(w http.ResponseWriter, err error) {
 	var cancelled *CancelledError
 	var exhausted *FaultExhaustedError
 	var be *BreakerOpenError
+	var oe *OverloadError
 	switch {
+	case errors.As(err, &oe):
+		ej.Code = "overloaded"
+		wait = oe.RetryAfter
 	case errors.As(err, &cancelled):
 		ej.Stages = cancelled.Stages
 		ej.Rounds = cancelled.Rounds

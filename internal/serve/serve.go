@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -245,28 +246,126 @@ type Config struct {
 	// BreakerCooldown is how long an open circuit refuses solves before
 	// closing again (<= 0 selects 30s).
 	BreakerCooldown time.Duration
+	// MaxInflight bounds concurrently executing solves (simulator runs;
+	// cache hits and singleflight followers are not charged against it).
+	// <= 0 leaves execution unbounded — the library default.
+	MaxInflight int
+	// QueueDepth bounds the FIFO admission wait queue behind a saturated
+	// MaxInflight; requests beyond it are shed with an OverloadError.
+	// <= 0 selects 64 (meaningful only with MaxInflight > 0).
+	QueueDepth int
+	// OverloadQueueDepth is the queued-request watermark at or past which
+	// the service reports overload pressure and starts degrading degradable
+	// requests; <= 0 selects half of the effective QueueDepth (minimum 1).
+	OverloadQueueDepth int
+	// OverloadHeapBytes is the live-heap watermark (runtime/metrics
+	// /gc/heap/live:bytes) past which the service reports overload
+	// pressure; 0 disables the heap check.
+	OverloadHeapBytes uint64
+	// OverloadDegrade routes every degradable request down the degradation
+	// ladder while the service is under overload pressure, even when the
+	// request itself did not opt into Degrade.
+	OverloadDegrade bool
 }
 
 // Service is the solve layer. Safe for concurrent use.
 type Service struct {
-	cfg     Config
-	store   *graphStore
-	cache   *lruMap[cacheKey, *entry]
-	flight  *flightGroup
-	stats   *statsCollector
-	breaker *breaker
+	cfg           Config
+	store         *graphStore
+	cache         *lruMap[cacheKey, *entry]
+	flight        *flightGroup
+	stats         *statsCollector
+	breaker       *breaker
+	admit         *admission
+	heap          *heapWatermark
+	overloadQueue int
 }
 
 // New returns a Service with the given configuration.
 func New(cfg Config) *Service {
-	return &Service{
-		cfg:     cfg,
-		store:   newGraphStore(cfg.MaxGraphs),
-		cache:   newLRUCache(cfg.CacheSize),
-		flight:  newFlightGroup(),
-		stats:   newStatsCollector(),
-		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+	admit := newAdmission(cfg.MaxInflight, cfg.QueueDepth)
+	overloadQueue := cfg.OverloadQueueDepth
+	if overloadQueue <= 0 {
+		overloadQueue = admit.maxQueue / 2
+		if overloadQueue < 1 {
+			overloadQueue = 1
+		}
 	}
+	return &Service{
+		cfg:           cfg,
+		store:         newGraphStore(cfg.MaxGraphs),
+		cache:         newLRUCache(cfg.CacheSize),
+		flight:        newFlightGroup(),
+		stats:         newStatsCollector(),
+		breaker:       newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		admit:         admit,
+		heap:          newHeapWatermark(),
+		overloadQueue: overloadQueue,
+	}
+}
+
+// BeginDrain closes the admission gate for shutdown: queued solves are shed
+// with an OverloadError (reason "draining"), new solves are refused the
+// same way, and Readiness flips to not-ready so load balancers stop routing
+// here. In-flight solves are unaffected — the daemon's SIGTERM path calls
+// this first, then http.Server.Shutdown to let them finish within the drain
+// deadline.
+func (s *Service) BeginDrain() { s.admit.drain() }
+
+// Readiness is the GET /readyz contract: Ready=false (HTTP 503) while the
+// service is draining for shutdown or its admission queue is saturated —
+// the signal a load balancer uses to stop routing before requests start
+// shedding. Liveness (GET /healthz) is unconditional by contrast: a
+// draining daemon is still alive.
+type Readiness struct {
+	Ready bool `json:"ready"`
+	// Reason is "draining" or "queue-saturated" when not ready.
+	Reason string `json:"reason,omitempty"`
+	// Inflight/Queued are the admission controller's point-in-time gauges.
+	Inflight int `json:"inflight"`
+	Queued   int `json:"queued"`
+}
+
+// Readiness reports whether the service should receive new traffic.
+func (s *Service) Readiness() Readiness {
+	st := s.admit.snapshot()
+	r := Readiness{Ready: true, Inflight: st.Inflight, Queued: st.QueuedNow}
+	switch {
+	case st.Draining:
+		r.Ready, r.Reason = false, "draining"
+	case st.QueueDepth > 0 && st.QueuedNow >= st.QueueDepth:
+		r.Ready, r.Reason = false, "queue-saturated"
+	}
+	return r
+}
+
+// underPressure reports overload pressure: the wait queue is at or past the
+// configured watermark while every execution slot is busy, or the live heap
+// has crossed the configured byte watermark. Either predicts that admitting
+// another heavyweight exact solve buys latency (or an OOM), not throughput.
+func (s *Service) underPressure() bool {
+	if s.admit.bounded() {
+		st := s.admit.snapshot()
+		if st.Inflight >= st.MaxInflight && st.QueuedNow >= s.overloadQueue {
+			return true
+		}
+	}
+	return s.cfg.OverloadHeapBytes > 0 && s.heap.liveBytes() >= s.cfg.OverloadHeapBytes
+}
+
+// PanicError reports a solve pipeline that panicked mid-execution,
+// converted into an error at the recovery boundary instead of tearing down
+// the daemon. The pooled workspace is returned before the conversion, so
+// the pool stays reusable; the HTTP layer maps it to 500 "internal".
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, for operator logs.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("serve: solve panicked: %v", e.Value)
 }
 
 // SolveResult is the outcome of a service solve.
@@ -291,7 +390,8 @@ type SolveResult struct {
 	// Degraded).
 	DegradedFrom core.Strategy
 	// DegradeReason is why the ladder stepped down: "retries-exhausted",
-	// "deadline" or "breaker-open".
+	// "deadline", "breaker-open", or "overload" (the service shed fidelity
+	// under load pressure rather than queueing or refusing the request).
 	DegradeReason string
 }
 
@@ -360,6 +460,9 @@ func (s *Service) solve(ctx context.Context, id string, g *graph.Digraph, spec S
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if res, ok := s.overloadDegrade(ctx, id, g, spec); ok {
+		return res, nil
+	}
 	if !spec.Degrade {
 		return s.solveAllowed(ctx, id, g, spec)
 	}
@@ -398,6 +501,41 @@ func (s *Service) solve(ctx context.Context, id string, g *graph.Digraph, spec S
 	}
 	// ladderRungs always returns at least the spec itself.
 	return nil, fmt.Errorf("serve: empty degradation ladder for %v", spec.strategy())
+}
+
+// overloadDegrade is the pressure-release valve: while the service is under
+// overload pressure, a degradable request (spec.Degrade, or every request
+// when Config.OverloadDegrade is set) is routed straight to the *cheapest*
+// viable ladder rung — the (2+ε) skeleton strategy runs ~1000x fewer rounds
+// than exact, so answering degraded is how the daemon converts a saturation
+// collapse into a fidelity dip. A cached answer at the requested fidelity is
+// free and never degraded, and a rung failure falls through to the normal
+// path so the regular ladder/breaker machinery reports it.
+func (s *Service) overloadDegrade(ctx context.Context, id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, bool) {
+	if !spec.Degrade && !s.cfg.OverloadDegrade {
+		return nil, false
+	}
+	if !s.underPressure() {
+		return nil, false
+	}
+	if _, ok := s.cache.get(spec.key(id)); ok {
+		return nil, false
+	}
+	rungs := s.ladderRungs(spec, g)
+	cheapest := rungs[len(rungs)-1]
+	if cheapest.strategy() == spec.strategy() {
+		return nil, false // no cheaper rung is viable for this graph's weights
+	}
+	res, err := s.solveAllowed(ctx, id, g, cheapest)
+	if err != nil {
+		return nil, false
+	}
+	res.Degraded = true
+	res.DegradedFrom = spec.strategy()
+	res.DegradeReason = "overload"
+	s.stats.degraded(spec.strategy().String())
+	s.stats.overloadDegraded()
+	return res, true
 }
 
 // ladderRungs returns the degradation ladder for spec over g: the spec
@@ -535,26 +673,34 @@ func (s *Service) solveOne(ctx context.Context, id string, g *graph.Digraph, spe
 				fromCache = true
 				return e, nil
 			}
+			// Admission sits here, inside the flight leader: only an actual
+			// simulator execution consumes a slot, so cache hits and
+			// singleflight followers never queue, and a burst of identical
+			// requests costs one slot, not one per caller. A request whose
+			// own context dies while queued is a cancellation, not a shed.
+			release, aerr := s.admit.acquire(ctx, s.stats.estimate(name))
+			if aerr != nil {
+				if ctx.Err() != nil && errors.Is(aerr, ctx.Err()) {
+					s.stats.cancelled(name)
+					return nil, &CancelledError{Err: aerr}
+				}
+				return nil, aerr
+			}
+			defer release()
 			// The entry keeps its own clone so later mutation of a
 			// caller-owned graph cannot desynchronize the cached result and
 			// its oracle.
 			gc := g.Clone()
-			ws := workspacePool.Get().(*core.Workspace)
-			res, err := core.SolveContext(ctx, gc, core.Config{
-				Strategy:  spec.strategy(),
-				Params:    spec.Preset.Params(),
-				Seed:      spec.Seed,
-				Epsilon:   spec.Epsilon,
-				Workers:   workers,
-				Transport: spec.Transport,
-				Workspace: ws,
-				Faults:    spec.Faults,
-			})
-			// A cancelled pipeline released its borrowed buffers through the
-			// engine's cleanup hook, so the workspace goes back to the pool in
-			// a reusable state on every path.
-			workspacePool.Put(ws)
+			start := time.Now()
+			res, err := s.runPipeline(ctx, gc, spec, workers)
+			wall := time.Since(start)
 			if err != nil {
+				var pe *PanicError
+				if errors.As(err, &pe) {
+					s.stats.panicRecovered()
+					s.stats.failed(name)
+					return nil, err
+				}
 				var fe *congest.FaultError
 				if res != nil && errors.As(err, &fe) {
 					// Retry exhaustion: wrap with the partial telemetry (the
@@ -572,7 +718,7 @@ func (s *Service) solveOne(ctx context.Context, id string, g *graph.Digraph, spe
 			}
 			// Charge the rounds as soon as the simulator has run: even if the
 			// oracle construction below failed, the cost was paid.
-			s.stats.solved(name, res)
+			s.stats.solved(name, res, wall)
 			oracle, err := core.NewPathOracle(gc, res.Dist)
 			if err != nil {
 				return nil, err
@@ -618,6 +764,41 @@ func (s *Service) solveOne(ctx context.Context, id string, g *graph.Digraph, spe
 		s.stats.hit(name)
 	}
 	return &SolveResult{GraphID: id, Res: e.res, Oracle: e.oracle, Cached: shared || fromCache}, nil
+}
+
+// solveTestHook, when non-nil, runs inside the admission-gated,
+// recovery-wrapped execution path just before the simulator. Tests use it to
+// hold execution slots deterministically (saturation/FIFO assertions) and to
+// inject panics at the exact point a misbehaving pipeline would throw.
+var solveTestHook func(spec SolveSpec)
+
+// runPipeline executes one simulator run inside the panic-recovery boundary:
+// the borrowed workspace is returned to the pool by defer — so even a
+// panicking pipeline repools rather than leaks it — and a recovered panic
+// becomes a *PanicError instead of tearing down the daemon. (A cancelled
+// pipeline released its borrowed buffers through the engine's cleanup hook,
+// so the workspace goes back in a reusable state on every path.)
+func (s *Service) runPipeline(ctx context.Context, gc *graph.Digraph, spec SolveSpec, workers int) (res *core.Result, err error) {
+	ws := workspacePool.Get().(*core.Workspace)
+	defer workspacePool.Put(ws)
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if solveTestHook != nil {
+		solveTestHook(spec)
+	}
+	return core.SolveContext(ctx, gc, core.Config{
+		Strategy:  spec.strategy(),
+		Params:    spec.Preset.Params(),
+		Seed:      spec.Seed,
+		Epsilon:   spec.Epsilon,
+		Workers:   workers,
+		Transport: spec.Transport,
+		Workspace: ws,
+		Faults:    spec.Faults,
+	})
 }
 
 // PathQuery is one (src, dst) shortest-path request.
@@ -701,5 +882,8 @@ func (s *Service) answerBatch(res *SolveResult, spec SolveSpec, queries []PathQu
 
 // Stats returns a point-in-time accounting snapshot.
 func (s *Service) Stats() Stats {
-	return s.stats.snapshot(s.store.len(), s.cache.len())
+	st := s.stats.snapshot(s.store.len(), s.cache.len())
+	st.Admission = s.admit.snapshot()
+	st.Admission.OverloadDegraded, st.Admission.PanicsRecovered = s.stats.overloadCounters()
+	return st
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"time"
 
 	"qclique/internal/congest"
 	"qclique/internal/core"
@@ -59,6 +60,10 @@ type StrategyStats struct {
 	// RoundsCharged totals the simulated CONGEST-CLIQUE rounds across all
 	// executions; cache hits and deduped requests charge nothing here.
 	RoundsCharged int64 `json:"rounds_charged"`
+	// SolveWallNs totals the host wall-clock time of completed executions;
+	// SolveWallNs/Solves is the service-time estimate the admission
+	// controller's deadline-aware shedding uses.
+	SolveWallNs int64 `json:"solve_wall_ns,omitempty"`
 	// Stages is the cumulative per-stage breakdown across this strategy's
 	// executed solves, keyed by stage name.
 	Stages map[string]StageStats `json:"stages,omitempty"`
@@ -84,6 +89,33 @@ type TransportUsage struct {
 	Flushes    int64 `json:"flushes"`
 }
 
+// AdmissionStats is the service-level overload accounting: the admission
+// controller's configuration and gauges, plus the cumulative counters of
+// the overload-resilience layer.
+type AdmissionStats struct {
+	// MaxInflight/QueueDepth echo the configured caps (0 = unbounded).
+	MaxInflight int `json:"max_inflight,omitempty"`
+	QueueDepth  int `json:"queue_depth,omitempty"`
+	// Inflight/QueuedNow are point-in-time gauges of executing and queued
+	// solves; Draining reports a closed admission gate (shutdown underway).
+	Inflight  int  `json:"inflight"`
+	QueuedNow int  `json:"queued_now"`
+	Draining  bool `json:"draining,omitempty"`
+	// Queued counts requests that had to wait for a slot; QueueWaitNs
+	// totals the wall time admitted requests spent waiting.
+	Queued      int64 `json:"queued"`
+	QueueWaitNs int64 `json:"queue_wait_ns"`
+	// Shed counts requests refused with an OverloadError (queue overflow,
+	// hopeless deadline, or draining) — never counted in Cancelled.
+	Shed int64 `json:"shed"`
+	// OverloadDegraded counts requests the overload monitor routed down the
+	// degradation ladder (degrade_reason "overload").
+	OverloadDegraded int64 `json:"overload_degraded"`
+	// PanicsRecovered counts panicking solves and handlers converted into
+	// 500 "internal" envelopes instead of daemon crashes.
+	PanicsRecovered int64 `json:"panics_recovered"`
+}
+
 // Stats is a point-in-time snapshot of a Service's accounting.
 type Stats struct {
 	// Graphs is the number of graphs in the store.
@@ -93,6 +125,8 @@ type Stats struct {
 	// PathQueries counts individual path queries answered (batch members
 	// included).
 	PathQueries int64 `json:"path_queries"`
+	// Admission is the overload-resilience accounting.
+	Admission AdmissionStats `json:"admission"`
 	// Strategies maps strategy name to its accounting.
 	Strategies map[string]StrategyStats `json:"strategies"`
 	// Transports maps delivery-backend name to its execution rollup.
@@ -100,10 +134,12 @@ type Stats struct {
 }
 
 type statsCollector struct {
-	mu          sync.Mutex
-	pathQueries int64
-	byStrategy  map[string]*StrategyStats
-	byTransport map[string]*TransportUsage
+	mu               sync.Mutex
+	pathQueries      int64
+	overloadDegrades int64
+	panics           int64
+	byStrategy       map[string]*StrategyStats
+	byTransport      map[string]*TransportUsage
 }
 
 func newStatsCollector() *statsCollector {
@@ -162,15 +198,32 @@ func (s *statsCollector) deduped(name string) {
 	s.forStrategy(name).Deduped++
 }
 
-func (s *statsCollector) solved(name string, res *core.Result) {
+func (s *statsCollector) solved(name string, res *core.Result, wall time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.forStrategy(name)
 	st.Solves++
 	st.RoundsCharged += res.Rounds
+	st.SolveWallNs += wall.Nanoseconds()
 	st.addFaults(res)
 	st.addStages(res)
 	s.addTransport(res.Transport)
+}
+
+// estimate returns the likely service time of one executed solve of the
+// strategy — the mean wall time of its past completed executions, 0 with no
+// history (the admission controller then sheds only already-hopeless
+// deadlines). Deliberately coarse: a daemon mostly serves similarly-sized
+// graphs, and an estimate only gates what happens to an already-saturated
+// queue.
+func (s *statsCollector) estimate(name string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.byStrategy[name]
+	if !ok || st.Solves == 0 {
+		return 0
+	}
+	return time.Duration(st.SolveWallNs / st.Solves)
 }
 
 // addFaults rolls a solve's injected-fault and retry telemetry into the
@@ -241,6 +294,29 @@ func (s *statsCollector) breakerSkip(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.forStrategy(name).BreakerSkips++
+}
+
+// overloadDegraded records one request the overload monitor routed down the
+// degradation ladder.
+func (s *statsCollector) overloadDegraded() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.overloadDegrades++
+}
+
+// panicRecovered records one panicking solve or handler converted into an
+// error instead of a daemon crash.
+func (s *statsCollector) panicRecovered() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.panics++
+}
+
+// overloadCounters returns the collector-owned halves of AdmissionStats.
+func (s *statsCollector) overloadCounters() (overloadDegraded, panicsRecovered int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overloadDegrades, s.panics
 }
 
 func (s *statsCollector) pathQueriesAdd(n int) {

@@ -31,7 +31,13 @@ func NewSolver(opts ...Option) *Solver {
 	o := buildOptions(opts)
 	return &Solver{
 		defaults: o,
-		svc:      serve.New(serve.Config{CacheSize: o.CacheSize, Workers: o.Workers}),
+		svc: serve.New(serve.Config{
+			CacheSize:       o.CacheSize,
+			Workers:         o.Workers,
+			MaxInflight:     o.MaxInflight,
+			QueueDepth:      o.QueueDepth,
+			OverloadDegrade: o.OverloadDegrade,
+		}),
 	}
 }
 
@@ -261,12 +267,39 @@ type StrategyStats struct {
 	StageRounds map[string]int64
 }
 
+// AdmissionStats is the Solver's overload-resilience accounting: the
+// admission controller's configuration and point-in-time gauges, plus the
+// cumulative overload counters.
+type AdmissionStats struct {
+	// MaxInflight/QueueDepth echo the configured caps (0 = unbounded).
+	MaxInflight int
+	QueueDepth  int
+	// Inflight/QueuedNow are point-in-time gauges of executing and queued
+	// solves.
+	Inflight  int
+	QueuedNow int
+	// Queued counts calls that had to wait for an execution slot;
+	// QueueWaitNs totals the wall time admitted calls spent waiting.
+	Queued      int64
+	QueueWaitNs int64
+	// Shed counts calls refused with an *OverloadError — never counted in
+	// StrategyStats.Cancelled.
+	Shed int64
+	// OverloadDegraded counts solves the overload monitor answered with a
+	// cheaper strategy (DegradeReason "overload"); PanicsRecovered counts
+	// panicking pipelines converted into errors.
+	OverloadDegraded int64
+	PanicsRecovered  int64
+}
+
 // SolverStats is a point-in-time snapshot of a Solver's accounting.
 type SolverStats struct {
 	// CachedResults is the number of solve results currently retained.
 	CachedResults int
 	// PathQueries counts individual path queries answered.
 	PathQueries int64
+	// Admission is the overload-resilience accounting.
+	Admission AdmissionStats
 	// Strategies maps strategy name (e.g. "quantum") to its accounting.
 	Strategies map[string]StrategyStats
 }
@@ -280,7 +313,18 @@ func (s *Solver) Stats() SolverStats {
 	out := SolverStats{
 		CachedResults: st.CachedResults,
 		PathQueries:   st.PathQueries,
-		Strategies:    make(map[string]StrategyStats, len(st.Strategies)),
+		Admission: AdmissionStats{
+			MaxInflight:      st.Admission.MaxInflight,
+			QueueDepth:       st.Admission.QueueDepth,
+			Inflight:         st.Admission.Inflight,
+			QueuedNow:        st.Admission.QueuedNow,
+			Queued:           st.Admission.Queued,
+			QueueWaitNs:      st.Admission.QueueWaitNs,
+			Shed:             st.Admission.Shed,
+			OverloadDegraded: st.Admission.OverloadDegraded,
+			PanicsRecovered:  st.Admission.PanicsRecovered,
+		},
+		Strategies: make(map[string]StrategyStats, len(st.Strategies)),
 	}
 	for name, v := range st.Strategies {
 		ss := StrategyStats{
