@@ -9,6 +9,7 @@
 //	POST /v1/graphs/{id}/solve        {"strategy":"quantum","preset":"scaled","seed":42}
 //	GET  /v1/graphs/{id}/dist         ?src=&dst= (pair), ?src= (row), none (matrix)
 //	POST /v1/graphs/{id}/paths:batch  {"queries":[{"src":0,"dst":3},…]}
+//	GET  /v1/strategies               strategy catalog: capabilities + live telemetry
 //	GET  /v1/metrics                  per-strategy, per-transport and admission accounting
 //	GET  /v1/healthz                  liveness
 //	GET  /v1/readyz                   readiness (503 while draining or queue-saturated)
@@ -24,6 +25,13 @@
 // The unprefixed legacy paths still answer identically, marked with a
 // "Deprecation: true" header and a Link to their /v1 successor. Failures
 // share one envelope: {"error":{"code","message","retryable",…}}.
+//
+// Requests that name no strategy fall to the -strategy default, which is
+// "auto": the service's planner picks the best registered strategy viable
+// for the graph's structural profile and the request's stretch budget and
+// deadline, and the response echoes the decision ("planned_strategy",
+// "planner_reason", "predicted_rounds", "predicted_wall_ns"). A planned
+// solve is bit-identical to explicitly requesting the chosen strategy.
 //
 // Solve-bearing requests additionally accept "epsilon" with the
 // approximate strategies ("approx-quantum" for 1+ε, "approx-skeleton" for
@@ -72,10 +80,16 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 64, "admission wait queue behind a saturated -max-inflight")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline after SIGINT/SIGTERM")
 	overloadDegrade := flag.Bool("overload-degrade", false, "answer degradable requests with the cheapest approximate rung while under overload pressure")
+	strategy := flag.String("strategy", "auto", `default strategy for requests that name none ("auto" = planner-chosen; any registered name or alias)`)
 	selftestFlag := flag.Bool("selftest", false, "run the end-to-end smoke against an ephemeral daemon and exit")
 	soakFlag := flag.Duration("soak", 0, "hammer an ephemeral daemon with mixed concurrent clients for this long, then SIGTERM-drain it, and exit")
 	flag.Parse()
 
+	defaultStrategy, err := serve.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apspd:", err)
+		os.Exit(2)
+	}
 	cfg := serve.Config{
 		CacheSize:       *cacheSize,
 		MaxGraphs:       *maxGraphs,
@@ -83,6 +97,7 @@ func main() {
 		MaxInflight:     *maxInflight,
 		QueueDepth:      *queueDepth,
 		OverloadDegrade: *overloadDegrade,
+		DefaultStrategy: defaultStrategy,
 	}
 	if *selftestFlag {
 		if err := selftest(cfg); err != nil {
@@ -846,6 +861,105 @@ func selftest(cfg serve.Config) error {
 	// and recover once the slot frees.
 	if err := overloadProbe(); err != nil {
 		return fmt.Errorf("overload probe: %w", err)
+	}
+
+	// 11. Planner probe: a solve asking for "auto" (what omitting the
+	// strategy resolves to under the daemon's default -strategy auto) runs
+	// through the planner and must echo the decision; an
+	// explicit request for the planned strategy must hit the very cache entry
+	// the planned solve populated (bit-identity); the catalog endpoint must
+	// list every registered strategy; the decision and its prediction error
+	// must land in /metrics; and a degraded planned solve must name the
+	// planned strategy in degraded_from.
+	var planned struct {
+		Strategy        string `json:"strategy"`
+		Rounds          int64  `json:"rounds"`
+		Cached          bool   `json:"cached"`
+		PlannedStrategy string `json:"planned_strategy"`
+		PlannerReason   string `json:"planner_reason"`
+		PredictedRounds int64  `json:"predicted_rounds"`
+		PredictedWallNs int64  `json:"predicted_wall_ns"`
+	}
+	const plannerSeed = 4242
+	autoBody := map[string]any{"strategy": "auto", "preset": "scaled", "seed": plannerSeed}
+	if err := call(http.MethodPost, "/v1/graphs/"+putDeadline.ID+"/solve", autoBody, &planned); err != nil {
+		return err
+	}
+	if planned.Cached {
+		return fmt.Errorf("planned solve reported cached, want a fresh execution")
+	}
+	if planned.PlannedStrategy == "" || planned.PlannedStrategy != planned.Strategy {
+		return fmt.Errorf("planned solve ran %q but echoed planned_strategy %q", planned.Strategy, planned.PlannedStrategy)
+	}
+	if planned.PlannerReason == "" || planned.PredictedRounds <= 0 || planned.PredictedWallNs <= 0 {
+		return fmt.Errorf("planned solve missing decision telemetry: %+v", planned)
+	}
+	var explicit struct {
+		Rounds int64 `json:"rounds"`
+		Cached bool  `json:"cached"`
+	}
+	explicitBody := map[string]any{"strategy": planned.PlannedStrategy, "preset": "scaled", "seed": plannerSeed}
+	if err := call(http.MethodPost, "/v1/graphs/"+putDeadline.ID+"/solve", explicitBody, &explicit); err != nil {
+		return err
+	}
+	if !explicit.Cached || explicit.Rounds != planned.Rounds {
+		return fmt.Errorf("explicit %s re-solve = %+v, want cached with rounds %d (planned solves share cache identity)",
+			planned.PlannedStrategy, explicit, planned.Rounds)
+	}
+	var catalog struct {
+		Strategies []struct {
+			Name      string `json:"name"`
+			Guarantee string `json:"guarantee"`
+		} `json:"strategies"`
+	}
+	if err := call(http.MethodGet, "/v1/strategies", nil, &catalog); err != nil {
+		return err
+	}
+	catalogNames := make(map[string]bool, len(catalog.Strategies))
+	for _, ce := range catalog.Strategies {
+		if ce.Guarantee == "" {
+			return fmt.Errorf("catalog entry %q carries no guarantee", ce.Name)
+		}
+		catalogNames[ce.Name] = true
+	}
+	for _, name := range []string{"quantum", "classical-search", "dolev", "gossip", "approx-quantum", "approx-skeleton"} {
+		if !catalogNames[name] {
+			return fmt.Errorf("strategy catalog %v is missing %q", catalogNames, name)
+		}
+	}
+	var planStats struct {
+		Planner *struct {
+			Decisions       int64            `json:"decisions"`
+			Chosen          map[string]int64 `json:"chosen"`
+			ObservedSolves  int64            `json:"observed_solves"`
+			PredictedRounds int64            `json:"predicted_rounds"`
+			ObservedRounds  int64            `json:"observed_rounds"`
+			RoundsErrorAbs  int64            `json:"rounds_error_abs"`
+		} `json:"planner"`
+	}
+	if err := call(http.MethodGet, "/v1/metrics", nil, &planStats); err != nil {
+		return err
+	}
+	pm := planStats.Planner
+	if pm == nil || pm.Decisions != 1 || pm.ObservedSolves != 1 {
+		return fmt.Errorf("planner metrics %+v, want exactly 1 decision with 1 observed execution", pm)
+	}
+	if pm.Chosen[planned.PlannedStrategy] != 1 || pm.ObservedRounds != planned.Rounds || pm.PredictedRounds != planned.PredictedRounds {
+		return fmt.Errorf("planner accounting %+v disagrees with the planned solve (strategy %s, rounds %d, predicted %d)",
+			pm, planned.PlannedStrategy, planned.Rounds, planned.PredictedRounds)
+	}
+	var degradedAuto struct {
+		Strategy        string `json:"strategy"`
+		Degraded        bool   `json:"degraded"`
+		DegradedFrom    string `json:"degraded_from"`
+		PlannedStrategy string `json:"planned_strategy"`
+	}
+	degradedAutoBody := map[string]any{"strategy": "auto", "preset": "scaled", "seed": plannerSeed, "degrade": true, "faults": faultsBody}
+	if err := call(http.MethodPost, "/v1/graphs/"+putDeadline.ID+"/solve", degradedAutoBody, &degradedAuto); err != nil {
+		return err
+	}
+	if !degradedAuto.Degraded || degradedAuto.DegradedFrom == "" || degradedAuto.DegradedFrom != degradedAuto.PlannedStrategy {
+		return fmt.Errorf("degraded planned solve = %+v, want degraded with degraded_from naming the planned strategy", degradedAuto)
 	}
 	return nil
 }

@@ -24,7 +24,10 @@
 //
 // Every APSP workload additionally passes the stage-sum gate on every run:
 // the engine's per-stage round breakdown must sum exactly to rounds/op.
-// -stages adds that breakdown as a column in the emitted report.
+// -stages adds that breakdown as a column in the emitted report. -planner
+// adds the planner-accuracy column: one strategy=auto solve per bench
+// graph, recording which strategy the serving layer's planner chose and
+// how far its round prediction landed from the execution.
 //
 // -cpuprofile / -memprofile write pprof profiles of the measurement run so
 // perf PRs can ship evidence alongside the report.
@@ -45,6 +48,7 @@ import (
 	"qclique/internal/engine"
 	"qclique/internal/graph"
 	"qclique/internal/qsearch"
+	"qclique/internal/serve"
 	"qclique/internal/triangles"
 	"qclique/internal/xrand"
 )
@@ -79,14 +83,29 @@ type StageRound struct {
 	Rounds int64  `json:"rounds"`
 }
 
-// Report is the emitted document.
+// PlannerResult is one graph's planner-accuracy row (-planner): the
+// strategy a serving-layer planner chose for a strategy=auto solve of the
+// bench graph, and how its round prediction compared with the execution.
+type PlannerResult struct {
+	Name            string  `json:"name"`
+	Chosen          string  `json:"chosen"`
+	Reason          string  `json:"reason"`
+	PredictedRounds int64   `json:"predicted_rounds"`
+	ActualRounds    int64   `json:"actual_rounds"`
+	RoundsErrorPct  float64 `json:"rounds_error_pct"`
+}
+
+// Report is the emitted document. Planner is the -planner column; like
+// -stages it is additive and omitted by default so existing baselines stay
+// byte-comparable.
 type Report struct {
-	Label      string   `json:"label"`
-	GoVersion  string   `json:"go"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Timestamp  string   `json:"timestamp"`
-	RoundsSeed uint64   `json:"rounds_seed"`
-	Benchmarks []Result `json:"benchmarks"`
+	Label      string          `json:"label"`
+	GoVersion  string          `json:"go"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Timestamp  string          `json:"timestamp"`
+	RoundsSeed uint64          `json:"rounds_seed"`
+	Benchmarks []Result        `json:"benchmarks"`
+	Planner    []PlannerResult `json:"planner,omitempty"`
 }
 
 // runOut is one workload execution's deterministic measurements: the
@@ -386,6 +405,49 @@ func measure(cfg benchConfig, withStages bool) (Result, error) {
 	return res, nil
 }
 
+// plannerAccuracy runs a strategy=auto solve of each E1-sized bench graph
+// through a fresh serving instance and reports the planner's decision next
+// to the executed rounds — the -planner column. A fresh instance has no
+// live telemetry, so this measures the static cost priors, the worst case
+// the planner starts from.
+func plannerAccuracy(quick bool) ([]PlannerResult, error) {
+	sizes := []int{16, 32, 64}
+	if quick {
+		sizes = []int{16, 32}
+	}
+	svc := serve.New(serve.Config{DefaultStrategy: core.StrategyAuto})
+	var out []PlannerResult
+	for _, n := range sizes {
+		g, err := benchDigraph(n)
+		if err != nil {
+			return nil, err
+		}
+		res, err := svc.SolveGraph(g, serve.SolveSpec{Preset: serve.PresetScaled, Seed: roundsSeed})
+		if err != nil {
+			return nil, err
+		}
+		if res.Plan == nil {
+			return nil, fmt.Errorf("planner/apsp/n=%d: auto solve returned no plan", n)
+		}
+		pr := PlannerResult{
+			Name:            fmt.Sprintf("planner/apsp/n=%d", n),
+			Chosen:          res.Plan.Strategy,
+			Reason:          res.Plan.Reason,
+			PredictedRounds: res.Plan.PredictedRounds,
+			ActualRounds:    res.Res.Rounds,
+		}
+		if pr.ActualRounds > 0 {
+			diff := float64(pr.PredictedRounds - pr.ActualRounds)
+			if diff < 0 {
+				diff = -diff
+			}
+			pr.RoundsErrorPct = 100 * diff / float64(pr.ActualRounds)
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
 func buildReport(label string, quick, withStages bool) (*Report, error) {
 	rep := &Report{
 		Label:      label,
@@ -674,6 +736,7 @@ func main() {
 	label := flag.String("label", "dev", "label recorded in the report")
 	quick := flag.Bool("quick", false, "skip the slow large-n configurations")
 	stages := flag.Bool("stages", false, "include the per-stage round breakdown column in the report (the stage-sum gate runs regardless)")
+	planner := flag.Bool("planner", false, "include the planner-accuracy column: a strategy=auto solve per bench graph with the chosen strategy and round-prediction error")
 	check := flag.String("check", "", "compare against this baseline report and exit 1 on regression")
 	faults := flag.Bool("faults", false, "run the chaos matrix (every strategy under the fixed fault plan) instead of E1-E4 and emit a FaultReport")
 	maxSlowdown := flag.Float64("max-slowdown", 2.5, "ns/op regression tolerance for -check")
@@ -722,6 +785,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
+	}
+	if *planner {
+		rep.Planner, err = plannerAccuracy(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *memProfile != "" {

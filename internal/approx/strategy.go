@@ -10,11 +10,13 @@ package approx
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"qclique/internal/congest"
 	"qclique/internal/distprod"
 	"qclique/internal/engine"
+	"qclique/internal/graph"
 	"qclique/internal/matrix"
 )
 
@@ -37,6 +39,49 @@ type chainStrategy struct{}
 func (chainStrategy) Name() string                  { return "approx-quantum" }
 func (chainStrategy) Approximate() bool             { return true }
 func (chainStrategy) Guarantee(eps float64) float64 { return 1 + eps }
+
+// Cost anchors: measured at n=64, ε=0.5 under the scaled preset
+// (BENCH_1.json E4APSPApproxQuantum / E4APSPApproxSkeleton) — coarse
+// power-law priors the serving layer's planner corrects with live
+// telemetry.
+var (
+	chainAnchor    = engine.CostPrior{Rounds: 291_589, WallNs: 2_520_000_000}
+	skeletonAnchor = engine.CostPrior{Rounds: 521, WallNs: 12_600_000}
+)
+
+// ladderScale stretches an anchor measured at ε=0.5 to the requested
+// budget: the geometric value ladder's length (and with it every
+// per-product search depth) grows with log(1+1/ε). Invalid budgets leave
+// the anchor untouched — the planner only asks about epsilons it would
+// actually run.
+func ladderScale(p engine.CostPrior, eps float64) engine.CostPrior {
+	if !ValidEpsilon(eps) || eps == 0.5 {
+		return p
+	}
+	factor := math.Log1p(1/eps) / math.Log1p(2)
+	p.Rounds = int64(float64(p.Rounds) * factor)
+	p.WallNs = int64(float64(p.WallNs) * factor)
+	if p.Rounds < 1 {
+		p.Rounds = 1
+	}
+	if p.WallNs < 1 {
+		p.WallNs = 1
+	}
+	return p
+}
+
+func (chainStrategy) Capabilities() engine.Capabilities {
+	return engine.Capabilities{
+		Approximate:     true,
+		RejectsNegative: true,
+		MinEpsilon:      MinEpsilon,
+		MaxEpsilon:      MaxEpsilon,
+	}
+}
+
+func (chainStrategy) PredictCost(f graph.Features, eps float64) engine.CostPrior {
+	return ladderScale(chainAnchor.ScaleFrom(64, f.N, 1.0, 2.6), eps)
+}
 
 func (chainStrategy) Stages(req *engine.Request, out *engine.Outcome) (*engine.Plan, error) {
 	if req.G.HasNegativeArc() {
@@ -110,6 +155,20 @@ type skeletonStrategy struct{}
 func (skeletonStrategy) Name() string                  { return "approx-skeleton" }
 func (skeletonStrategy) Approximate() bool             { return true }
 func (skeletonStrategy) Guarantee(eps float64) float64 { return 2 + eps }
+
+func (skeletonStrategy) Capabilities() engine.Capabilities {
+	return engine.Capabilities{
+		Approximate:     true,
+		RejectsNegative: true,
+		NeedsSymmetric:  true,
+		MinEpsilon:      MinEpsilon,
+		MaxEpsilon:      MaxEpsilon,
+	}
+}
+
+func (skeletonStrategy) PredictCost(f graph.Features, eps float64) engine.CostPrior {
+	return ladderScale(skeletonAnchor.ScaleFrom(64, f.N, 0.6, 2.6), eps)
+}
 
 func (skeletonStrategy) Stages(req *engine.Request, out *engine.Outcome) (*engine.Plan, error) {
 	net, err := congest.NewNetwork(req.G.N(), congest.WithFaults(req.Faults),

@@ -51,6 +51,12 @@ const (
 	// combined through skeleton hubs. Requires a weight-symmetric
 	// nonnegative graph and Config.Epsilon > 0.
 	StrategyApproxSkeleton
+	// StrategyAuto defers the pipeline choice to the serving layer's
+	// planner, which resolves it to a concrete registered strategy before
+	// any pipeline runs. It is a request-level sentinel, not a pipeline:
+	// it has no registry entry, AllStrategies excludes it, and Solve
+	// rejects it unresolved.
+	StrategyAuto
 )
 
 func (s Strategy) String() string {
@@ -67,6 +73,8 @@ func (s Strategy) String() string {
 		return "approx-quantum"
 	case StrategyApproxSkeleton:
 		return "approx-skeleton"
+	case StrategyAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}

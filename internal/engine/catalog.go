@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"math"
+
+	"qclique/internal/graph"
+)
+
+// Capabilities declares what inputs a strategy accepts and which accuracy
+// class it belongs to — the static half of the catalog the serving layer's
+// planner queries. The zero value ("accepts anything, exact") is the
+// correct default for strategies that predate the Costed interface.
+type Capabilities struct {
+	// Approximate mirrors Strategy.Approximate: the pipeline trades
+	// exactness for rounds and requires an epsilon budget.
+	Approximate bool `json:"approximate"`
+	// RejectsNegative marks pipelines that refuse graphs with negative arc
+	// weights (multiplicative stretch is meaningless below zero).
+	RejectsNegative bool `json:"rejects_negative,omitempty"`
+	// NeedsSymmetric marks pipelines restricted to weight-symmetric graphs
+	// (the directed encoding of undirected inputs).
+	NeedsSymmetric bool `json:"needs_symmetric,omitempty"`
+	// MinEpsilon/MaxEpsilon bound the accepted stretch budget (both 0 for
+	// exact strategies, which take none).
+	MinEpsilon float64 `json:"min_epsilon,omitempty"`
+	MaxEpsilon float64 `json:"max_epsilon,omitempty"`
+}
+
+// Viable reports whether a graph with profile f satisfies the strategy's
+// input constraints.
+func (c Capabilities) Viable(f graph.Features) bool {
+	if c.RejectsNegative && f.NegativeArcs {
+		return false
+	}
+	if c.NeedsSymmetric && !f.Symmetric {
+		return false
+	}
+	return true
+}
+
+// CostPrior is a strategy's a-priori cost estimate for one solve: simulated
+// rounds and host wall time. Priors are coarse by design — power-law
+// extrapolations from committed benchmark anchors ("Mind the Õ": asymptotic
+// claims mispredict real cost, so measured anchors beat exponents read off
+// the theorems) — and the planner corrects them with live telemetry as
+// solves complete.
+type CostPrior struct {
+	// Rounds is the expected simulated CONGEST-CLIQUE round charge.
+	Rounds int64 `json:"rounds"`
+	// WallNs is the expected host wall-clock time in nanoseconds.
+	WallNs int64 `json:"wall_ns"`
+}
+
+// ScaleFrom extrapolates an anchored measurement (taken at anchorN
+// vertices) to an n-vertex input via per-axis power laws, flooring both
+// axes at 1 so a prior never degenerates to "free".
+func (p CostPrior) ScaleFrom(anchorN, n int, roundsExp, wallExp float64) CostPrior {
+	if n <= 0 || anchorN <= 0 {
+		return CostPrior{Rounds: 1, WallNs: 1}
+	}
+	ratio := float64(n) / float64(anchorN)
+	out := CostPrior{
+		Rounds: int64(float64(p.Rounds) * math.Pow(ratio, roundsExp)),
+		WallNs: int64(float64(p.WallNs) * math.Pow(ratio, wallExp)),
+	}
+	if out.Rounds < 1 {
+		out.Rounds = 1
+	}
+	if out.WallNs < 1 {
+		out.WallNs = 1
+	}
+	return out
+}
+
+// Costed is the catalog half of a strategy: its input constraints and its
+// cost prior. All registered strategies implement it; CapabilitiesOf and
+// PredictCostOf degrade gracefully for any future strategy that does not.
+type Costed interface {
+	// Capabilities declares the strategy's input constraints and epsilon
+	// domain.
+	Capabilities() Capabilities
+	// PredictCost estimates one solve's cost for a graph with profile f
+	// under stretch budget eps (ignored by exact strategies).
+	PredictCost(f graph.Features, eps float64) CostPrior
+}
+
+// CapabilitiesOf returns s's declared capabilities, falling back to the
+// conservative zero profile (plus the Approximate flag the base interface
+// already carries) when s does not implement Costed.
+func CapabilitiesOf(s Strategy) Capabilities {
+	if c, ok := s.(Costed); ok {
+		return c.Capabilities()
+	}
+	return Capabilities{Approximate: s.Approximate()}
+}
+
+// PredictCostOf returns s's cost prior for (f, eps); ok is false when s
+// does not implement Costed (no prior exists).
+func PredictCostOf(s Strategy, f graph.Features, eps float64) (CostPrior, bool) {
+	if c, ok := s.(Costed); ok {
+		return c.PredictCost(f, eps), true
+	}
+	return CostPrior{}, false
+}
+
+// CatalogEntry pairs a registered strategy with its declared capabilities.
+type CatalogEntry struct {
+	Strategy     Strategy
+	Capabilities Capabilities
+}
+
+// Catalog returns every registered strategy with its capabilities, sorted
+// by canonical name — the queryable form of the registry the planner and
+// the GET /v1/strategies endpoint consume.
+func Catalog() []CatalogEntry {
+	ss := Strategies()
+	out := make([]CatalogEntry, len(ss))
+	for i, s := range ss {
+		out[i] = CatalogEntry{Strategy: s, Capabilities: CapabilitiesOf(s)}
+	}
+	return out
+}

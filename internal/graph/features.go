@@ -1,0 +1,77 @@
+package graph
+
+// Features is the one-pass structural profile of a Digraph: everything the
+// serving layer's strategy planner needs to decide which pipelines are
+// viable (symmetry, negative arcs) and what they are likely to cost (size,
+// density, weight range). It is computed once per stored graph — the store
+// is content-addressed, so a profile can never go stale — and echoed over
+// HTTP alongside the graph id.
+type Features struct {
+	// N is the vertex count.
+	N int `json:"n"`
+	// Arcs is the number of present arcs.
+	Arcs int `json:"arcs"`
+	// Density is Arcs / (N·(N−1)), the filled fraction of the off-diagonal
+	// adjacency (0 for graphs with fewer than two vertices).
+	Density float64 `json:"density"`
+	// Symmetric reports weight symmetry: arc (u,v) exists exactly when
+	// (v,u) does, with equal weight — the input class of the skeleton
+	// strategy.
+	Symmetric bool `json:"symmetric"`
+	// NegativeArcs reports the presence of any negative arc weight, which
+	// the approximate strategies reject.
+	NegativeArcs bool `json:"negative_arcs"`
+	// MinWeight/MaxWeight bound the finite arc weights (both 0 for an
+	// arcless graph).
+	MinWeight int64 `json:"min_weight"`
+	MaxWeight int64 `json:"max_weight"`
+	// MaxAbsWeight is the paper's W: the maximum |w| over present arcs.
+	MaxAbsWeight int64 `json:"max_abs_weight"`
+}
+
+// Features profiles the graph in a single sweep of the adjacency (plus the
+// triangular symmetry check), equivalent to — but cheaper than — calling
+// ArcCount, HasNegativeArc, IsSymmetric and MaxAbsWeight separately.
+func (g *Digraph) Features() Features {
+	f := Features{N: g.n, Symmetric: true}
+	first := true
+	for _, w := range g.w {
+		if w == NoEdge {
+			continue
+		}
+		f.Arcs++
+		if first {
+			f.MinWeight, f.MaxWeight = w, w
+			first = false
+		} else {
+			if w < f.MinWeight {
+				f.MinWeight = w
+			}
+			if w > f.MaxWeight {
+				f.MaxWeight = w
+			}
+		}
+		if w < 0 {
+			f.NegativeArcs = true
+		}
+		a := w
+		if a < 0 {
+			a = -a
+		}
+		if a > f.MaxAbsWeight {
+			f.MaxAbsWeight = a
+		}
+	}
+	if g.n > 1 {
+		f.Density = float64(f.Arcs) / float64(g.n*(g.n-1))
+	}
+	for u := 0; u < g.n && f.Symmetric; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.w[u*g.n+v] != g.w[v*g.n+u] {
+				f.Symmetric = false
+				break
+			}
+		}
+	}
+	return f
+}

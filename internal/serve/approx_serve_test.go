@@ -112,7 +112,7 @@ func TestGraphAccessorClone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if HashDigraph(stored) != id {
+	if HashDigraph(stored.g) != id {
 		t.Fatal("mutating the accessor result changed the stored graph")
 	}
 	// ...and a re-solve must reproduce the original distances, not ones

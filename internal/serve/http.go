@@ -128,9 +128,16 @@ func (p solveParamsJSON) spec() (SolveSpec, error) {
 	if p.TimeoutMS < 0 {
 		return SolveSpec{}, fmt.Errorf("serve: negative timeout_ms %d", p.TimeoutMS)
 	}
-	strat, err := ParseStrategy(p.Strategy)
-	if err != nil {
-		return SolveSpec{}, err
+	// An omitted strategy stays zero so Config.DefaultStrategy applies
+	// (the daemon may default to the planner); only an explicit name is
+	// parsed.
+	var strat core.Strategy
+	if p.Strategy != "" {
+		var err error
+		strat, err = ParseStrategy(p.Strategy)
+		if err != nil {
+			return SolveSpec{}, err
+		}
 	}
 	preset, err := ParsePreset(p.Preset)
 	if err != nil {
@@ -185,6 +192,14 @@ type SolveJSON struct {
 	// the cache retains the original run's telemetry). Stage rounds sum
 	// exactly to Rounds.
 	Stages []engine.StageStat `json:"stages,omitempty"`
+	// PlannedStrategy/PlannerReason/Predicted* echo the planner's decision
+	// when the request asked for strategy=auto: the strategy the planner
+	// resolved to, why, and its cost prediction at decision time. Absent on
+	// explicit-strategy requests.
+	PlannedStrategy string `json:"planned_strategy,omitempty"`
+	PlannerReason   string `json:"planner_reason,omitempty"`
+	PredictedRounds int64  `json:"predicted_rounds,omitempty"`
+	PredictedWallNs int64  `json:"predicted_wall_ns,omitempty"`
 }
 
 // PathJSON is one answer in the paths:batch response. Dist is null both
@@ -268,6 +283,7 @@ const apiPrefix = "/v1"
 //	POST /v1/graphs/{id}/solve        solve (cache-aware), returns round accounting
 //	GET  /v1/graphs/{id}/dist         distances: full matrix, one row (?src=), or one pair (?src=&dst=)
 //	POST /v1/graphs/{id}/paths:batch  many shortest-path queries against one solve
+//	GET  /v1/strategies               the strategy catalog: capabilities + live telemetry
 //	GET  /v1/metrics                  per-strategy, per-transport and admission accounting
 //	GET  /v1/healthz                  liveness (always 200 while the process serves)
 //	GET  /v1/readyz                   readiness (503 while draining or queue-saturated)
@@ -305,7 +321,14 @@ func NewHandler(s *Service) http.Handler {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"id": id, "n": g.N(), "arcs": g.ArcCount()})
+		out := map[string]any{"id": id, "n": g.N(), "arcs": g.ArcCount()}
+		// Echo the structural profile computed at insert so clients can see
+		// what the planner will see (negative arcs and asymmetry restrict
+		// the viable catalog).
+		if feats, err := s.GraphFeatures(id); err == nil {
+			out["features"] = feats
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 
 	handle("POST", "/graphs/{id}/solve", func(w http.ResponseWriter, r *http.Request) {
@@ -377,12 +400,12 @@ func NewHandler(s *Service) http.Handler {
 		// Service.Graph accessor clones, precisely so callers cannot
 		// poison the content-addressed store).
 		id := r.PathValue("id")
-		g, err := s.store.get(id)
+		sg, err := s.store.get(id)
 		if err != nil {
 			httpError(w, solveStatus(err), err)
 			return
 		}
-		n := g.N()
+		n := sg.g.N()
 		parseIdx := func(name string) (int, bool, error) {
 			v := r.URL.Query().Get(name)
 			if v == "" {
@@ -482,6 +505,14 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"id": res.GraphID, "cached": res.Cached, "results": out})
 	})
 
+	handle("GET", "/strategies", func(w http.ResponseWriter, r *http.Request) {
+		// The planner's catalog: every registered strategy with its
+		// capability profile and whatever live telemetry has accrued — the
+		// same data the planner ranks with, so clients can predict (and
+		// debug) strategy=auto decisions.
+		writeJSON(w, http.StatusOK, map[string]any{"strategies": s.Catalog()})
+	})
+
 	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -563,6 +594,12 @@ func solveResponse(res *SolveResult, spec SolveSpec) SolveJSON {
 	}
 	for _, sg := range res.Res.Stages {
 		sj.Retries += sg.Retries
+	}
+	if res.Plan != nil {
+		sj.PlannedStrategy = res.Plan.Strategy
+		sj.PlannerReason = res.Plan.Reason
+		sj.PredictedRounds = res.Plan.PredictedRounds
+		sj.PredictedWallNs = res.Plan.PredictedWallNs
 	}
 	return sj
 }

@@ -61,7 +61,7 @@ func TestHTTPFaultInjectionAndDegradation(t *testing.T) {
 	if !sj.Degraded || sj.DegradedFrom != "quantum" || sj.DegradeReason != "retries-exhausted" {
 		t.Fatalf("degradation fields: %+v", sj)
 	}
-	if sj.Strategy != "approx-quantum" || sj.GuaranteedStretch != 1+fallbackEpsilon {
+	if sj.Strategy != "approx-quantum" || sj.GuaranteedStretch != 1+plannerDefaultEpsilon {
 		t.Errorf("degraded rung reporting: strategy=%q stretch=%v", sj.Strategy, sj.GuaranteedStretch)
 	}
 

@@ -1,0 +1,337 @@
+package serve
+
+// The strategy planner: given a graph's feature profile, a request's
+// stretch budget and deadline, rank the registered strategies that can
+// answer and pick one. The caller stops naming a pipeline ("quantum") and
+// states constraints (strategy=auto, optionally epsilon and timeout_ms);
+// the service chooses from the engine's capability/cost catalog, corrected
+// by live telemetry. The planner only ever *selects* — a planned solve is
+// bit-identical to requesting the chosen strategy explicitly, shares its
+// cache entries, and the decision (with its predicted cost) is echoed so
+// the prediction error can be accounted on /v1/metrics.
+//
+// The same candidate machinery feeds the degradation ladder and the
+// overload-degrade path: fallback rungs are "every viable strategy with a
+// strictly weaker stretch guarantee", ranked by guarantee — the rule the
+// old hard-coded exact → approx-quantum → approx-skeleton rung list was a
+// special case of.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"qclique/internal/approx"
+	"qclique/internal/core"
+	"qclique/internal/engine"
+	"qclique/internal/graph"
+)
+
+// plannerDefaultEpsilon is the stretch budget the planner assumes for a
+// degradation rung when the original request carried none (an exact
+// request has no ε of its own to hand to an approximate fallback).
+const plannerDefaultEpsilon = 0.5
+
+// PlanDecision records one planner choice for a strategy=auto request: the
+// strategy it resolved to, why, and the cost it predicted — the prediction
+// the error accounting on /v1/metrics is measured against.
+type PlanDecision struct {
+	// Strategy is the concrete strategy the request resolved to.
+	Strategy string `json:"strategy"`
+	// Reason is the human-readable decision rule that picked it.
+	Reason string `json:"reason"`
+	// Epsilon is the stretch budget the resolved solve runs under (0 when
+	// an exact strategy was chosen).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// PredictedRounds/PredictedWallNs are the planner's cost prediction for
+	// the chosen strategy on this graph.
+	PredictedRounds int64 `json:"predicted_rounds"`
+	PredictedWallNs int64 `json:"predicted_wall_ns"`
+	// Live marks a prediction corrected by live telemetry (observed
+	// ns-per-round) rather than taken from the static prior alone.
+	Live bool `json:"live,omitempty"`
+	// Candidates lists every viable strategy that competed, in ranked
+	// order (the chosen one first).
+	Candidates []string `json:"candidates,omitempty"`
+}
+
+// candidate is one viable strategy with its guarantee and predicted cost.
+type candidate struct {
+	enum      core.Strategy
+	epsilon   float64
+	guarantee float64
+	predicted engine.CostPrior
+	live      bool
+}
+
+// predict estimates one solve's cost: the catalog prior's round count
+// (size-aware by construction), with the wall time corrected by the
+// strategy's observed ns-per-round once live telemetry exists — rounds are
+// deterministic per (strategy, input), so observed wall-per-round is the
+// host-speed fact the static prior can only guess at.
+func (s *Service) predict(strat engine.Strategy, f graph.Features, eps float64) (engine.CostPrior, bool) {
+	prior, _ := engine.PredictCostOf(strat, f, eps)
+	if npr, ok := s.stats.liveNsPerRound(strat.Name()); ok && prior.Rounds > 0 {
+		wall := int64(float64(prior.Rounds) * npr)
+		if wall < 1 {
+			wall = 1
+		}
+		return engine.CostPrior{Rounds: prior.Rounds, WallNs: wall}, true
+	}
+	return prior, false
+}
+
+// rankCandidates returns every strategy viable for (f, eps), ranked best
+// guarantee first (guarantee ascending, predicted wall ascending, name
+// ascending). Approximate strategies compete only when the request carried
+// a valid stretch budget and exactOnly is unset.
+func (s *Service) rankCandidates(f graph.Features, eps float64, exactOnly bool) []candidate {
+	var out []candidate
+	for _, ce := range engine.Catalog() {
+		enum, ok := core.StrategyByName(ce.Strategy.Name())
+		if !ok || !ce.Capabilities.Viable(f) {
+			continue
+		}
+		ceps := 0.0
+		if ce.Capabilities.Approximate {
+			if exactOnly || !approx.ValidEpsilon(eps) {
+				continue
+			}
+			ceps = eps
+		}
+		pred, live := s.predict(ce.Strategy, f, ceps)
+		out = append(out, candidate{
+			enum:      enum,
+			epsilon:   ceps,
+			guarantee: ce.Strategy.Guarantee(ceps),
+			predicted: pred,
+			live:      live,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.guarantee != b.guarantee {
+			return a.guarantee < b.guarantee
+		}
+		if a.predicted.WallNs != b.predicted.WallNs {
+			return a.predicted.WallNs < b.predicted.WallNs
+		}
+		return a.enum.String() < b.enum.String()
+	})
+	return out
+}
+
+// planSolve resolves a strategy=auto spec against the catalog: the
+// best-guarantee viable candidate wins, except that a request deadline
+// promotes the best-guarantee candidate predicted to finish inside it —
+// the caller's epsilon states how much stretch they tolerate, the deadline
+// decides whether spending it is necessary. The resolved spec is a spec
+// any caller could have written by hand (same strategy, same epsilon),
+// which is what keeps planned solves bit-identical and cache-shared with
+// explicit ones.
+func (s *Service) planSolve(ctx context.Context, feats graph.Features, spec SolveSpec) (SolveSpec, *PlanDecision, error) {
+	exactOnly := spec.exactPlanning || spec.Epsilon == 0
+	cands := s.rankCandidates(feats, spec.Epsilon, exactOnly)
+	if len(cands) == 0 {
+		return spec, nil, fmt.Errorf("%w: no registered strategy is viable for this graph", ErrInvalidSpec)
+	}
+	chosen := cands[0]
+	reason := "best guarantee among viable strategies, cheapest predicted wall"
+	if exactOnly {
+		reason = "cheapest viable exact strategy (no stretch budget)"
+		if spec.exactPlanning {
+			reason = "cheapest viable exact strategy (path reconstruction requires exact distances)"
+		}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		fit := -1
+		for i, c := range cands {
+			if time.Duration(c.predicted.WallNs) <= remaining {
+				fit = i
+				break
+			}
+		}
+		switch {
+		case fit > 0:
+			chosen = cands[fit]
+			reason = fmt.Sprintf("best guarantee predicted to fit the %v deadline", remaining.Round(time.Millisecond))
+		case fit < 0:
+			// Nothing is predicted to finish in time; take the cheapest and
+			// let the deadline/ladder machinery do its job.
+			min := 0
+			for i, c := range cands {
+				if c.predicted.WallNs < cands[min].predicted.WallNs {
+					min = i
+				}
+			}
+			chosen = cands[min]
+			reason = "no candidate predicted to fit the deadline: cheapest predicted wall"
+		}
+	}
+	resolved := spec
+	resolved.Strategy = chosen.enum
+	resolved.Epsilon = chosen.epsilon
+	names := make([]string, 0, len(cands))
+	names = append(names, chosen.enum.String())
+	for _, c := range cands {
+		if c.enum != chosen.enum {
+			names = append(names, c.enum.String())
+		}
+	}
+	return resolved, &PlanDecision{
+		Strategy:        chosen.enum.String(),
+		Reason:          reason,
+		Epsilon:         chosen.epsilon,
+		PredictedRounds: chosen.predicted.Rounds,
+		PredictedWallNs: chosen.predicted.WallNs,
+		Live:            chosen.live,
+		Candidates:      names,
+	}, nil
+}
+
+// plannerFallbacks returns the degradation rungs below spec: every viable
+// strategy with a strictly weaker stretch guarantee than the one requested,
+// best fidelity first. For an exact request over a nonnegative symmetric
+// graph this reproduces the classic approx-quantum → approx-skeleton
+// ladder; the rule generalizes to any future catalog entry with no rung
+// list to maintain. Rungs inherit the request's epsilon when it carried a
+// valid one, plannerDefaultEpsilon otherwise.
+func (s *Service) plannerFallbacks(spec SolveSpec, feats graph.Features) []SolveSpec {
+	eps := spec.Epsilon
+	if !approx.ValidEpsilon(eps) {
+		eps = plannerDefaultEpsilon
+	}
+	cur := 1.0
+	if st, ok := engine.Lookup(spec.strategy().String()); ok {
+		cur = st.Guarantee(spec.Epsilon)
+	}
+	type fallback struct {
+		enum      core.Strategy
+		epsilon   float64
+		guarantee float64
+		wallNs    int64
+	}
+	var fbs []fallback
+	for _, ce := range engine.Catalog() {
+		enum, ok := core.StrategyByName(ce.Strategy.Name())
+		if !ok || enum == spec.strategy() || !ce.Capabilities.Viable(feats) {
+			continue
+		}
+		ceps := 0.0
+		if ce.Capabilities.Approximate {
+			ceps = eps
+		}
+		g := ce.Strategy.Guarantee(ceps)
+		if g <= cur {
+			continue
+		}
+		pred, _ := s.predict(ce.Strategy, feats, ceps)
+		fbs = append(fbs, fallback{enum: enum, epsilon: ceps, guarantee: g, wallNs: pred.WallNs})
+	}
+	sort.SliceStable(fbs, func(i, j int) bool {
+		a, b := fbs[i], fbs[j]
+		if a.guarantee != b.guarantee {
+			return a.guarantee < b.guarantee
+		}
+		if a.wallNs != b.wallNs {
+			return a.wallNs < b.wallNs
+		}
+		return a.enum.String() < b.enum.String()
+	})
+	rungs := make([]SolveSpec, 0, len(fbs))
+	for _, f := range fbs {
+		rs := spec
+		rs.Strategy = f.enum
+		rs.Epsilon = f.epsilon
+		rungs = append(rungs, rs)
+	}
+	return rungs
+}
+
+// estimateFor is the admission controller's service-time estimate for one
+// executed solve of the named strategy: the live mean wall of its past
+// executions, seeded from the catalog's cost prior before any observation
+// exists — without the seed, deadline-aware shedding is blind exactly when
+// the first expensive solve arrives (the cold-start blind spot).
+func (s *Service) estimateFor(name string, feats graph.Features, eps float64) time.Duration {
+	if d := s.stats.estimate(name); d > 0 {
+		return d
+	}
+	if st, ok := engine.Lookup(name); ok {
+		if prior, ok := engine.PredictCostOf(st, feats, eps); ok {
+			return time.Duration(prior.WallNs)
+		}
+	}
+	return 0
+}
+
+// CatalogEntry is one strategy's row in the strategy catalog (GET
+// /v1/strategies and qclique.FormatStrategyList): the registry's static
+// capability declaration, plus — on Service.Catalog — the live telemetry
+// the planner corrects its priors with.
+type CatalogEntry struct {
+	// Name is the canonical registry name.
+	Name string `json:"name"`
+	// Guarantee renders the stretch contract: "exact", "1+ε", "2+ε".
+	Guarantee string `json:"guarantee"`
+	// Approximate/RejectsNegative/NeedsSymmetric mirror the strategy's
+	// declared capabilities.
+	Approximate     bool `json:"approximate"`
+	RejectsNegative bool `json:"rejects_negative,omitempty"`
+	NeedsSymmetric  bool `json:"needs_symmetric,omitempty"`
+	// MinEpsilon/MaxEpsilon bound the accepted stretch budget (absent for
+	// exact strategies).
+	MinEpsilon float64 `json:"min_epsilon,omitempty"`
+	MaxEpsilon float64 `json:"max_epsilon,omitempty"`
+	// Solves/MeanWallNs/MeanRounds are the live per-strategy telemetry of
+	// this service instance (zero before the first executed solve; absent
+	// in the static CatalogEntries view).
+	Solves     int64 `json:"solves,omitempty"`
+	MeanWallNs int64 `json:"mean_wall_ns,omitempty"`
+	MeanRounds int64 `json:"mean_rounds,omitempty"`
+}
+
+// guaranteeLabel renders a strategy's stretch contract independent of any
+// particular budget.
+func guaranteeLabel(st engine.Strategy) string {
+	if !st.Approximate() {
+		return "exact"
+	}
+	// Guarantee(1) − 1 recovers the additive base of a "base+ε" contract.
+	return fmt.Sprintf("%g+ε", st.Guarantee(1)-1)
+}
+
+// CatalogEntries returns the static strategy catalog — every registered
+// strategy with its guarantee and capabilities, sorted by name. It is the
+// shared source behind GET /v1/strategies and qclique.FormatStrategyList.
+func CatalogEntries() []CatalogEntry {
+	cat := engine.Catalog()
+	out := make([]CatalogEntry, len(cat))
+	for i, ce := range cat {
+		out[i] = CatalogEntry{
+			Name:            ce.Strategy.Name(),
+			Guarantee:       guaranteeLabel(ce.Strategy),
+			Approximate:     ce.Capabilities.Approximate,
+			RejectsNegative: ce.Capabilities.RejectsNegative,
+			NeedsSymmetric:  ce.Capabilities.NeedsSymmetric,
+			MinEpsilon:      ce.Capabilities.MinEpsilon,
+			MaxEpsilon:      ce.Capabilities.MaxEpsilon,
+		}
+	}
+	return out
+}
+
+// Catalog returns the strategy catalog with this service's live telemetry
+// folded in: executed solves and mean wall/rounds per strategy.
+func (s *Service) Catalog() []CatalogEntry {
+	out := CatalogEntries()
+	for i := range out {
+		solves, meanWall, meanRounds := s.stats.meanCost(out[i].Name)
+		out[i].Solves = solves
+		out[i].MeanWallNs = meanWall
+		out[i].MeanRounds = meanRounds
+	}
+	return out
+}

@@ -60,8 +60,8 @@ func TestForcedFallbackLadder(t *testing.T) {
 	if res.Res.Strategy != core.StrategyApproxQuantum {
 		t.Fatalf("fallback rung = %v, want approx-quantum", res.Res.Strategy)
 	}
-	if res.Res.GuaranteedStretch != 1+fallbackEpsilon {
-		t.Errorf("guaranteed stretch = %v, want %v", res.Res.GuaranteedStretch, 1+fallbackEpsilon)
+	if res.Res.GuaranteedStretch != 1+plannerDefaultEpsilon {
+		t.Errorf("guaranteed stretch = %v, want %v", res.Res.GuaranteedStretch, 1+plannerDefaultEpsilon)
 	}
 	if res.Res.Dist == nil {
 		t.Fatal("degraded result has no distances")
@@ -135,9 +135,9 @@ func TestLadderRespectsGraphConstraints(t *testing.T) {
 	if err != nil {
 		t.Fatalf("symmetric ladder under 10-fault outage: %v", err)
 	}
-	if res.Res.Strategy != core.StrategyApproxSkeleton || res.Res.GuaranteedStretch != 2+fallbackEpsilon {
+	if res.Res.Strategy != core.StrategyApproxSkeleton || res.Res.GuaranteedStretch != 2+plannerDefaultEpsilon {
 		t.Fatalf("bottom rung = %v (stretch %v), want approx-skeleton at %v",
-			res.Res.Strategy, res.Res.GuaranteedStretch, 2+fallbackEpsilon)
+			res.Res.Strategy, res.Res.GuaranteedStretch, 2+plannerDefaultEpsilon)
 	}
 }
 

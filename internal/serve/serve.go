@@ -84,10 +84,15 @@ func (p Preset) Params() *triangles.Params {
 
 // ParseStrategy parses a strategy name or alias against the engine's
 // strategy registry (empty selects quantum) — new pipelines become
-// servable by registering, with no switch to grow here.
+// servable by registering, with no switch to grow here. "auto" parses to
+// the planner sentinel core.StrategyAuto: the service resolves it to a
+// concrete registered strategy per request.
 func ParseStrategy(s string) (core.Strategy, error) {
 	if s == "" {
 		return core.StrategyQuantum, nil
+	}
+	if s == "auto" {
+		return core.StrategyAuto, nil
 	}
 	st, ok := engine.Lookup(s)
 	if !ok {
@@ -191,11 +196,19 @@ type SolveSpec struct {
 	Faults congest.FaultPlan
 	// Degrade enables the graceful-degradation ladder: a solve that
 	// exhausts its fault-retry budget, runs out of deadline headroom, or
-	// hits an open circuit breaker falls back exact → approx-quantum →
-	// approx-skeleton (honoring each rung's weight constraints) and returns
-	// a degraded result instead of an error. Not part of the cache
-	// identity — each rung solves, and caches, under its own spec.
+	// hits an open circuit breaker falls back along the planner's viable
+	// fallback rungs (every strategy with a strictly weaker stretch
+	// guarantee, best fidelity first — classically exact → approx-quantum →
+	// approx-skeleton) and returns a degraded result instead of an error.
+	// Not part of the cache identity — each rung solves, and caches, under
+	// its own spec.
 	Degrade bool
+	// exactPlanning restricts a strategy=auto resolution to exact
+	// candidates — the batch-paths entry points set it, because path
+	// reconstruction requires exact tight-successor structure. Irrelevant
+	// once the spec names a concrete strategy, and excluded from the cache
+	// identity (the resolved spec determines the key).
+	exactPlanning bool
 }
 
 func (s SolveSpec) strategy() core.Strategy {
@@ -205,11 +218,28 @@ func (s SolveSpec) strategy() core.Strategy {
 	return s.Strategy
 }
 
+// ExactPlanning returns a copy of the spec whose strategy=auto resolution
+// is confined to exact candidates (see the exactPlanning field). The
+// library's path-reconstruction entry points use it; a spec naming a
+// concrete strategy is unaffected.
+func (s SolveSpec) ExactPlanning() SolveSpec {
+	s.exactPlanning = true
+	return s
+}
+
 // Validate rejects specs whose epsilon disagrees with the strategy class
 // or falls outside the supported [approx.MinEpsilon, approx.MaxEpsilon]
 // domain — before any pipeline (or unbounded ladder construction) runs.
+// For strategy=auto the epsilon is a budget, not a parameter: absent (0)
+// restricts planning to exact candidates, present it must be in the valid
+// domain.
 func (s SolveSpec) Validate() error {
-	if s.strategy().IsApproximate() {
+	if s.strategy() == core.StrategyAuto {
+		if s.Epsilon != 0 && !approx.ValidEpsilon(s.Epsilon) {
+			return fmt.Errorf("%w: auto-strategy epsilon budget must be 0 or in [%v, %v] (got %v)",
+				ErrInvalidSpec, approx.MinEpsilon, approx.MaxEpsilon, s.Epsilon)
+		}
+	} else if s.strategy().IsApproximate() {
 		if !approx.ValidEpsilon(s.Epsilon) {
 			return fmt.Errorf("%w: strategy %q requires epsilon in [%v, %v] (got %v)",
 				ErrInvalidSpec, s.strategy(), approx.MinEpsilon, approx.MaxEpsilon, s.Epsilon)
@@ -266,6 +296,11 @@ type Config struct {
 	// ladder while the service is under overload pressure, even when the
 	// request itself did not opt into Degrade.
 	OverloadDegrade bool
+	// DefaultStrategy is the strategy a request that names none runs under
+	// (spec.Strategy == 0). The zero value preserves the legacy default,
+	// quantum; core.StrategyAuto makes the planner the default — cmd/apspd
+	// sets exactly that.
+	DefaultStrategy core.Strategy
 }
 
 // Service is the solve layer. Safe for concurrent use.
@@ -393,6 +428,11 @@ type SolveResult struct {
 	// "deadline", "breaker-open", or "overload" (the service shed fidelity
 	// under load pressure rather than queueing or refusing the request).
 	DegradeReason string
+	// Plan records the planner's decision for a strategy=auto request (nil
+	// when the caller named a concrete strategy). A degraded auto solve
+	// keeps the original decision: DegradedFrom is then the planned
+	// strategy.
+	Plan *PlanDecision
 }
 
 // PutGraph stores a private copy of g and returns its content id.
@@ -410,11 +450,21 @@ func (s *Service) PutGraph(g *graph.Digraph) (string, error) {
 // its id. The internal solve path keeps using the shared reference (it
 // never mutates).
 func (s *Service) Graph(id string) (*graph.Digraph, error) {
-	g, err := s.store.get(id)
+	sg, err := s.store.get(id)
 	if err != nil {
 		return nil, err
 	}
-	return g.Clone(), nil
+	return sg.g.Clone(), nil
+}
+
+// GraphFeatures returns the stored graph's structural profile, computed
+// once at upload (the store is content-addressed, so it cannot go stale).
+func (s *Service) GraphFeatures(id string) (graph.Features, error) {
+	sg, err := s.store.get(id)
+	if err != nil {
+		return graph.Features{}, err
+	}
+	return sg.feats, nil
 }
 
 // Solve solves the stored graph id under spec, consulting the cache first.
@@ -428,11 +478,11 @@ func (s *Service) Solve(id string, spec SolveSpec) (*SolveResult, error) {
 // *CancelledError carrying the partial per-stage telemetry; nothing is
 // cached, and the pooled workspace is returned in a reusable state.
 func (s *Service) SolveContext(ctx context.Context, id string, spec SolveSpec) (*SolveResult, error) {
-	g, err := s.store.get(id)
+	sg, err := s.store.get(id)
 	if err != nil {
 		return nil, err
 	}
-	return s.solve(ctx, id, g, spec)
+	return s.solve(ctx, id, sg.g, sg.feats, spec)
 }
 
 // SolveGraph solves g directly (library path, no store round-trip): the
@@ -447,26 +497,55 @@ func (s *Service) SolveGraphContext(ctx context.Context, g *graph.Digraph, spec 
 	if g == nil {
 		return nil, errors.New("serve: nil graph")
 	}
-	return s.solve(ctx, HashDigraph(g), g, spec)
+	return s.solve(ctx, HashDigraph(g), g, g.Features(), spec)
 }
 
-// fallbackEpsilon is the stretch budget a ladder rung assumes when the
-// original (exact) spec carried none.
-const fallbackEpsilon = 0.5
-
-// solve validates the spec and runs it — directly, or through the
-// degradation ladder when the spec opts in.
-func (s *Service) solve(ctx context.Context, id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
+// solve validates the spec, resolves strategy=auto through the planner,
+// and runs the resolved spec — directly, or through the degradation
+// ladder when the spec opts in. A planned solve runs exactly the spec an
+// explicit caller would have sent (the planner chooses, it never alters
+// pipelines), so it shares cache entries and stays bit-identical; when it
+// executes to completion at the planned rung, the observed rounds and wall
+// are folded into the planner's prediction-error accounting.
+func (s *Service) solve(ctx context.Context, id string, g *graph.Digraph, feats graph.Features, spec SolveSpec) (*SolveResult, error) {
+	if spec.Strategy == 0 {
+		spec.Strategy = s.cfg.DefaultStrategy
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if res, ok := s.overloadDegrade(ctx, id, g, spec); ok {
+	var plan *PlanDecision
+	if spec.strategy() == core.StrategyAuto {
+		resolved, decision, err := s.planSolve(ctx, feats, spec)
+		if err != nil {
+			return nil, err
+		}
+		spec, plan = resolved, decision
+		s.stats.plannerDecision(plan.Strategy)
+	}
+	start := time.Now()
+	res, err := s.solveResolved(ctx, id, g, feats, spec)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		res.Plan = plan
+		if !res.Cached && !res.Degraded {
+			s.stats.plannerObserved(plan.PredictedRounds, plan.PredictedWallNs, res.Res.Rounds, time.Since(start))
+		}
+	}
+	return res, nil
+}
+
+// solveResolved runs a validated, concrete (never auto) spec.
+func (s *Service) solveResolved(ctx context.Context, id string, g *graph.Digraph, feats graph.Features, spec SolveSpec) (*SolveResult, error) {
+	if res, ok := s.overloadDegrade(ctx, id, g, feats, spec); ok {
 		return res, nil
 	}
 	if !spec.Degrade {
-		return s.solveAllowed(ctx, id, g, spec)
+		return s.solveAllowed(ctx, id, g, feats, spec)
 	}
-	rungs := s.ladderRungs(spec, g)
+	rungs := s.ladderRungs(spec, feats)
 	primary := spec.strategy().String()
 	var reason string
 	spent := 0
@@ -476,7 +555,7 @@ func (s *Service) solve(ctx context.Context, id string, g *graph.Digraph, spec S
 		// are spent for the whole request, not per network.
 		rs.Faults = threadBudget(spec.Faults, spent)
 		rctx, cancel := rungContext(ctx, i, len(rungs))
-		res, err := s.solveAllowed(rctx, id, g, rs)
+		res, err := s.solveAllowed(rctx, id, g, feats, rs)
 		cancel()
 		if err == nil {
 			if i > 0 {
@@ -511,7 +590,7 @@ func (s *Service) solve(ctx context.Context, id string, g *graph.Digraph, spec S
 // collapse into a fidelity dip. A cached answer at the requested fidelity is
 // free and never degraded, and a rung failure falls through to the normal
 // path so the regular ladder/breaker machinery reports it.
-func (s *Service) overloadDegrade(ctx context.Context, id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, bool) {
+func (s *Service) overloadDegrade(ctx context.Context, id string, g *graph.Digraph, feats graph.Features, spec SolveSpec) (*SolveResult, bool) {
 	if !spec.Degrade && !s.cfg.OverloadDegrade {
 		return nil, false
 	}
@@ -521,12 +600,18 @@ func (s *Service) overloadDegrade(ctx context.Context, id string, g *graph.Digra
 	if _, ok := s.cache.get(spec.key(id)); ok {
 		return nil, false
 	}
-	rungs := s.ladderRungs(spec, g)
-	cheapest := rungs[len(rungs)-1]
-	if cheapest.strategy() == spec.strategy() {
+	fallbacks := s.plannerFallbacks(spec, feats)
+	if len(fallbacks) == 0 {
 		return nil, false // no cheaper rung is viable for this graph's weights
 	}
-	res, err := s.solveAllowed(ctx, id, g, cheapest)
+	cheapest := fallbacks[0]
+	cheapestWall := s.estimateFor(cheapest.strategy().String(), feats, cheapest.Epsilon)
+	for _, fb := range fallbacks[1:] {
+		if w := s.estimateFor(fb.strategy().String(), feats, fb.Epsilon); w < cheapestWall {
+			cheapest, cheapestWall = fb, w
+		}
+	}
+	res, err := s.solveAllowed(ctx, id, g, feats, cheapest)
 	if err != nil {
 		return nil, false
 	}
@@ -538,38 +623,14 @@ func (s *Service) overloadDegrade(ctx context.Context, id string, g *graph.Digra
 	return res, true
 }
 
-// ladderRungs returns the degradation ladder for spec over g: the spec
-// itself, then every viable fallback rung in order of decreasing fidelity
-// (approx-quantum guarantees 1+ε but needs nonnegative weights;
-// approx-skeleton guarantees 2+ε and additionally needs weight symmetry).
-func (s *Service) ladderRungs(spec SolveSpec, g *graph.Digraph) []SolveSpec {
-	rungs := []SolveSpec{spec}
-	eps := spec.Epsilon
-	if !approx.ValidEpsilon(eps) {
-		eps = fallbackEpsilon
-	}
-	add := func(st core.Strategy) {
-		f := spec
-		f.Strategy = st
-		f.Epsilon = eps
-		rungs = append(rungs, f)
-	}
-	switch spec.strategy() {
-	case core.StrategyApproxSkeleton:
-		// Already the bottom rung.
-	case core.StrategyApproxQuantum:
-		if !g.HasNegativeArc() && g.IsSymmetric() {
-			add(core.StrategyApproxSkeleton)
-		}
-	default: // exact strategies
-		if !g.HasNegativeArc() {
-			add(core.StrategyApproxQuantum)
-			if g.IsSymmetric() {
-				add(core.StrategyApproxSkeleton)
-			}
-		}
-	}
-	return rungs
+// ladderRungs returns the degradation ladder for spec over a graph with
+// profile feats: the spec itself, then the planner's viable fallback rungs
+// in order of decreasing fidelity — every registered strategy with a
+// strictly weaker stretch guarantee whose capabilities accept the graph
+// (see plannerFallbacks). No rung list is hard-coded: registering a new
+// strategy with the right capabilities grows the ladder automatically.
+func (s *Service) ladderRungs(spec SolveSpec, feats graph.Features) []SolveSpec {
+	return append([]SolveSpec{spec}, s.plannerFallbacks(spec, feats)...)
 }
 
 // threadBudget returns the fault plan a later ladder rung runs under after
@@ -627,13 +688,13 @@ func degradeReason(err error, parent context.Context) (string, bool) {
 // solveAllowed gates one rung through the strategy's circuit breaker and
 // feeds the breaker the outcome: fault-retry exhaustion counts against the
 // threshold, any completed solve closes the circuit.
-func (s *Service) solveAllowed(ctx context.Context, id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
+func (s *Service) solveAllowed(ctx context.Context, id string, g *graph.Digraph, feats graph.Features, spec SolveSpec) (*SolveResult, error) {
 	name := spec.strategy().String()
 	if remaining, ok := s.breaker.allow(name); !ok {
 		s.stats.breakerSkip(name)
 		return nil, &BreakerOpenError{Strategy: name, RetryAfter: remaining}
 	}
-	res, err := s.solveOne(ctx, id, g, spec)
+	res, err := s.solveOne(ctx, id, g, feats, spec)
 	var fe *congest.FaultError
 	switch {
 	case errors.As(err, &fe):
@@ -644,7 +705,7 @@ func (s *Service) solveAllowed(ctx context.Context, id string, g *graph.Digraph,
 	return res, err
 }
 
-func (s *Service) solveOne(ctx context.Context, id string, g *graph.Digraph, spec SolveSpec) (*SolveResult, error) {
+func (s *Service) solveOne(ctx context.Context, id string, g *graph.Digraph, feats graph.Features, spec SolveSpec) (*SolveResult, error) {
 	name := spec.strategy().String()
 	s.stats.request(name)
 	key := spec.key(id)
@@ -678,7 +739,7 @@ func (s *Service) solveOne(ctx context.Context, id string, g *graph.Digraph, spe
 			// singleflight followers never queue, and a burst of identical
 			// requests costs one slot, not one per caller. A request whose
 			// own context dies while queued is a cancellation, not a shed.
-			release, aerr := s.admit.acquire(ctx, s.stats.estimate(name))
+			release, aerr := s.admit.acquire(ctx, s.estimateFor(name, feats, spec.Epsilon))
 			if aerr != nil {
 				if ctx.Err() != nil && errors.Is(aerr, ctx.Err()) {
 					s.stats.cancelled(name)
@@ -834,6 +895,9 @@ func (s *Service) PathsBatchContext(ctx context.Context, id string, spec SolveSp
 	if spec.strategy().IsApproximate() {
 		return nil, nil, ErrApproxPaths
 	}
+	// Path reconstruction needs exact distances: confine a strategy=auto
+	// plan to the exact catalog rather than rejecting it.
+	spec.exactPlanning = true
 	res, err := s.SolveContext(ctx, id, spec)
 	if err != nil {
 		return nil, nil, err
@@ -852,6 +916,7 @@ func (s *Service) PathsBatchGraphContext(ctx context.Context, g *graph.Digraph, 
 	if spec.strategy().IsApproximate() {
 		return nil, nil, ErrApproxPaths
 	}
+	spec.exactPlanning = true
 	res, err := s.SolveGraphContext(ctx, g, spec)
 	if err != nil {
 		return nil, nil, err

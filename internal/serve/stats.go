@@ -116,6 +116,33 @@ type AdmissionStats struct {
 	PanicsRecovered int64 `json:"panics_recovered"`
 }
 
+// PlannerStats is the strategy planner's accounting: how often it decided,
+// what it chose, and — for decisions whose planned solve actually executed
+// — the cumulative prediction error, predicted vs observed, on both the
+// rounds and wall axes. A planner whose error keeps growing relative to its
+// observed totals is mispredicting ("Mind the Õ": the point of recording
+// the error is to notice).
+type PlannerStats struct {
+	// Decisions counts strategy=auto requests the planner resolved.
+	Decisions int64 `json:"decisions"`
+	// Chosen maps strategy name to how often the planner picked it.
+	Chosen map[string]int64 `json:"chosen,omitempty"`
+	// ObservedSolves counts decisions whose planned solve ran to completion
+	// (cache hits and degraded answers yield no observation).
+	ObservedSolves int64 `json:"observed_solves"`
+	// PredictedRounds/ObservedRounds/RoundsErrorAbs accumulate, over
+	// observed solves, the predicted round counts, the observed ones, and
+	// the absolute prediction error |predicted − observed|.
+	PredictedRounds int64 `json:"predicted_rounds"`
+	ObservedRounds  int64 `json:"observed_rounds"`
+	RoundsErrorAbs  int64 `json:"rounds_error_abs"`
+	// PredictedWallNs/ObservedWallNs/WallErrorNsAbs are the same accounting
+	// on the wall-clock axis.
+	PredictedWallNs int64 `json:"predicted_wall_ns"`
+	ObservedWallNs  int64 `json:"observed_wall_ns"`
+	WallErrorNsAbs  int64 `json:"wall_error_ns_abs"`
+}
+
 // Stats is a point-in-time snapshot of a Service's accounting.
 type Stats struct {
 	// Graphs is the number of graphs in the store.
@@ -131,6 +158,9 @@ type Stats struct {
 	Strategies map[string]StrategyStats `json:"strategies"`
 	// Transports maps delivery-backend name to its execution rollup.
 	Transports map[string]TransportUsage `json:"transports,omitempty"`
+	// Planner is the strategy planner's decision and prediction-error
+	// accounting (nil until the first strategy=auto request).
+	Planner *PlannerStats `json:"planner,omitempty"`
 }
 
 type statsCollector struct {
@@ -138,6 +168,7 @@ type statsCollector struct {
 	pathQueries      int64
 	overloadDegrades int64
 	panics           int64
+	planner          PlannerStats
 	byStrategy       map[string]*StrategyStats
 	byTransport      map[string]*TransportUsage
 }
@@ -224,6 +255,65 @@ func (s *statsCollector) estimate(name string) time.Duration {
 		return 0
 	}
 	return time.Duration(st.SolveWallNs / st.Solves)
+}
+
+// liveNsPerRound returns the strategy's observed wall-per-round ratio —
+// the host-speed correction the planner applies to its size-aware round
+// priors — or ok=false before the first completed execution.
+func (s *statsCollector) liveNsPerRound(name string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.byStrategy[name]
+	if !ok || st.Solves == 0 || st.RoundsCharged <= 0 {
+		return 0, false
+	}
+	return float64(st.SolveWallNs) / float64(st.RoundsCharged), true
+}
+
+// meanCost returns the strategy's executed-solve count and mean
+// wall/rounds per execution (all zero before the first one) — the live
+// half of the strategy catalog.
+func (s *statsCollector) meanCost(name string) (solves, meanWallNs, meanRounds int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.byStrategy[name]
+	if !ok || st.Solves == 0 {
+		return 0, 0, 0
+	}
+	return st.Solves, st.SolveWallNs / st.Solves, st.RoundsCharged / st.Solves
+}
+
+// plannerDecision records one resolved strategy=auto request.
+func (s *statsCollector) plannerDecision(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.planner.Decisions++
+	if s.planner.Chosen == nil {
+		s.planner.Chosen = make(map[string]int64)
+	}
+	s.planner.Chosen[name]++
+}
+
+// plannerObserved folds one completed planned solve into the prediction-
+// error accounting: predicted vs observed rounds and wall.
+func (s *statsCollector) plannerObserved(predictedRounds, predictedWallNs, rounds int64, wall time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &s.planner
+	p.ObservedSolves++
+	p.PredictedRounds += predictedRounds
+	p.ObservedRounds += rounds
+	p.RoundsErrorAbs += abs64(predictedRounds - rounds)
+	p.PredictedWallNs += predictedWallNs
+	p.ObservedWallNs += wall.Nanoseconds()
+	p.WallErrorNsAbs += abs64(predictedWallNs - wall.Nanoseconds())
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // addFaults rolls a solve's injected-fault and retry telemetry into the
@@ -351,6 +441,16 @@ func (s *statsCollector) snapshot(graphs, cached int) Stats {
 		for name, u := range s.byTransport {
 			out.Transports[name] = *u
 		}
+	}
+	if s.planner.Decisions > 0 {
+		p := s.planner
+		// Deep-copy the chosen map: the snapshot must not alias the
+		// collector's mutable state.
+		p.Chosen = make(map[string]int64, len(s.planner.Chosen))
+		for k, v := range s.planner.Chosen {
+			p.Chosen[k] = v
+		}
+		out.Planner = &p
 	}
 	return out
 }

@@ -11,39 +11,49 @@ import (
 // store.
 var ErrUnknownGraph = errors.New("serve: unknown graph")
 
+// storedGraph is one stored graph plus its structural profile, computed
+// once at insertion — the store is content-addressed, so the profile can
+// never go stale.
+type storedGraph struct {
+	g     *graph.Digraph
+	feats graph.Features
+}
+
 // graphStore holds uploaded graphs by content hash, least-recently-used
 // capped so a long-running daemon cannot be grown without bound by unique
 // uploads. Graphs are cloned on the way in and handed out by reference —
 // stored graphs are never mutated.
 type graphStore struct {
-	m *lruMap[string, *graph.Digraph]
+	m *lruMap[string, *storedGraph]
 }
 
 func newGraphStore(max int) *graphStore {
 	if max <= 0 {
 		max = defaultMaxGraphs
 	}
-	return &graphStore{m: newLRUMap[string, *graph.Digraph](max)}
+	return &graphStore{m: newLRUMap[string, *storedGraph](max)}
 }
 
-// put stores a private clone of g and returns its content id. Re-uploading
-// an identical graph is idempotent (and refreshes its recency).
+// put stores a private clone of g (with its feature profile) and returns
+// its content id. Re-uploading an identical graph is idempotent (and
+// refreshes its recency).
 func (s *graphStore) put(g *graph.Digraph) string {
 	id := HashDigraph(g)
 	if _, ok := s.m.get(id); ok {
 		return id
 	}
-	s.m.add(id, g.Clone())
+	gc := g.Clone()
+	s.m.add(id, &storedGraph{g: gc, feats: gc.Features()})
 	return id
 }
 
-// get returns the stored graph for id.
-func (s *graphStore) get(id string) (*graph.Digraph, error) {
-	g, ok := s.m.get(id)
+// get returns the stored graph (and its profile) for id.
+func (s *graphStore) get(id string) (*storedGraph, error) {
+	sg, ok := s.m.get(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
 	}
-	return g, nil
+	return sg, nil
 }
 
 func (s *graphStore) len() int {

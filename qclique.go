@@ -77,6 +77,13 @@ const (
 	// hubs. Requires a weight-symmetric nonnegative graph and
 	// WithEpsilon(ε > 0).
 	ApproxSkeleton
+	// StrategyAuto asks the serving layer's planner to choose: the solve is
+	// routed to the best registered strategy viable for the graph's
+	// structural profile (negative arcs, asymmetry) and the request's
+	// stretch budget and deadline. Requires a Solver (or the daemon) — the
+	// planner consumes serving-layer telemetry, so the plain SolveAPSP
+	// entry points reject it. See WithPlanner.
+	StrategyAuto
 )
 
 func (s Strategy) String() string {
@@ -93,6 +100,8 @@ func (s Strategy) String() string {
 		return "approx-quantum"
 	case ApproxSkeleton:
 		return "approx-skeleton"
+	case StrategyAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -110,6 +119,8 @@ func (s Strategy) toCore() core.Strategy {
 		return core.StrategyApproxQuantum
 	case ApproxSkeleton:
 		return core.StrategyApproxSkeleton
+	case StrategyAuto:
+		return core.StrategyAuto
 	default:
 		return core.StrategyQuantum
 	}
@@ -127,6 +138,8 @@ func fromCore(s core.Strategy) Strategy {
 		return ApproxQuantum
 	case core.StrategyApproxSkeleton:
 		return ApproxSkeleton
+	case core.StrategyAuto:
+		return StrategyAuto
 	default:
 		return Quantum
 	}
@@ -201,20 +214,30 @@ func ParseStrategy(name string) (Strategy, error) {
 	return fromCore(s), nil
 }
 
-// FormatStrategyList renders the registry as the human-readable listing
-// the CLI tools print for "-strategy list": one line per registered
-// pipeline with its stretch guarantee. Kept here so every tool shows the
-// same list without hand-maintaining copies.
+// FormatStrategyList renders the strategy catalog as the human-readable
+// listing the CLI tools print for "-strategy list": one line per
+// registered pipeline with its stretch guarantee and input requirements.
+// It renders the same serve.CatalogEntries data GET /v1/strategies serves,
+// so every surface shows one list with no hand-maintained copies.
 func FormatStrategyList() string {
 	var b strings.Builder
 	b.WriteString("registered strategies:\n")
-	for _, si := range Strategies() {
-		guarantee := fmt.Sprintf("stretch %g (exact)", si.Guarantee(0))
-		if si.Approximate {
-			guarantee = fmt.Sprintf("stretch %g+ε (requires an epsilon)", si.Guarantee(0))
+	for _, ce := range serve.CatalogEntries() {
+		desc := "stretch exact"
+		if ce.Approximate {
+			var needs []string
+			if ce.RejectsNegative {
+				needs = append(needs, "nonnegative weights")
+			}
+			if ce.NeedsSymmetric {
+				needs = append(needs, "symmetric weights")
+			}
+			needs = append(needs, fmt.Sprintf("epsilon in [%g, %g]", ce.MinEpsilon, ce.MaxEpsilon))
+			desc = fmt.Sprintf("stretch %s (requires %s)", ce.Guarantee, strings.Join(needs, ", "))
 		}
-		fmt.Fprintf(&b, "  %-18s %s\n", si.Name, guarantee)
+		fmt.Fprintf(&b, "  %-18s %s\n", ce.Name, desc)
 	}
+	b.WriteString("  auto               planner picks the best viable strategy per request\n")
 	return b.String()
 }
 
@@ -313,6 +336,18 @@ func WithOptions(o Options) Option {
 // WithStrategy selects the pipeline strategy.
 func WithStrategy(s Strategy) Option {
 	return func(o *Options) { o.Strategy = s }
+}
+
+// WithPlanner delegates strategy choice to the serving layer's planner
+// (equivalent to WithStrategy(StrategyAuto)): each solve is routed to the
+// best registered strategy viable for the graph's structural profile and
+// the request's stretch budget and deadline, and the result reports which
+// strategy ran. Requires a Solver — the planner blends static cost priors
+// with the Solver's live telemetry, so the plain SolveAPSP entry points
+// reject it. A planned solve is bit-identical to explicitly requesting
+// the chosen strategy (it shares the same cache entries).
+func WithPlanner() Option {
+	return func(o *Options) { o.Strategy = StrategyAuto }
 }
 
 // WithSeed fixes the protocol randomness; runs with equal seeds are
@@ -527,6 +562,15 @@ type APSPResult struct {
 	Degraded      bool
 	DegradedFrom  Strategy
 	DegradeReason string
+	// Planned marks a result whose strategy the planner chose
+	// (StrategyAuto / WithPlanner): Strategy reports the pipeline that
+	// actually ran, PlannerReason why the planner picked it, and
+	// PredictedRounds/PredictedWallNs its cost prediction at decision time
+	// (compare with Rounds and the measured wall to judge the planner).
+	Planned         bool
+	PlannerReason   string
+	PredictedRounds int64
+	PredictedWallNs int64
 	// Faults is the injected-fault accounting of the solve (all zeros
 	// without WithFaultPlan).
 	Faults FaultCounters
@@ -606,6 +650,11 @@ func SolveAPSPContext(ctx context.Context, g *Digraph, opts ...Option) (*APSPRes
 		// The degradation ladder lives in the serving layer; rejecting here
 		// beats silently ignoring a resilience request.
 		return nil, errors.New("qclique: WithDegradation requires a Solver")
+	}
+	if o.Strategy == StrategyAuto {
+		// So does the strategy planner (it blends live Solver telemetry into
+		// its cost model); rejecting beats silently running quantum.
+		return nil, errors.New("qclique: WithPlanner/StrategyAuto requires a Solver")
 	}
 	if err := o.Validate(); err != nil {
 		return nil, err

@@ -102,6 +102,16 @@ func resultFromServe(sr *serve.SolveResult, strategy Strategy) *APSPResult {
 		res.DegradedFrom = fromCore(sr.DegradedFrom)
 		res.DegradeReason = sr.DegradeReason
 	}
+	if sr.Plan != nil {
+		// The planner resolved StrategyAuto: report the pipeline that ran
+		// (under degradation, the rung — DegradedFrom already names the
+		// planned strategy) and the decision's prediction.
+		res.Planned = true
+		res.Strategy = fromCore(sr.Res.Strategy)
+		res.PlannerReason = sr.Plan.Reason
+		res.PredictedRounds = sr.Plan.PredictedRounds
+		res.PredictedWallNs = sr.Plan.PredictedWallNs
+	}
 	return res
 }
 
@@ -171,7 +181,9 @@ func (s *Solver) ShortestPath(g *Digraph, src, dst int, opts ...Option) ([]int, 
 	if o.Strategy.toCore().IsApproximate() {
 		return nil, 0, ErrApproxPaths
 	}
-	sr, err := s.svc.SolveGraph(g.g, o.spec())
+	// Path reconstruction needs exact tight-successor structure: confine a
+	// planned (StrategyAuto) solve to the exact catalog.
+	sr, err := s.svc.SolveGraph(g.g, o.spec().ExactPlanning())
 	if err != nil {
 		return nil, 0, mapServeErr(err)
 	}
@@ -292,6 +304,32 @@ type AdmissionStats struct {
 	PanicsRecovered  int64
 }
 
+// PlannerStats is the Solver's strategy-planner accounting: how many
+// StrategyAuto requests were planned, which strategies the planner chose,
+// and the cumulative prediction error of its cost model against the
+// observed executions (cached and degraded planned solves never run the
+// predicted pipeline, so they count decisions but not observations).
+type PlannerStats struct {
+	// Decisions counts planned (StrategyAuto) solve requests; Chosen maps
+	// strategy name to how often the planner picked it.
+	Decisions int64
+	Chosen    map[string]int64
+	// ObservedSolves counts planned solves that executed the planned
+	// pipeline to completion — the denominator of the error sums below.
+	ObservedSolves int64
+	// PredictedRounds/ObservedRounds/RoundsErrorAbs accumulate the
+	// planner's round predictions, the rounds actually charged, and the
+	// absolute per-decision error.
+	PredictedRounds int64
+	ObservedRounds  int64
+	RoundsErrorAbs  int64
+	// PredictedWallNs/ObservedWallNs/WallErrorNsAbs do the same for
+	// wall-clock time.
+	PredictedWallNs int64
+	ObservedWallNs  int64
+	WallErrorNsAbs  int64
+}
+
 // SolverStats is a point-in-time snapshot of a Solver's accounting.
 type SolverStats struct {
 	// CachedResults is the number of solve results currently retained.
@@ -300,6 +338,9 @@ type SolverStats struct {
 	PathQueries int64
 	// Admission is the overload-resilience accounting.
 	Admission AdmissionStats
+	// Planner is the strategy-planner accounting; nil until the first
+	// StrategyAuto decision.
+	Planner *PlannerStats
 	// Strategies maps strategy name (e.g. "quantum") to its accounting.
 	Strategies map[string]StrategyStats
 }
@@ -325,6 +366,23 @@ func (s *Solver) Stats() SolverStats {
 			PanicsRecovered:  st.Admission.PanicsRecovered,
 		},
 		Strategies: make(map[string]StrategyStats, len(st.Strategies)),
+	}
+	if st.Planner != nil {
+		p := &PlannerStats{
+			Decisions:       st.Planner.Decisions,
+			Chosen:          make(map[string]int64, len(st.Planner.Chosen)),
+			ObservedSolves:  st.Planner.ObservedSolves,
+			PredictedRounds: st.Planner.PredictedRounds,
+			ObservedRounds:  st.Planner.ObservedRounds,
+			RoundsErrorAbs:  st.Planner.RoundsErrorAbs,
+			PredictedWallNs: st.Planner.PredictedWallNs,
+			ObservedWallNs:  st.Planner.ObservedWallNs,
+			WallErrorNsAbs:  st.Planner.WallErrorNsAbs,
+		}
+		for k, v := range st.Planner.Chosen {
+			p.Chosen[k] = v
+		}
+		out.Planner = p
 	}
 	for name, v := range st.Strategies {
 		ss := StrategyStats{
