@@ -45,7 +45,9 @@
 // unchanged graph performs zero simulator rounds. -selftest starts the
 // daemon on an ephemeral port, drives the full client flow against it and
 // cross-checks every answer with an in-process qclique.SolveAPSP — the CI
-// smoke job runs exactly that.
+// smoke job runs exactly that. -pprof-addr (off by default) serves the
+// net/http/pprof diagnostics on a separate listener, kept away from the
+// API surface.
 package main
 
 import (
@@ -59,6 +61,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -83,6 +86,7 @@ func main() {
 	strategy := flag.String("strategy", "auto", `default strategy for requests that name none ("auto" = planner-chosen; any registered name or alias)`)
 	selftestFlag := flag.Bool("selftest", false, "run the end-to-end smoke against an ephemeral daemon and exit")
 	soakFlag := flag.Duration("soak", 0, "hammer an ephemeral daemon with mixed concurrent clients for this long, then SIGTERM-drain it, and exit")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof diagnostics on this separate listen address (empty = disabled)")
 	flag.Parse()
 
 	defaultStrategy, err := serve.ParseStrategy(*strategy)
@@ -117,6 +121,22 @@ func main() {
 	}
 
 	svc := serve.New(cfg)
+	if *pprofAddr != "" {
+		// Diagnostics stay off the API listener: the profiling surface is
+		// opt-in, binds its own (typically loopback-only) address, and is
+		// not part of the graceful drain — it dies with the process.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("apspd pprof listening on %s", pln.Addr())
+		go func() {
+			psrv := &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("apspd pprof listener failed: %v", err)
+			}
+		}()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -316,6 +336,20 @@ func soak(cfg serve.Config, dur, drainTimeout time.Duration) error {
 	return nil
 }
 
+// pprofMux returns the net/http/pprof surface on a dedicated mux, so the
+// profiling handlers never leak onto the API listener (importing the
+// package registers them on http.DefaultServeMux, which apspd never
+// serves).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	return mux
+}
+
 // selftest boots a real daemon on an ephemeral port and exercises every
 // endpoint, comparing against the library entry points.
 func selftest(cfg serve.Config) error {
@@ -327,6 +361,26 @@ func selftest(cfg serve.Config) error {
 	go func() { _ = srv.Serve(ln) }()
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
+
+	// Probe the -pprof-addr diagnostic surface the same way the daemon
+	// serves it: dedicated mux on its own ephemeral listener, and the
+	// index endpoint must answer 200.
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	psrv := &http.Server{Handler: pprofMux()}
+	go func() { _ = psrv.Serve(pln) }()
+	defer psrv.Close()
+	presp, err := (&http.Client{Timeout: 10 * time.Second}).Get("http://" + pln.Addr().String() + "/debug/pprof/cmdline")
+	if err != nil {
+		return fmt.Errorf("pprof probe: %w", err)
+	}
+	_, _ = io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pprof probe: status %d, want 200", presp.StatusCode)
+	}
 
 	// Reference: solve the same graph in-process.
 	const n = 10

@@ -67,14 +67,20 @@ const roundsSeed = 0
 // existing baselines stay byte-comparable, but the invariant that stage
 // rounds sum exactly to rounds/op is enforced on every run regardless.
 type Result struct {
-	Name         string       `json:"name"`
-	Iterations   int          `json:"iterations"`
-	NsPerOp      float64      `json:"ns_per_op"`
-	RoundsPerOp  float64      `json:"rounds_per_op,omitempty"`
-	StretchPerOp float64      `json:"stretch_per_op,omitempty"`
-	BytesPerOp   int64        `json:"bytes_per_op"`
-	AllocsPerOp  int64        `json:"allocs_per_op"`
-	Stages       []StageRound `json:"stages,omitempty"`
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	RoundsPerOp  float64 `json:"rounds_per_op,omitempty"`
+	StretchPerOp float64 `json:"stretch_per_op,omitempty"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	// Gomaxprocs is the effective GOMAXPROCS the entry was measured under
+	// (omitted in baselines predating the column; -check falls back to
+	// the report-level value). ns/op comparisons across differing values
+	// are wall-clock apples-to-oranges, so -check downgrades them to
+	// warnings.
+	Gomaxprocs int          `json:"gomaxprocs,omitempty"`
+	Stages     []StageRound `json:"stages,omitempty"`
 }
 
 // StageRound is one stage's deterministic round charge at the pinned seed.
@@ -393,6 +399,7 @@ func measure(cfg benchConfig, withStages bool) (Result, error) {
 		StretchPerOp: pinned.stretch,
 		BytesPerOp:   r.AllocedBytesPerOp(),
 		AllocsPerOp:  r.AllocsPerOp(),
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
 	}
 	if withStages {
 		for _, sg := range pinned.stages {
@@ -477,6 +484,16 @@ func buildReport(label string, quick, withStages bool) (*Report, error) {
 // and baseline entries missing from the current run are a failure unless
 // partial (quick mode). It returns the failures and a human log of every
 // comparison.
+// entryGomaxprocs resolves the effective GOMAXPROCS one entry was measured
+// under: the per-entry column when present, the report header otherwise
+// (baselines predating the column).
+func entryGomaxprocs(r Result, rep *Report) int {
+	if r.Gomaxprocs > 0 {
+		return r.Gomaxprocs
+	}
+	return rep.GOMAXPROCS
+}
+
 func compareReports(baseline, current *Report, maxSlowdown, maxAllocGrowth float64, partial bool) (failures, log []string) {
 	base := make(map[string]Result, len(baseline.Benchmarks))
 	for _, r := range baseline.Benchmarks {
@@ -504,10 +521,22 @@ func compareReports(baseline, current *Report, maxSlowdown, maxAllocGrowth float
 		}
 		ratio := cur.NsPerOp / b.NsPerOp
 		if ratio > maxSlowdown {
-			failures = append(failures, fmt.Sprintf(
-				"%s: ns/op %.0f is %.2fx the baseline %.0f (limit %.2fx)",
-				cur.Name, cur.NsPerOp, ratio, b.NsPerOp, maxSlowdown))
-			continue
+			// ns/op across different effective GOMAXPROCS is an
+			// apples-to-oranges wall-clock comparison (a 1-core baseline
+			// replayed on an 8-core host, or vice versa), so the slowdown
+			// gate degrades to a warning; rounds and allocs stay hard
+			// gates — they are host-independent.
+			bp, cp := entryGomaxprocs(b, baseline), entryGomaxprocs(cur, current)
+			if bp != cp {
+				log = append(log, fmt.Sprintf(
+					"%-28s WARNING ns/op %.2fx baseline, not gated: baseline GOMAXPROCS %d != current %d",
+					cur.Name, ratio, bp, cp))
+			} else {
+				failures = append(failures, fmt.Sprintf(
+					"%s: ns/op %.0f is %.2fx the baseline %.0f (limit %.2fx)",
+					cur.Name, cur.NsPerOp, ratio, b.NsPerOp, maxSlowdown))
+				continue
+			}
 		}
 		if b.AllocsPerOp > 0 {
 			allocRatio := float64(cur.AllocsPerOp) / float64(b.AllocsPerOp)

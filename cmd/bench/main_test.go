@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"qclique/internal/engine"
@@ -253,5 +254,46 @@ func TestReportMarshals(t *testing.T) {
 	}
 	if back.Benchmarks[0].RoundsPerOp != 2 {
 		t.Fatalf("round-trip lost data: %+v", back)
+	}
+}
+
+func TestCompareReportsWarnsNotFailsOnSlowdownAcrossGomaxprocs(t *testing.T) {
+	// A slowdown beyond the limit is only a warning when the two entries
+	// were measured under different effective GOMAXPROCS — the wall-clock
+	// comparison is apples-to-oranges. Rounds stay a hard gate.
+	base := report(Result{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500, Gomaxprocs: 8})
+	cur := report(Result{Name: "E1/n=8", NsPerOp: 400, RoundsPerOp: 500, Gomaxprocs: 1})
+	failures, log := compareReports(base, cur, 2.5, 1.5, false)
+	if len(failures) != 0 {
+		t.Fatalf("cross-GOMAXPROCS slowdown must not fail, got %v", failures)
+	}
+	warned := false
+	for _, l := range log {
+		if strings.Contains(l, "WARNING") && strings.Contains(l, "GOMAXPROCS") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("expected a GOMAXPROCS warning in the log, got %v", log)
+	}
+
+	// Same GOMAXPROCS: the gate stays hard.
+	cur = report(Result{Name: "E1/n=8", NsPerOp: 400, RoundsPerOp: 500, Gomaxprocs: 8})
+	if failures, _ := compareReports(base, cur, 2.5, 1.5, false); len(failures) != 1 {
+		t.Fatalf("same-GOMAXPROCS slowdown must fail, got %v", failures)
+	}
+}
+
+func TestEntryGomaxprocsFallsBackToHeader(t *testing.T) {
+	// Baselines predating the per-entry column resolve through the report
+	// header, so a legacy 1-proc baseline still compares warn-free against
+	// a 1-proc host and warns against others.
+	legacy := &Report{Label: "old", GOMAXPROCS: 4, Benchmarks: []Result{{Name: "E1/n=8", NsPerOp: 100, RoundsPerOp: 500}}}
+	if got := entryGomaxprocs(legacy.Benchmarks[0], legacy); got != 4 {
+		t.Fatalf("legacy fallback = %d, want 4", got)
+	}
+	tagged := Result{Name: "E1/n=8", Gomaxprocs: 2}
+	if got := entryGomaxprocs(tagged, legacy); got != 2 {
+		t.Fatalf("per-entry value = %d, want 2", got)
 	}
 }

@@ -327,6 +327,18 @@ func (g *Undirected) Row(u int) []int64 {
 	return row
 }
 
+// RowView returns vertex u's weight row as a slice aliasing the graph's
+// backing storage (NoEdge for absent edges, including the diagonal). It is
+// the allocation-free companion of Row for internal hot paths — the
+// triangle-placement leg scans read whole rows per candidate pair — and
+// must not be mutated or retained across writes to the graph.
+func (g *Undirected) RowView(u int) []int64 {
+	if u < 0 || u >= g.n {
+		panic("graph: RowView index out of range")
+	}
+	return g.w[u*g.n : (u+1)*g.n : (u+1)*g.n]
+}
+
 // Clone returns a deep copy.
 func (g *Undirected) Clone() *Undirected {
 	w := make([]int64, len(g.w))

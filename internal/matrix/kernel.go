@@ -1,0 +1,207 @@
+package matrix
+
+import (
+	"sync"
+
+	"qclique/internal/graph"
+	"qclique/internal/par"
+)
+
+// Blocked min-plus kernels. The naive i-k-j product streams all of B from
+// memory once per output row (n³ words of B traffic); the kernels here tile
+// the k and j loops and process rows in blocks, so a tileK×tileJ panel of B
+// is loaded once and reused across every row of the block. Tiles are sized
+// so an int64 B panel (tileK·tileJ·8 B = 32 KB) fits a typical L1 data
+// cache, with the int32 panel at half that. Row blocks are also the unit of
+// parallel work: each block is claimed whole by one pool executor, so
+// output cache lines are written by a single worker (no false sharing).
+//
+// Reordering the k loop into tiles is exact, not approximate: min over
+// integers is associative and commutative, and each (i,k,j) term has the
+// same value in any order, so the blocked results are bit-identical to the
+// reference product for every tile size and worker count.
+const (
+	rowBlock = 32
+	tileK    = 32
+	tileJ    = 128
+)
+
+// inf32 is the +∞ sentinel of the compacted kernel. It is chosen far above
+// any value the selection test admits (see mulMinPlusSelect32), so sums
+// involving a compacted +∞ stay strictly above every genuine finite sum
+// and decompact back to graph.Inf.
+const inf32 = int32(1) << 30
+
+// i32Pool recycles the compacted scratch buffers so steady-state squaring
+// chains stay allocation-free (the bench allocs/op gate covers this).
+var i32Pool sync.Pool // *[]int32
+
+func getI32(n int) []int32 {
+	if p, _ := i32Pool.Get().(*[]int32); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int32, n)
+}
+
+func putI32(b []int32) { i32Pool.Put(&b) }
+
+// scanCompact reports the largest absolute finite entry of m and whether m
+// is eligible for the compacted kernel (no −∞ entries; −∞ propagation needs
+// the saturating int64 path).
+func scanCompact(m *Matrix) (maxAbs int64, ok bool) {
+	for _, v := range m.a {
+		if v >= graph.Inf {
+			continue
+		}
+		if v <= graph.NegInf {
+			return 0, false
+		}
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	return maxAbs, true
+}
+
+// mulMinPlusSelect32 decides whether A ⋆ B can run in the int32 kernel and
+// returns the finite-sum bound M = maxA+maxB used to decompact the result.
+// The requirement is inf32 > 2·maxA + maxB: every genuine sum lies in
+// [−M, M], every sum involving a compacted +∞ leg lies at or above
+// inf32 − maxA > M, and the largest possible sum maxA + inf32 < 2³¹ cannot
+// overflow int32 — so entries ≤ M decompact verbatim and entries > M are
+// provably +∞.
+func mulMinPlusSelect32(a, b *Matrix) (maxSum int64, ok bool) {
+	maxA, okA := scanCompact(a)
+	if !okA {
+		return 0, false
+	}
+	maxB, okB := maxA, true
+	if b != a {
+		maxB, okB = scanCompact(b)
+	}
+	if !okB || 2*maxA+maxB >= int64(inf32) {
+		return 0, false
+	}
+	return maxA + maxB, true
+}
+
+// compact writes src into dst with +∞ mapped to inf32. Callers guarantee
+// (via scanCompact) that every other entry fits int32.
+func compact(dst []int32, src []int64) {
+	for i, v := range src {
+		if v >= graph.Inf {
+			dst[i] = inf32
+		} else {
+			dst[i] = int32(v)
+		}
+	}
+}
+
+// mulMinPlusBlocked64 is the blocked kernel over the saturating int64
+// representation; it handles the full extended-integer semantics including
+// −∞ propagation.
+func mulMinPlusBlocked64(dst, a, b *Matrix, workers int) {
+	n := a.n
+	blocks := (n + rowBlock - 1) / rowBlock
+	par.For(workers, blocks, func(bi int) {
+		i0 := bi * rowBlock
+		i1 := min(i0+rowBlock, n)
+		for i := i0; i < i1; i++ {
+			rowC := dst.a[i*n : (i+1)*n]
+			for j := range rowC {
+				rowC[j] = graph.Inf
+			}
+		}
+		for k0 := 0; k0 < n; k0 += tileK {
+			k1 := min(k0+tileK, n)
+			for j0 := 0; j0 < n; j0 += tileJ {
+				j1 := min(j0+tileJ, n)
+				for i := i0; i < i1; i++ {
+					rowA := a.a[i*n+k0 : i*n+k1]
+					rowC := dst.a[i*n+j0 : i*n+j1]
+					for kk, aik := range rowA {
+						if aik >= graph.Inf {
+							continue
+						}
+						k := k0 + kk
+						rowB := b.a[k*n+j0 : k*n+j1]
+						for j, bkj := range rowB {
+							if s := graph.SaturatingAdd(aik, bkj); s < rowC[j] {
+								rowC[j] = s
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// mulMinPlusBlocked32 is the compacted kernel: inputs are narrowed to
+// int32, the inner loop is a plain add-and-min (no saturation branches,
+// half the memory traffic of the int64 kernel), and the result is widened
+// back with entries above maxSum restored to +∞.
+func mulMinPlusBlocked32(dst, a, b *Matrix, maxSum int64, workers int) {
+	n := a.n
+	a32 := getI32(n * n)
+	compact(a32, a.a)
+	b32 := a32
+	if b != a {
+		b32 = getI32(n * n)
+		compact(b32, b.a)
+	}
+	c32 := getI32(n * n)
+	m32 := int32(maxSum)
+	blocks := (n + rowBlock - 1) / rowBlock
+	par.For(workers, blocks, func(bi int) {
+		i0 := bi * rowBlock
+		i1 := min(i0+rowBlock, n)
+		for i := i0; i < i1; i++ {
+			rowC := c32[i*n : (i+1)*n]
+			for j := range rowC {
+				rowC[j] = inf32
+			}
+		}
+		for k0 := 0; k0 < n; k0 += tileK {
+			k1 := min(k0+tileK, n)
+			for j0 := 0; j0 < n; j0 += tileJ {
+				j1 := min(j0+tileJ, n)
+				for i := i0; i < i1; i++ {
+					rowA := a32[i*n+k0 : i*n+k1]
+					rowC := c32[i*n+j0 : i*n+j1]
+					for kk, aik := range rowA {
+						if aik == inf32 {
+							continue
+						}
+						k := k0 + kk
+						rowB := b32[k*n+j0 : k*n+j1]
+						for j, bkj := range rowB {
+							if s := aik + bkj; s < rowC[j] {
+								rowC[j] = s
+							}
+						}
+					}
+				}
+			}
+		}
+		for i := i0; i < i1; i++ {
+			rowC32 := c32[i*n : (i+1)*n]
+			rowC64 := dst.a[i*n : (i+1)*n]
+			for j, v := range rowC32 {
+				if v > m32 {
+					rowC64[j] = graph.Inf
+				} else {
+					rowC64[j] = int64(v)
+				}
+			}
+		}
+	})
+	putI32(c32)
+	if b != a {
+		putI32(b32)
+	}
+	putI32(a32)
+}

@@ -215,8 +215,14 @@ func DistanceProductPar(a, b *Matrix, workers int) (*Matrix, error) {
 // (every entry reset to +∞ before accumulation), so a workspace matrix can
 // be reused across repeated squaring iterations without clearing. dst must
 // not alias a or b (rows of dst are rewritten while rows of a and b are
-// still being read). The row loop runs on the bounded worker pool; the
-// result is bit-identical for every worker count.
+// still being read).
+//
+// Execution dispatches to one of the blocked kernels in kernel.go: the
+// compacted int32 kernel when every entry provably fits (no −∞ and the
+// finite-sum bound clears inf32 headroom — see mulMinPlusSelect32), the
+// saturating int64 kernel otherwise. Both are cache-tiled and run row
+// blocks on the bounded worker pool; the result is bit-identical between
+// the two kernels and for every worker count.
 func MulMinPlusInto(dst, a, b *Matrix, workers int) error {
 	if a.n != b.n {
 		return fmt.Errorf("matrix: dimension mismatch %d vs %d", a.n, b.n)
@@ -227,25 +233,12 @@ func MulMinPlusInto(dst, a, b *Matrix, workers int) error {
 	if dst == a || dst == b {
 		return fmt.Errorf("matrix: MulMinPlusInto destination aliases an input")
 	}
-	n := a.n
-	par.For(par.Workers(workers), n, func(i int) {
-		rowC := dst.a[i*n : (i+1)*n]
-		for j := range rowC {
-			rowC[j] = graph.Inf
-		}
-		for k := 0; k < n; k++ {
-			aik := a.a[i*n+k]
-			if aik >= graph.Inf {
-				continue
-			}
-			rowB := b.a[k*n : (k+1)*n]
-			for j := 0; j < n; j++ {
-				if s := graph.SaturatingAdd(aik, rowB[j]); s < rowC[j] {
-					rowC[j] = s
-				}
-			}
-		}
-	})
+	w := par.Workers(workers)
+	if maxSum, ok := mulMinPlusSelect32(a, b); ok {
+		mulMinPlusBlocked32(dst, a, b, maxSum, w)
+	} else {
+		mulMinPlusBlocked64(dst, a, b, w)
+	}
 	return nil
 }
 

@@ -7,6 +7,14 @@
 // once, callers write results into per-index slots, and all protocol
 // randomness is drawn from pre-derived per-index xrand streams, so the
 // merged outcome is independent of scheduling.
+//
+// Execution uses a persistent, lazily-started pool: worker goroutines are
+// spawned on first parallel dispatch, park on their own channel between
+// jobs, and are reused through a free list, so steady-state dispatch costs
+// one channel send per helper instead of a goroutine spawn. Work is claimed
+// as contiguous index chunks via a single atomic per chunk (not per index),
+// which keeps cache lines local to one executor and gives each executor a
+// stable identifier for scratch affinity.
 package par
 
 import (
@@ -36,7 +44,80 @@ func Grow[T any](buf []T, n int) []T {
 	return buf[:n]
 }
 
-// For runs fn(i) for every i in [0, n), using at most workers goroutines.
+// chunksPerWorker oversubscribes the chunk count relative to the executor
+// count so uneven per-index costs still balance, while keeping the number
+// of atomic claims far below one-per-index.
+const chunksPerWorker = 4
+
+// job is one executor's share of a ForEachWorker dispatch. All executors
+// of a dispatch share the chunk counter; each carries its own worker id.
+type job struct {
+	fn        func(worker, i int)
+	next      *atomic.Int64
+	chunkSize int
+	n         int
+	worker    int
+	wg        *sync.WaitGroup
+}
+
+// poolWorker is a parked goroutine with a private job channel. Workers are
+// created lazily, never exit, and return themselves to the free list after
+// each job.
+type poolWorker struct {
+	jobs chan job
+}
+
+var pool struct {
+	mu   sync.Mutex
+	free []*poolWorker
+}
+
+func getWorker() *poolWorker {
+	pool.mu.Lock()
+	if k := len(pool.free); k > 0 {
+		w := pool.free[k-1]
+		pool.free[k-1] = nil
+		pool.free = pool.free[:k-1]
+		pool.mu.Unlock()
+		return w
+	}
+	pool.mu.Unlock()
+	w := &poolWorker{jobs: make(chan job, 1)}
+	go w.loop()
+	return w
+}
+
+func (w *poolWorker) loop() {
+	for j := range w.jobs {
+		runChunks(j.fn, j.worker, j.next, j.chunkSize, j.n)
+		j.wg.Done()
+		pool.mu.Lock()
+		pool.free = append(pool.free, w)
+		pool.mu.Unlock()
+	}
+}
+
+// runChunks claims contiguous [lo, hi) index ranges until the shared
+// counter is exhausted. Indices within a chunk run in order; which executor
+// runs which chunk is scheduling-dependent, which is fine because callers
+// write results into per-index slots only.
+func runChunks(fn func(worker, i int), worker int, next *atomic.Int64, chunkSize, n int) {
+	for {
+		lo := int(next.Add(1)-1) * chunkSize
+		if lo >= n {
+			return
+		}
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			fn(worker, i)
+		}
+	}
+}
+
+// For runs fn(i) for every i in [0, n), using at most workers executors.
 // With workers <= 1 (or n <= 1) it runs inline on the calling goroutine —
 // the serial fast path costs no synchronization, so GOMAXPROCS=1 hosts pay
 // nothing for the parallel plumbing. fn must not depend on execution order
@@ -45,11 +126,12 @@ func For(workers, n int, fn func(i int)) {
 	ForEachWorker(workers, n, func(_, i int) { fn(i) })
 }
 
-// ForEachWorker runs fn(worker, i) like For but also identifies the worker
-// slot executing each index, so callers can reuse per-worker scratch
-// buffers (amplitude vectors, row accumulators) without locking. Worker
-// identifiers are in [0, workers) after resolution; the inline fast path
-// always reports worker 0.
+// ForEachWorker runs fn(worker, i) like For but also identifies the
+// executor slot running each index, so callers can reuse per-worker scratch
+// buffers (amplitude vectors, row accumulators) without locking. Executor
+// identifiers are dense in [0, workers) after resolution; the calling
+// goroutine always acts as executor 0 (the inline fast path therefore
+// reports worker 0), and the remaining executors are pool goroutines.
 func ForEachWorker(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
@@ -66,20 +148,17 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 		}
 		return
 	}
+	chunkSize := n / (workers * chunksPerWorker)
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(worker, i)
-			}
-		}(w)
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		pw := getWorker()
+		pw.jobs <- job{fn: fn, next: &next, chunkSize: chunkSize, n: n, worker: w, wg: &wg}
 	}
+	runChunks(fn, 0, &next, chunkSize, n)
 	wg.Wait()
 }

@@ -79,3 +79,83 @@ func TestWorkersResolution(t *testing.T) {
 		t.Error("defaulted worker count must be at least 1")
 	}
 }
+
+func TestPooledMatchesSerialEveryWorkerCount(t *testing.T) {
+	// The scheduler contract: for any worker count the merged per-slot
+	// results are identical to a serial run. Exercised across sizes that
+	// hit the chunk-boundary edge cases (n < workers, n not a multiple of
+	// the chunk size, single chunk per executor).
+	for _, n := range []int{1, 2, 3, 5, 16, 17, 100, 1023} {
+		want := make([]int64, n)
+		ForEachWorker(1, n, func(w, i int) { want[i] = int64(i)*7 + 1 })
+		for workers := 2; workers <= 24; workers++ {
+			got := make([]int64, n)
+			ForEachWorker(workers, n, func(w, i int) { got[i] = int64(i)*7 + 1 })
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d slot %d: got %d want %d", n, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPoolReuseAcrossDispatches(t *testing.T) {
+	// Repeated dispatches must keep covering every index exactly once —
+	// this exercises free-list recycling of parked workers.
+	const n = 257
+	counts := make([]int32, n)
+	for round := 0; round < 50; round++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		ForEachWorker(6, n, func(w, i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("round %d: index %d executed %d times", round, i, c)
+			}
+		}
+	}
+}
+
+func TestWorkerIDsDenseAndScratchSafe(t *testing.T) {
+	// Executor ids must be dense in [0, W) so per-worker scratch arrays can
+	// be indexed directly; each id must never run concurrently with itself
+	// (exclusive scratch ownership). The unsynchronized per-worker counters
+	// below turn any violation into a -race report.
+	const n = 4096
+	const workers = 8
+	perWorker := make([]int, workers)
+	ForEachWorker(workers, n, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of [0,%d)", w, workers)
+		}
+		perWorker[w]++
+	})
+	total := 0
+	for _, c := range perWorker {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("executed %d indices, want %d", total, n)
+	}
+}
+
+func TestNestedDispatch(t *testing.T) {
+	// An fn body may itself fan out (e.g. a per-node phase that calls a
+	// parallel kernel). The pool must not deadlock or double-run indices.
+	const outer, inner = 4, 64
+	var counts [outer][inner]int32
+	ForEachWorker(3, outer, func(_, o int) {
+		ForEachWorker(3, inner, func(_, i int) {
+			atomic.AddInt32(&counts[o][i], 1)
+		})
+	})
+	for o := 0; o < outer; o++ {
+		for i := 0; i < inner; i++ {
+			if counts[o][i] != 1 {
+				t.Fatalf("outer %d inner %d executed %d times", o, i, counts[o][i])
+			}
+		}
+	}
+}

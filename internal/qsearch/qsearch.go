@@ -20,10 +20,12 @@
 package qsearch
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"unsafe"
 
 	"qclique/internal/congest"
 	"qclique/internal/par"
@@ -67,8 +69,8 @@ type Spec struct {
 	// its own pre-derived random stream, so results are identical for every
 	// worker count.
 	Workers int
-	// Scratch optionally supplies reusable search state (per-worker Grover
-	// amplitude buffers, probe merge slots, and the Result's Found/Witness
+	// Scratch optionally supplies reusable search state (per-worker probe
+	// streams, probe merge slots, and the Result's Found/Witness
 	// backing). When set, the returned Result aliases the scratch and is
 	// valid only until the scratch's next MultiSearch; when nil, internal
 	// buffers still come from a package pool but Found/Witness are freshly
@@ -87,7 +89,6 @@ type Scratch struct {
 	active   []int32
 	probeX   []int32
 	probeHit []bool
-	bufs     [][]float64
 	rngs     []*xrand.Source
 }
 
@@ -96,19 +97,10 @@ type Scratch struct {
 // those stay freshly allocated on this path).
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
-// workerState returns per-worker amplitude buffers of length space and
-// reseedable scratch sources, growing the retained slices as needed.
-func (s *Scratch) workerState(workers, space int) ([][]float64, []*xrand.Source) {
-	if cap(s.bufs) < workers {
-		s.bufs = append(s.bufs[:cap(s.bufs)], make([][]float64, workers-cap(s.bufs))...)
-	}
-	s.bufs = s.bufs[:workers]
-	for w := range s.bufs {
-		if cap(s.bufs[w]) < space {
-			s.bufs[w] = make([]float64, space)
-		}
-		s.bufs[w] = s.bufs[w][:space]
-	}
+// workerState returns one reseedable scratch source per worker (the probes'
+// only per-worker state since the two-amplitude Grover probe dropped the
+// state-vector buffers), growing the retained slice as needed.
+func (s *Scratch) workerState(workers int) []*xrand.Source {
 	if cap(s.rngs) < workers {
 		s.rngs = append(s.rngs[:cap(s.rngs)], make([]*xrand.Source, workers-cap(s.rngs))...)
 	}
@@ -118,7 +110,7 @@ func (s *Scratch) workerState(workers, space int) ([][]float64, []*xrand.Source)
 			s.rngs[w] = xrand.New(0)
 		}
 	}
-	return s.bufs, s.rngs
+	return s.rngs
 }
 
 // Result reports the outcome of a (multi-)search.
@@ -260,13 +252,20 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 	// Feasible instances are kept as a compact index list so the per-round
 	// scheduling work scales with the (typically small) feasible count,
 	// not the instance count.
+	// The feasibility test is "does the table contain a true". Scanning
+	// bool-by-bool dominated large all-false tables, so the scan reuses
+	// the vectorized bytes.IndexByte over the same memory: Go bools are
+	// one byte storing exactly 0 or 1, so IndexByte(…, 1) finds the first
+	// true. (Memoizing per shared row was tried and measured slower: the
+	// aliasing instances are rarely adjacent.)
 	feasibleIdx := sc.feasible[:0]
 	for i, tab := range tables {
-		for _, v := range tab {
-			if v {
-				feasibleIdx = append(feasibleIdx, int32(i))
-				break
-			}
+		if len(tab) == 0 {
+			continue
+		}
+		bs := unsafe.Slice((*byte)(unsafe.Pointer(&tab[0])), len(tab))
+		if bytes.IndexByte(bs, 1) >= 0 {
+			feasibleIdx = append(feasibleIdx, int32(i))
 		}
 	}
 	sc.feasible = feasibleIdx
@@ -275,11 +274,9 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 	// Per-node state-vector evolution is embarrassingly parallel across
 	// instances: each probe draws from a stream derived from (pass, round,
 	// instance) alone, and hits are merged back by instance index, so the
-	// outcome is identical for every worker count. Workers keep one
-	// amplitude buffer each, making probes allocation-free.
-	// More workers than feasible instances would never be scheduled, so
-	// cap before sizing the per-worker scratch (amplitude buffers and
-	// reseedable RNGs).
+	// outcome is identical for every worker count. More workers than
+	// feasible instances would never be scheduled, so cap before sizing
+	// the per-worker scratch (reseedable probe RNGs).
 	workers := par.Workers(spec.Workers)
 	if workers > len(feasibleIdx) {
 		workers = len(feasibleIdx)
@@ -290,12 +287,20 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 	if cap(sc.active) < len(feasibleIdx) {
 		sc.active = make([]int32, 0, len(feasibleIdx))
 	}
-	active := sc.active[:0]
+	// The not-yet-found feasible instances are kept as a compacted alive
+	// list with swap-removal on success, instead of rebuilding the list
+	// from Found each round: instances never resurrect, each probe draws
+	// from a stream keyed by (pass, round, instance) alone, and hits are
+	// merged by instance index, so neither the list order nor the removal
+	// strategy can affect any outcome.
+	alive := append(sc.active[:0], feasibleIdx...)
+	sc.active = alive
 	probeX := par.Grow(sc.probeX, spec.Instances)
 	sc.probeX = probeX
 	probeHit := par.Grow(sc.probeHit, spec.Instances)
 	sc.probeHit = probeHit
-	bufs, scratchRng := sc.workerState(workers, spec.SpaceSize)
+	scratchRng := sc.workerState(workers)
+	probeSplit := rng.SplitterFor("probe")
 
 	for pass := 0; pass < passes; pass++ {
 		res.Passes++
@@ -305,24 +310,23 @@ func MultiSearch(net *congest.Network, spec Spec, rng *xrand.Source) (*Result, e
 			// j lock-step Grover iterations plus one verification query.
 			res.Iterations += int64(j)
 			res.EvalCalls += int64(j) + 1
-			active = active[:0]
-			for _, i := range feasibleIdx {
-				if !res.Found[i] {
-					active = append(active, i)
-				}
-			}
 			probeKey := pass*1_000_003 + round*1009
-			par.ForEachWorker(workers, len(active), func(w, k int) {
-				i := int(active[k])
-				x, hit := quantum.FixedScheduleProbeBuf(bufs[w], tables[i], j, rng.SplitNInto(scratchRng[w], "probe", probeKey+i))
+			par.ForEachWorker(workers, len(alive), func(w, k int) {
+				i := int(alive[k])
+				x, hit := quantum.FixedScheduleProbe(tables[i], j, probeSplit.Into(scratchRng[w], probeKey+i))
 				probeX[i] = int32(x)
 				probeHit[i] = hit
 			})
-			for _, ia := range active {
+			for k := 0; k < len(alive); {
+				ia := alive[k]
 				if probeHit[ia] {
 					res.Found[ia] = true
 					res.Witness[ia] = int(probeX[ia])
 					remaining--
+					alive[k] = alive[len(alive)-1]
+					alive = alive[:len(alive)-1]
+				} else {
+					k++
 				}
 			}
 			mcur = math.Min(lambda*mcur, sqrtX)

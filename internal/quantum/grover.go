@@ -151,14 +151,11 @@ func Search(n int, g Oracle, rng *xrand.Source) SearchResult {
 }
 
 // searchMarked runs the BBHT schedule against a materialized truth table,
-// accumulating costs into res. One amplitude buffer is reused across the
-// schedule's rounds (each probe restarts from the uniform state, so the
-// refill fully overwrites it).
+// accumulating costs into res.
 func searchMarked(n int, marked []bool, rng *xrand.Source, res *SearchResult) SearchResult {
 	sqrtN := math.Sqrt(float64(n))
 	m := 1.0
 	const lambda = 6.0 / 5.0
-	amps := make([]float64, n)
 	// After O(log n) rounds m saturates at √n; a few more rounds at the
 	// saturated value drive the failure probability for nonempty oracles
 	// below 2^-Ω(rounds). 4+3·log₂ n rounds bounds total iterations by
@@ -167,7 +164,7 @@ func searchMarked(n int, marked []bool, rng *xrand.Source, res *SearchResult) Se
 	for round := 0; round < maxRounds; round++ {
 		j := rng.IntN(int(math.Ceil(m)) + 1)
 		res.Iterations += int64(j)
-		x, hit := FixedScheduleProbeBuf(amps, marked, j, rng)
+		x, hit := FixedScheduleProbe(marked, j, rng)
 		res.Verifications++
 		if hit {
 			res.Found = true
@@ -185,24 +182,47 @@ func searchMarked(n int, marked []bool, rng *xrand.Source, res *SearchResult) Se
 // multi-search, where every parallel instance must use the same iteration
 // count (the global quantum circuit applies the same number of UmCm steps
 // to all registers).
+//
+// Starting from the uniform state, every marked element always shares one
+// amplitude and every unmarked element another, so the probe tracks just
+// those two values instead of a full state vector. Bit-exactness with the
+// vector simulation (Iterate + Measure) is preserved by folding the mean
+// and the measurement CDF in index order with the identical per-element
+// addends — the same sequence of floating-point operations, so the same
+// rounding, the same drawn index, and no amplitude buffer at all.
 func FixedScheduleProbe(marked []bool, j int, rng *xrand.Source) (x int, hit bool) {
-	return FixedScheduleProbeBuf(make([]float64, len(marked)), marked, j, rng)
-}
-
-// FixedScheduleProbeBuf is FixedScheduleProbe with a caller-provided
-// amplitude buffer of length len(marked). The multi-search worker pool runs
-// one probe per (instance, round) pair; reusing a per-worker state vector
-// keeps those probes allocation-free.
-func FixedScheduleProbeBuf(amps []float64, marked []bool, j int, rng *xrand.Source) (x int, hit bool) {
-	a := 1 / math.Sqrt(float64(len(marked)))
-	for i := range amps {
-		amps[i] = a
-	}
+	n := len(marked)
+	a := 1 / math.Sqrt(float64(n))
+	aM, aU := a, a // marked / unmarked amplitudes
 	for it := 0; it < j; it++ {
-		Iterate(amps, marked)
+		fm := -aM // phase flip on marked elements
+		var sum float64
+		for _, m := range marked {
+			if m {
+				sum += fm
+			} else {
+				sum += aU
+			}
+		}
+		mean := sum / float64(n)
+		aM = 2*mean - fm
+		aU = 2*mean - aU
 	}
-	x = Measure(amps, rng)
-	return x, marked[x]
+	r := rng.Float64()
+	aM2, aU2 := aM*aM, aU*aU
+	var acc float64
+	for i, m := range marked {
+		if m {
+			acc += aM2
+		} else {
+			acc += aU2
+		}
+		if r < acc {
+			return i, m
+		}
+	}
+	// Floating-point slack: return the last index.
+	return n - 1, marked[n-1]
 }
 
 // AmplitudeAfter returns the state after j iterations from uniform; used by

@@ -95,9 +95,18 @@ func runCoverings(net *congest.Network, pt *Partitions, inst *Instance, params P
 		sc.ownerTouched = make([]int32, 0, pt.N())
 	}
 	ownerTouched := sc.ownerTouched
+	covSplit := rng.SplitterFor("covering")
+	// Hoist the S-membership test out of the per-pair loop: when the mask
+	// snapshot exists it answers inS directly (pairs are normalized U < V,
+	// matching the mask's orientation); S == nil means every pair is in S.
+	var sMask []bool
+	gn := inst.G.N()
+	if inst.S != nil && inst.sMask != nil {
+		sMask = inst.sMask
+	}
 	for li := 0; li < numLabels; li++ {
 		label := pt.SearchFromIndex(li)
-		pairs, err := pt.sampleCoveringBuf(label, params, rng.SplitNInto(sc.sampleRng(), "covering", li), sampleBuf, perVertex)
+		pairs, err := pt.sampleCoveringBuf(label, params, covSplit.Into(sc.sampleRng(), li), sampleBuf, perVertex)
 		if err != nil {
 			_ = net.Broadcast("computepairs/step2-abort", pt.SearchNode(label), 1)
 			return nil, err
@@ -107,6 +116,11 @@ func runCoverings(net *congest.Network, pt *Partitions, inst *Instance, params P
 		dst := pt.SearchNode(label)
 		pStart, wStart := len(pairsArena), len(weightsArena)
 		ownerTouched = ownerTouched[:0]
+		// For labels with U < V the sampler walks U in its outer loop, so
+		// consecutive pairs usually share a weight row; re-fetch it only
+		// when U changes (flipped labels just miss the cache).
+		lastU := -1
+		var rowU []int64
 		for _, pr := range pairs {
 			// Request to the pair owner and two-word response (weight +
 			// S-membership). Owner is the smaller endpoint by convention;
@@ -118,8 +132,22 @@ func runCoverings(net *congest.Network, pt *Partitions, inst *Instance, params P
 				}
 				ownerCount[pr.U]++
 			}
-			w, ok := inst.G.Weight(pr.U, pr.V)
-			if !ok || !inst.inS(pr.U, pr.V) {
+			// Direct row indexing instead of Weight(): pairs are normalized
+			// U < V, so the diagonal guard is unnecessary and the NoEdge
+			// test below is the whole of the ok check.
+			if pr.U != lastU {
+				rowU = inst.G.RowView(pr.U)
+				lastU = pr.U
+			}
+			w := rowU[pr.V]
+			if w == graph.NoEdge {
+				continue
+			}
+			if sMask != nil {
+				if !sMask[pr.U*gn+pr.V] {
+					continue
+				}
+			} else if !inst.inS(pr.U, pr.V) {
 				continue
 			}
 			pairsArena = append(pairsArena, pr)
@@ -221,10 +249,13 @@ func newEvalBuilder(pt *Partitions, pl *placement, st *searchState, cls *classif
 	}
 }
 
-// groupOf returns the group index of a search label.
+// groupOf returns the group index of a search label. SearchIndex lays
+// labels out as (u·q+v)·s + x, so the group is just the index divided by
+// the fine-block count — this runs once per instance in the innermost
+// query-assignment loop, where the full SearchFromIndex decode showed up
+// in profiles.
 func (b *evalBuilder) groupOf(li int) int {
-	l := b.pt.SearchFromIndex(li)
-	return l.U*b.pt.NumCoarse() + l.V
+	return li / b.pt.NumFine()
 }
 
 // truthRow computes the oracle row for one pair in one group: entry i
@@ -251,8 +282,27 @@ func (b *evalBuilder) truthRowInto(row []bool, group int, pr graph.Pair, weight 
 		a, bb = bb, a
 	}
 	list := b.classLists[group]
-	for i, w := range list {
-		row[i] = b.pl.minLegSum(u, v, w, a, bb) < -weight
+	if b.pl.mode == DataDirect {
+		// Hoist the two leg rows once per pair: every entry of the row
+		// scans a different fine block of the same two graph rows.
+		rowA := b.pl.legs.RowView(a)
+		rowB := b.pl.legs.RowView(bb)
+		for i, w := range list {
+			fine := b.pt.Fine[w]
+			row[i] = len(fine) > 0 && legSumBelow(rowA[fine[0]:fine[0]+len(fine)], rowB[fine[0]:fine[0]+len(fine)], -weight)
+		}
+	} else {
+		// DataFull: the triple index is group·s + w and the pair's
+		// in-block offsets do not depend on w, so everything but the leg
+		// scan hoists out of the per-entry loop.
+		s := b.pt.NumFine()
+		ai := indexInBlock(b.pt.Coarse[u], a)
+		bi := indexInBlock(b.pt.Coarse[v], bb)
+		for i, w := range list {
+			td := &b.pl.data[group*s+w]
+			sW := len(b.pt.Fine[w])
+			row[i] = legSumBelow(td.legsUW[ai*sW:(ai+1)*sW], td.legsWV[bi*sW:(bi+1)*sW], -weight)
+		}
 	}
 	clear(row[len(list):])
 }
@@ -312,8 +362,37 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 		}
 		touched := b.sc.evalTouch[:0]
 		b.sc.evalTouch = touched
-		for _, ins := range b.st.instances {
+		// The truth-table row dedup below shares this pass over the
+		// instances: rows are memoized per (group, pair) — a pair covered
+		// by several Λx sets shares one row — through a flat pooled
+		// (group × pair) index table instead of a hash map. A pair {U,V}
+		// (U < V) can only appear in the two groups
+		// (CoarseOf(U), CoarseOf(V)) and its swap, so one orientation bit
+		// disambiguates the group and the dedup table needs just 2n² slots.
+		// Building jobs/assign before the query-response charge is
+		// side-effect-free (pure scratch writes), so fusing the two
+		// instance loops changes no accounting.
+		q := b.pt.NumCoarse()
+		rowOfBuf := getZeroedInt32(2 * n * n)
+		defer putInt32(rowOfBuf)
+		rowOf := *rowOfBuf // (orient*n + U)*n + V → row index + 1; 0 = unset
+		jobs := b.sc.jobs[:0]
+		assign := par.Grow(b.sc.assign, len(b.st.instances))
+		b.sc.assign = assign
+		for i, ins := range b.st.instances {
 			g := b.groupOf(ins.label)
+			orient := 0
+			if g != b.pt.CoarseOf(ins.pair.U)*q+b.pt.CoarseOf(ins.pair.V) {
+				orient = 1
+			}
+			key := (orient*n+ins.pair.U)*n + ins.pair.V
+			ri := rowOf[key]
+			if ri == 0 {
+				jobs = append(jobs, rowJob{group: g, pair: ins.pair, weight: ins.weight})
+				ri = int32(len(jobs))
+				rowOf[key] = ri
+			}
+			assign[i] = ri - 1
 			list := b.classLists[g]
 			if len(list) == 0 {
 				continue
@@ -329,6 +408,7 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 				return nil, &SlotOverflowError{Label: label, WBlock: w, Count: int(listCount[k]), Cap: slotCap, Alpha: b.alpha}
 			}
 		}
+		b.sc.jobs = jobs
 
 		// Figure 4/5 Steps 1–2: send each list (3 words per entry: the two
 		// endpoints and the pair weight) to the triple node (or its clone
@@ -365,39 +445,12 @@ func (b *evalBuilder) evalFunc() qsearch.EvalFunc {
 			return nil, err
 		}
 
-		// Assemble the truth tables from the queried triple nodes' data.
-		// Rows are memoized per (group, pair): a pair covered by several
-		// Λx sets shares one row, deduplicated through a flat pooled
-		// (group × pair) index table instead of a hash map. Row computation
-		// (the triple nodes' local min-plus work) is independent across
-		// rows, so the unique rows are computed by the worker pool and
-		// merged by index — identical output for any worker count.
-		// A pair {U,V} (U < V) can only appear in the two groups
-		// (CoarseOf(U), CoarseOf(V)) and its swap, so one orientation bit
-		// disambiguates the group and the dedup table needs just 2n² slots.
-		q := b.pt.NumCoarse()
-		rowOfBuf := getZeroedInt32(2 * n * n)
-		defer putInt32(rowOfBuf)
-		rowOf := *rowOfBuf // (orient*n + U)*n + V → row index + 1; 0 = unset
-		jobs := b.sc.jobs[:0]
-		assign := par.Grow(b.sc.assign, len(b.st.instances))
-		b.sc.assign = assign
-		for i, ins := range b.st.instances {
-			g := b.groupOf(ins.label)
-			orient := 0
-			if g != b.pt.CoarseOf(ins.pair.U)*q+b.pt.CoarseOf(ins.pair.V) {
-				orient = 1
-			}
-			key := (orient*n+ins.pair.U)*n + ins.pair.V
-			ri := rowOf[key]
-			if ri == 0 {
-				jobs = append(jobs, rowJob{group: g, pair: ins.pair, weight: ins.weight})
-				ri = int32(len(jobs))
-				rowOf[key] = ri
-			}
-			assign[i] = ri - 1
-		}
-		b.sc.jobs = jobs
+		// Assemble the truth tables from the queried triple nodes' data,
+		// using the jobs/assign dedup built in the fused loop above. Row
+		// computation (the triple nodes' local min-plus work) is
+		// independent across rows, so the unique rows are computed by the
+		// worker pool and merged by index — identical output for any
+		// worker count.
 		// The previous evaluation's tables are dead once this one runs (the
 		// multi-search consuming them has returned), so the row and table
 		// arenas are reused across classes and promise calls.

@@ -89,15 +89,17 @@ func runIdentifyClass(net *congest.Network, pt *Partitions, inst *Instance, pl *
 	// per promise call).
 	r := sc.idPairs[:0]
 	maxWords := int64(0)
+	idSplit := rng.SplitterFor("identify-sample")
+	coin := xrand.NewBoolSampler(prob)
 	for u := 0; u < n; u++ {
-		nodeRng := rng.SplitNInto(sc.sampleRng(), "identify-sample", u)
+		nodeRng := idSplit.Into(sc.sampleRng(), u)
 		count := 0
 		var words int64
 		for v := 0; v < n; v++ {
 			if v == u || !inst.inS(u, v) {
 				continue
 			}
-			if !nodeRng.Bool(prob) {
+			if !coin.Draw(nodeRng) {
 				continue
 			}
 			count++
@@ -158,7 +160,7 @@ func runIdentifyClass(net *congest.Network, pt *Partitions, inst *Instance, pl *
 			for w := 0; w < s; w++ {
 				d := 0
 				for _, rp := range group {
-					if pl.minLegSum(u, v, w, rp.a, rp.b) < -rp.w {
+					if pl.legSumBelow(u, v, w, rp.a, rp.b, -rp.w) {
 						d++
 					}
 				}
@@ -226,7 +228,7 @@ func deltaSize(pt *Partitions, inst *Instance, pl *placement, u, v, w int) int {
 		if pt.CoarseOf(a) != u {
 			a, b = b, a
 		}
-		if pl.minLegSum(u, v, w, a, b) < -fw {
+		if pl.legSumBelow(u, v, w, a, b, -fw) {
 			count++
 		}
 	}

@@ -280,6 +280,7 @@ func (p *Partitions) sampleCovering(label SearchLabel, params Params, rng *xrand
 // call; the scratch removes both per-label allocations.
 func (p *Partitions) sampleCoveringBuf(label SearchLabel, params Params, rng *xrand.Source, buf []graph.Pair, perVertex []int32) ([]graph.Pair, error) {
 	prob := params.coverSampleProb(p.n)
+	coin := xrand.NewBoolSampler(prob)
 	bound := params.wellBalancedBound(p.n)
 	if perVertex == nil {
 		perVertex = make([]int32, p.n)
@@ -288,14 +289,43 @@ func (p *Partitions) sampleCoveringBuf(label SearchLabel, params Params, rng *xr
 	if cap(pairs) == 0 {
 		pairs = make([]graph.Pair, 0, int(float64(p.pairCountBetween(label.U, label.V))*prob)+8)
 	}
-	p.forEachPairBetween(label.U, label.V, func(pr graph.Pair) {
-		if !rng.Bool(prob) {
-			return
+	// The pair loops below visit P(U, V) in exactly the order
+	// forEachPairBetween does — one random bit per pair, so the iteration
+	// order is part of the deterministic replay contract. They are inlined
+	// here (this is the innermost Step 2 sampling loop) with the pair
+	// normalization hoisted: coarse blocks are disjoint ascending ranges,
+	// so within one label every pair has the same orientation.
+	blockA := p.Coarse[label.U]
+	blockB := p.Coarse[label.V]
+	if label.U == label.V {
+		for i := 0; i < len(blockA); i++ {
+			for j := i + 1; j < len(blockA); j++ {
+				if !coin.Draw(rng) {
+					continue
+				}
+				pr := graph.Pair{U: blockA[i], V: blockA[j]}
+				pairs = append(pairs, pr)
+				perVertex[pr.U]++
+				perVertex[pr.V]++
+			}
 		}
-		pairs = append(pairs, pr)
-		perVertex[pr.U]++
-		perVertex[pr.V]++
-	})
+	} else {
+		flip := label.U > label.V
+		for _, x := range blockA {
+			for _, y := range blockB {
+				if !coin.Draw(rng) {
+					continue
+				}
+				pr := graph.Pair{U: x, V: y}
+				if flip {
+					pr = graph.Pair{U: y, V: x}
+				}
+				pairs = append(pairs, pr)
+				perVertex[pr.U]++
+				perVertex[pr.V]++
+			}
+		}
+	}
 	// Well-balancedness (Section 5.1): for every u in block u, the number
 	// of sampled pairs touching it must stay within the bound. The paper
 	// states the condition for u ∈ u; by symmetry of P(u,v) we check both

@@ -32,8 +32,11 @@ const (
 // tripleData is the weight table held by one triple-labeled node after
 // Step 1.
 type tripleData struct {
+	// Both tables are laid out with the fine index contiguous (legsWV is
+	// stored b-major, the transpose of its wire order), so the min-leg scan
+	// over c reads both legs sequentially.
 	legsUW []int64 // row-major |Coarse[U]| × |Fine[W]|: f(a,c)
-	legsWV []int64 // row-major |Fine[W]| × |Coarse[V]|: f(c,b)
+	legsWV []int64 // row-major |Coarse[V]| × |Fine[W]|: f(c,b)
 }
 
 // placement is the completed Step 1 state.
@@ -95,31 +98,34 @@ func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, 
 		// the partition shapes (3 header words plus one weight per fine-block
 		// vertex), so the link loads are charged without materializing any
 		// payload slices. This path runs once per promise call on the
-		// full-pipeline hot loop.
-		loadsBuf := getLoadBuf(pt.NumTriples() * 2 * ((pt.N()+q-1)/q + 1))
-		defer putLoadBuf(loadsBuf)
-		loads := *loadsBuf
-		for u := 0; u < q; u++ {
-			for v := 0; v < q; v++ {
-				for w := 0; w < s; w++ {
-					t := TripleLabel{U: u, V: v, W: w}
-					dst := pt.TripleNode(t)
-					words := int64(3 + len(pt.Fine[w]))
-					for _, a := range pt.Coarse[u] {
-						if congest.NodeID(a) != dst {
-							loads = append(loads, congest.Load{Src: congest.NodeID(a), Dst: dst, Words: words})
+		// full-pipeline hot loop — and since the loads are shape-only, the
+		// list is built once per n and cached on the scratch; only the
+		// ChargeBalanced accounting runs per call.
+		if sc.plLoadsN != pt.N() {
+			loads := sc.plLoads[:0]
+			for u := 0; u < q; u++ {
+				for v := 0; v < q; v++ {
+					for w := 0; w < s; w++ {
+						t := TripleLabel{U: u, V: v, W: w}
+						dst := pt.TripleNode(t)
+						words := int64(3 + len(pt.Fine[w]))
+						for _, a := range pt.Coarse[u] {
+							if congest.NodeID(a) != dst {
+								loads = append(loads, congest.Load{Src: congest.NodeID(a), Dst: dst, Words: words})
+							}
 						}
-					}
-					for _, b := range pt.Coarse[v] {
-						if congest.NodeID(b) != dst {
-							loads = append(loads, congest.Load{Src: congest.NodeID(b), Dst: dst, Words: words})
+						for _, b := range pt.Coarse[v] {
+							if congest.NodeID(b) != dst {
+								loads = append(loads, congest.Load{Src: congest.NodeID(b), Dst: dst, Words: words})
+							}
 						}
 					}
 				}
 			}
+			sc.plLoads = loads
+			sc.plLoadsN = pt.N()
 		}
-		*loadsBuf = loads
-		if err := net.ChargeBalanced("computepairs/step1-placement", loads); err != nil {
+		if err := net.ChargeBalanced("computepairs/step1-placement", sc.plLoads); err != nil {
 			return nil, fmt.Errorf("placement: %w", err)
 		}
 		return pl, nil
@@ -160,21 +166,27 @@ func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, 
 				t := TripleLabel{U: u, V: v, W: w}
 				dst := pt.TripleNode(t)
 				ti := congest.Word(pt.TripleIndex(t))
-				// u-side legs: vertex a sends f(a, c) for all c in w.
+				// u-side legs: vertex a sends f(a, c) for all c in w. The
+				// weights come straight off the dense row: absent edges and
+				// the diagonal both store NoEdge, which is exactly what
+				// weightOrNoEdge would return.
 				for ai, a := range pt.Coarse[u] {
 					start := len(arena)
 					arena = append(arena, ti, sideUW, congest.Word(ai))
+					rowA := legs.RowView(a)
 					for _, c := range pt.Fine[w] {
-						arena = append(arena, encodeWeight(weightOrNoEdge(legs, a, c)))
+						arena = append(arena, encodeWeight(rowA[c]))
 					}
 					emit(congest.NodeID(a), dst, arena[start:len(arena):len(arena)])
 				}
-				// v-side legs: vertex b sends f(c, b) for all c in w.
+				// v-side legs: vertex b sends f(c, b) for all c in w
+				// (= rowB[c] by symmetry of the dense storage).
 				for bi, b := range pt.Coarse[v] {
 					start := len(arena)
 					arena = append(arena, ti, sideWV, congest.Word(bi))
+					rowB := legs.RowView(b)
 					for _, c := range pt.Fine[w] {
-						arena = append(arena, encodeWeight(weightOrNoEdge(legs, c, b)))
+						arena = append(arena, encodeWeight(rowB[c]))
 					}
 					emit(congest.NodeID(b), dst, arena[start:len(arena):len(arena)])
 				}
@@ -195,13 +207,6 @@ func runPlacement(net *congest.Network, pt *Partitions, legs *graph.Undirected, 
 		}
 	}
 	return pl, nil
-}
-
-func weightOrNoEdge(g *graph.Undirected, a, b int) int64 {
-	if w, ok := g.Weight(a, b); ok {
-		return w
-	}
-	return graph.NoEdge
 }
 
 // encodeWeight and decodeWeight pack extended weights into message words.
@@ -230,9 +235,9 @@ func (pl *placement) ingest(m congest.Message) {
 			td.legsUW[idx*sW+ci] = decodeWeight(weights[ci])
 		}
 	case sideWV:
-		qV := len(pl.pt.Coarse[t.V])
-		for ci := 0; ci < len(weights); ci++ {
-			td.legsWV[ci*qV+idx] = decodeWeight(weights[ci])
+		sW := len(pl.pt.Fine[t.W])
+		for ci := 0; ci < len(weights) && ci < sW; ci++ {
+			td.legsWV[idx*sW+ci] = decodeWeight(weights[ci])
 		}
 	}
 }
@@ -243,42 +248,88 @@ func (pl *placement) ingest(m congest.Message) {
 // legs.
 func (pl *placement) minLegSum(u, v, w int, a, b int) int64 {
 	if pl.mode == DataDirect {
-		best := graph.Inf
-		for _, c := range pl.pt.Fine[w] {
-			if c == a || c == b {
-				continue
-			}
-			wa, ok := pl.legs.Weight(a, c)
-			if !ok {
-				continue
-			}
-			wb, ok := pl.legs.Weight(c, b)
-			if !ok {
-				continue
-			}
-			if s := graph.SaturatingAdd(wa, wb); s < best {
-				best = s
-			}
+		fine := pl.pt.Fine[w]
+		if len(fine) == 0 {
+			return graph.Inf
 		}
-		return best
+		rowA := pl.legs.RowView(a)
+		rowB := pl.legs.RowView(b)
+		return minLegSumDirect(rowA, rowB, fine[0], len(fine))
 	}
 	t := TripleLabel{U: u, V: v, W: w}
 	td := &pl.data[pl.pt.TripleIndex(t)]
 	ai := indexInBlock(pl.pt.Coarse[u], a)
 	bi := indexInBlock(pl.pt.Coarse[v], b)
 	sW := len(pl.pt.Fine[w])
-	qV := len(pl.pt.Coarse[v])
-	best := graph.Inf
-	for ci := 0; ci < sW; ci++ {
-		c := pl.pt.Fine[w][ci]
-		if c == a || c == b {
-			continue
-		}
-		wa := td.legsUW[ai*sW+ci]
+	// Both tables store the fine index contiguously, and the c==a / c==b
+	// exclusions are subsumed by the NoEdge tests (a diagonal leg is loaded
+	// as NoEdge), so the scan is two sequential reads like the DataDirect
+	// path.
+	return minLegScan(td.legsUW[ai*sW:(ai+1)*sW], td.legsWV[bi*sW:(bi+1)*sW])
+}
+
+// minLegSumDirect is the DataDirect leg scan over a contiguous fine block
+// [c0, c0+sW). It exploits three invariants to turn the per-candidate
+// Weight lookups of the old loop into two linear row reads: fine blocks
+// from splitEven are contiguous ascending ranges, the graph is symmetric
+// (f(c,b) = rowB[c]), and the diagonal is always NoEdge — so the c==a and
+// c==b exclusions are subsumed by the NoEdge tests. rowA and rowB alias
+// the graph (RowView); callers on the truth-table hot path hoist them once
+// per pair.
+func minLegSumDirect(rowA, rowB []int64, c0, sW int) int64 {
+	return minLegScan(rowA[c0:c0+sW], rowB[c0:c0+sW])
+}
+
+// legSumBelow reports whether some c has legsA[c]+legsB[c] < bound — the
+// threshold form of minLegScan, exiting on the first witnessing c. Every
+// protocol-side query of the leg tables is of this form ("does some c close
+// a triangle more negative than the pair weight"), so the full min is only
+// computed by the reference tests; min < bound ⟺ ∃c with sum < bound makes
+// the early exit exact.
+func legSumBelow(legsA, legsB []int64, bound int64) bool {
+	for ci, wa := range legsA {
 		if wa == graph.NoEdge {
 			continue
 		}
-		wb := td.legsWV[ci*qV+bi]
+		wb := legsB[ci]
+		if wb == graph.NoEdge {
+			continue
+		}
+		if graph.SaturatingAdd(wa, wb) < bound {
+			return true
+		}
+	}
+	return false
+}
+
+// legSumBelow is minLegSum(…) < bound with the early-exit scan.
+func (pl *placement) legSumBelow(u, v, w int, a, b int, bound int64) bool {
+	if pl.mode == DataDirect {
+		fine := pl.pt.Fine[w]
+		if len(fine) == 0 {
+			return false
+		}
+		c0, sW := fine[0], len(fine)
+		return legSumBelow(pl.legs.RowView(a)[c0:c0+sW], pl.legs.RowView(b)[c0:c0+sW], bound)
+	}
+	t := TripleLabel{U: u, V: v, W: w}
+	td := &pl.data[pl.pt.TripleIndex(t)]
+	ai := indexInBlock(pl.pt.Coarse[u], a)
+	bi := indexInBlock(pl.pt.Coarse[v], b)
+	sW := len(pl.pt.Fine[w])
+	return legSumBelow(td.legsUW[ai*sW:(ai+1)*sW], td.legsWV[bi*sW:(bi+1)*sW], bound)
+}
+
+// minLegScan returns min over c of legsA[c]+legsB[c] skipping NoEdge legs —
+// the shared inner loop of both placement modes, fed with contiguous slices
+// covering one fine block.
+func minLegScan(legsA, legsB []int64) int64 {
+	best := graph.Inf
+	for ci, wa := range legsA {
+		if wa == graph.NoEdge {
+			continue
+		}
+		wb := legsB[ci]
 		if wb == graph.NoEdge {
 			continue
 		}

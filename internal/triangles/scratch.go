@@ -34,10 +34,15 @@ type Scratch struct {
 	sMask []bool
 
 	// Step 1 placement: per-triple weight tables (DataFull) and the
-	// outgoing message headers.
-	plData  []tripleData
-	plCells []int64
-	plMsgs  []congest.Message
+	// outgoing message headers. plLoads caches the charge-only load list,
+	// which depends only on the partition shapes: every promise call of a
+	// solve charges the identical placement loads, so they are built once
+	// per n (plLoadsN remembers which).
+	plData   []tripleData
+	plCells  []int64
+	plMsgs   []congest.Message
+	plLoads  []congest.Load
+	plLoadsN int
 
 	// IdentifyClass: broadcast sample, per-group buckets, class array, and
 	// the reseedable per-node sample stream.

@@ -9,7 +9,11 @@
 // deterministic even when node handlers run concurrently.
 package xrand
 
-import "math/rand/v2"
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+)
 
 // splitmix64 is the SplitMix64 finalizer. It is a strong 64-bit mixing
 // function used to derive independent stream seeds from (seed, label, index)
@@ -92,18 +96,78 @@ func splitNSeed(seed uint64, label string, n int) uint64 {
 	return splitmix64(seed^hashLabel(label)) + splitmix64(uint64(n)+0x1234_5678_9abc_def0)
 }
 
+// Splitter precomputes the label-dependent half of the SplitN derivation.
+// Hot loops that split one stream per index under a fixed label (the probe
+// and covering loops) pay the label hash once instead of per split; the
+// derived streams are bit-identical to SplitNInto's.
+type Splitter struct{ base uint64 }
+
+// SplitterFor returns a Splitter bound to this source's seed and label:
+// sp.Into(scratch, n) ≡ s.SplitNInto(scratch, label, n).
+func (s *Source) SplitterFor(label string) Splitter {
+	return Splitter{base: splitmix64(s.seed ^ hashLabel(label))}
+}
+
+// Into reseeds scratch to the indexed child stream and returns scratch.
+func (sp Splitter) Into(scratch *Source, n int) *Source {
+	scratch.Reseed(sp.base + splitmix64(uint64(n)+0x1234_5678_9abc_def0))
+	return scratch
+}
+
+// The draw methods below operate on the PCG generator directly instead of
+// going through the *rand.Rand wrapper: every draw otherwise pays an
+// interface dispatch (Rand.Uint64 → Source interface → PCG), and the
+// protocol layers draw hundreds of millions of times per large solve. The
+// arithmetic replicates math/rand/v2 exactly — same generator state, same
+// rejection algorithm, same float conversion — so the streams are
+// bit-identical to the wrapper's (pinned by TestFastPathsMatchRandV2);
+// determinism across the whole simulator depends on that equivalence.
+
 // Uint64 returns a uniformly random 64-bit value.
-func (s *Source) Uint64() uint64 { return s.rng.Uint64() }
+func (s *Source) Uint64() uint64 { return s.pcg.Uint64() }
+
+// uint64n returns a uniform value in [0, n), replicating math/rand/v2's
+// Lemire rejection sampling bit for bit (the 32-bit-platform variant
+// upstream is documented to produce this exact sequence too, so one
+// implementation covers every platform).
+func (s *Source) uint64n(n uint64) uint64 {
+	if n&(n-1) == 0 { // power of two: mask
+		return s.pcg.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(s.pcg.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.pcg.Uint64(), n)
+		}
+	}
+	return hi
+}
 
 // IntN returns a uniform value in [0, n). It panics if n <= 0, matching
 // math/rand/v2 semantics.
-func (s *Source) IntN(n int) int { return s.rng.IntN(n) }
+func (s *Source) IntN(n int) int {
+	if n <= 0 {
+		panic("invalid argument to IntN")
+	}
+	return int(s.uint64n(uint64(n)))
+}
 
 // Int64N returns a uniform value in [0, n).
-func (s *Source) Int64N(n int64) int64 { return s.rng.Int64N(n) }
+func (s *Source) Int64N(n int64) int64 {
+	if n <= 0 {
+		panic("invalid argument to Int64N")
+	}
+	return int64(s.uint64n(uint64(n)))
+}
 
-// Float64 returns a uniform value in [0, 1).
-func (s *Source) Float64() float64 { return s.rng.Float64() }
+// Float64 returns a uniform value in [0, 1). Scaling by 0x1p-53 instead of
+// dividing by 1<<53 is exact — both only adjust the exponent — so the
+// stream stays bit-identical to math/rand/v2's Float64 while avoiding the
+// FP division.
+func (s *Source) Float64() float64 {
+	return float64(s.pcg.Uint64()<<11>>11) * 0x1p-53
+}
 
 // Bool returns true with probability p. Values of p outside [0, 1] clip.
 func (s *Source) Bool(p float64) bool {
@@ -113,7 +177,40 @@ func (s *Source) Bool(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return s.rng.Float64() < p
+	return float64(s.pcg.Uint64()<<11>>11)*0x1p-53 < p
+}
+
+// BoolSampler precomputes Bool(p)'s acceptance test for a fixed p, turning
+// the per-draw float conversion, scale and compare into one integer
+// comparison against the draw's low 53 bits. The equivalence is exact:
+// float64(u53)·0x1p-53 is the real number u53/2^53 (53-bit integer scaled
+// by a power of two), so "x < p" holds iff u53 < p·2^53 iff
+// u53 < ceil(p·2^53), and p·2^53 and its ceil are both computed exactly.
+// Clipped probabilities keep Bool's no-draw behavior.
+type BoolSampler struct {
+	thresh uint64 // acceptance bound for the draw's low 53 bits
+	clip   int8   // -1: always false, +1: always true (no draw either way)
+}
+
+// NewBoolSampler returns the sampler for probability p:
+// sampler.Draw(s) ≡ s.Bool(p) draw for draw.
+func NewBoolSampler(p float64) BoolSampler {
+	if p <= 0 {
+		return BoolSampler{clip: -1}
+	}
+	if p >= 1 {
+		return BoolSampler{clip: 1}
+	}
+	return BoolSampler{thresh: uint64(math.Ceil(p * 0x1p53))}
+}
+
+// Draw returns true with the sampler's probability, advancing s exactly as
+// s.Bool(p) would.
+func (b BoolSampler) Draw(s *Source) bool {
+	if b.clip != 0 {
+		return b.clip > 0
+	}
+	return s.pcg.Uint64()&(1<<53-1) < b.thresh
 }
 
 // IntRange returns a uniform value in [lo, hi] inclusive. It panics if
@@ -122,7 +219,7 @@ func (s *Source) IntRange(lo, hi int) int {
 	if lo > hi {
 		panic("xrand: IntRange with lo > hi")
 	}
-	return lo + s.rng.IntN(hi-lo+1)
+	return lo + s.IntN(hi-lo+1)
 }
 
 // Perm returns a random permutation of [0, n).

@@ -132,3 +132,101 @@ func TestShuffle(t *testing.T) {
 		}
 	}
 }
+
+// TestFastPathsMatchRandV2 pins the direct-PCG draw methods to the
+// math/rand/v2 wrapper they replaced: the whole simulator's determinism
+// (round counts, covering samples, Grover measurements) rides on the two
+// producing bit-identical streams. Draws are interleaved across every
+// method so state advancement is compared too, and the IntN bounds include
+// powers of two (mask path), small odd values (rejection path) and values
+// near 2^63 (high rejection probability).
+func TestFastPathsMatchRandV2(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		fast := New(seed)
+		ref := New(seed)
+		refRand := ref.rng // the wrapper around the same PCG state
+		bounds := []int{1, 2, 3, 7, 8, 11, 100, 1 << 20, (1 << 62) + 12345}
+		for i := 0; i < 5000; i++ {
+			switch i % 5 {
+			case 0:
+				if g, w := fast.Uint64(), refRand.Uint64(); g != w {
+					t.Fatalf("seed %d draw %d: Uint64 %d != rand/v2 %d", seed, i, g, w)
+				}
+			case 1:
+				n := bounds[i%len(bounds)]
+				if g, w := fast.IntN(n), refRand.IntN(n); g != w {
+					t.Fatalf("seed %d draw %d: IntN(%d) %d != rand/v2 %d", seed, i, n, g, w)
+				}
+			case 2:
+				if g, w := fast.Float64(), refRand.Float64(); g != w {
+					t.Fatalf("seed %d draw %d: Float64 %g != rand/v2 %g", seed, i, g, w)
+				}
+			case 3:
+				n := int64(bounds[(i+3)%len(bounds)])
+				if g, w := fast.Int64N(n), refRand.Int64N(n); g != w {
+					t.Fatalf("seed %d draw %d: Int64N(%d) %d != rand/v2 %d", seed, i, n, g, w)
+				}
+			case 4:
+				p := float64(1+i%99) / 100 // strictly inside (0,1) so both sides draw
+				if g, w := fast.Bool(p), refRand.Float64() < p; g != w {
+					t.Fatalf("seed %d draw %d: Bool(%g) %v != rand/v2 %v", seed, i, p, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestBoolClipDrawsNothing pins that clipped probabilities skip the draw —
+// Bool(0)/Bool(1) must not advance the stream (the wrapper-based
+// implementation behaved this way, and replay depends on it).
+func TestBoolClipDrawsNothing(t *testing.T) {
+	a, b := New(9), New(9)
+	a.Bool(0)
+	a.Bool(1)
+	a.Bool(-0.5)
+	a.Bool(2)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("clipped Bool must not advance the stream")
+	}
+}
+
+// TestSplitterMatchesSplitNInto pins that the precomputed Splitter derives
+// bit-identical streams to SplitNInto for the same label and index — the
+// hot paths swap one for the other per index, so the equivalence is a
+// replay-compatibility contract.
+func TestSplitterMatchesSplitNInto(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		src := New(seed)
+		for _, label := range []string{"probe", "covering", "identify-sample", ""} {
+			sp := src.SplitterFor(label)
+			a, b := New(0), New(0)
+			for _, n := range []int{0, 1, 2, 7, 1000, 1 << 20} {
+				ga := sp.Into(a, n)
+				gb := src.SplitNInto(b, label, n)
+				for i := 0; i < 8; i++ {
+					if x, y := ga.Uint64(), gb.Uint64(); x != y {
+						t.Fatalf("seed %d label %q n %d draw %d: Splitter %d != SplitNInto %d", seed, label, n, i, x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBoolSamplerMatchesBool pins that BoolSampler.Draw is draw-for-draw
+// identical to Bool — same outcomes and same stream advancement, including
+// the no-draw clip behavior.
+func TestBoolSamplerMatchesBool(t *testing.T) {
+	ps := []float64{-1, 0, 1e-17, 0.01, 0.25, 0.5, 1 - 1e-9, 1 - 0x1p-60, 1, 2}
+	a, b := New(7), New(7)
+	for i := 0; i < 5000; i++ {
+		p := ps[i%len(ps)]
+		sampler := NewBoolSampler(p)
+		if g, w := sampler.Draw(a), b.Bool(p); g != w {
+			t.Fatalf("draw %d p=%g: sampler %v != Bool %v", i, p, g, w)
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("sampler and Bool advanced their streams differently")
+	}
+}
